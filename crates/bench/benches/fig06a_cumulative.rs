@@ -1,0 +1,93 @@
+//! Fig 6(a) — cumulative response time of the five indexing approaches over
+//! a random range-select workload with zero workload knowledge and zero idle
+//! time (§5.1).
+//!
+//! Expected shape (paper): scans grow linearly and end highest; offline pays
+//! a huge first query then stays flat; online pays at query N/10+1; adaptive
+//! improves continuously; holistic tracks adaptive but converges ~2× lower.
+
+use holix_bench::{cumulative, run_per_query, sample_indices, secs, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{
+    AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig, OfflineEngine, OnlineEngine,
+    ScanEngine,
+};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 6(a): cumulative response time, 5 engines, random workload",
+        "csv: query,scan,offline,online,adaptive,holistic (cumulative seconds)",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 6));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 60).generate();
+
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "scan",
+            cumulative(&run_per_query(
+                &ScanEngine::new(data.clone(), env.threads),
+                &queries,
+            ))
+            .iter()
+            .map(|&d| secs(d))
+            .collect(),
+        ),
+        (
+            "offline",
+            cumulative(&run_per_query(
+                &OfflineEngine::new(data.clone(), env.threads),
+                &queries,
+            ))
+            .iter()
+            .map(|&d| secs(d))
+            .collect(),
+        ),
+        (
+            "online",
+            cumulative(&run_per_query(
+                &OnlineEngine::new(data.clone(), env.threads, env.queries / 10),
+                &queries,
+            ))
+            .iter()
+            .map(|&d| secs(d))
+            .collect(),
+        ),
+        (
+            "adaptive",
+            cumulative(&run_per_query(
+                &AdaptiveEngine::new(
+                    data.clone(),
+                    CrackMode::Pvdc {
+                        threads: env.threads,
+                    },
+                ),
+                &queries,
+            ))
+            .iter()
+            .map(|&d| secs(d))
+            .collect(),
+        ),
+        ("holistic", {
+            let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+            let times = run_per_query(&engine, &queries);
+            engine.stop();
+            cumulative(&times).iter().map(|&d| secs(d)).collect()
+        }),
+    ];
+
+    println!("query,scan,offline,online,adaptive,holistic");
+    for i in sample_indices(env.queries, 40) {
+        print!("{}", i + 1);
+        for (_, s) in &series {
+            print!(",{:.6}", s[i]);
+        }
+        println!();
+    }
+    println!("# totals:");
+    for (name, s) in &series {
+        println!("# total,{name},{:.6}", s.last().copied().unwrap_or(0.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig 6(b) — response-time breakdown: cost of the first query, the next 9,
+//! the next 90, and the remaining queries, adaptive vs holistic indexing
+//! (§5.1). The paper's buckets (1/9/90/900) scale with the workload length.
+
+use holix_bench::{run_per_query, secs, total, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+use std::time::Duration;
+
+fn buckets(times: &[Duration], n: usize) -> Vec<(String, f64)> {
+    // 1, 9, 90, rest — scaled to the workload length by powers of ten.
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut width = 1usize;
+    while start < n {
+        let end = (start + width).min(n);
+        out.push((
+            format!("{}..{}", start + 1, end),
+            secs(total(&times[start..end])),
+        ));
+        start = end;
+        width *= 9; // 1, 9, 81·…ish — mirrors the paper's 1/9/90/900 split
+        width = width.min(n);
+    }
+    out
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 6(b): breakdown of total response time, adaptive vs holistic",
+        "csv: bucket,adaptive,holistic (seconds)",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 6));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 60).generate();
+
+    let adaptive = run_per_query(
+        &AdaptiveEngine::new(
+            data.clone(),
+            CrackMode::Pvdc {
+                threads: env.threads,
+            },
+        ),
+        &queries,
+    );
+    let holistic = {
+        let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+        let t = run_per_query(&engine, &queries);
+        engine.stop();
+        t
+    };
+
+    let ba = buckets(&adaptive, env.queries);
+    let bh = buckets(&holistic, env.queries);
+    println!("bucket,adaptive,holistic");
+    for ((label, a), (_, h)) in ba.iter().zip(&bh) {
+        println!("{label},{a:.6},{h:.6}");
+    }
+    println!(
+        "# total,adaptive,{:.6}",
+        secs(total(&adaptive))
+    );
+    println!(
+        "# total,holistic,{:.6}",
+        secs(total(&holistic))
+    );
+}

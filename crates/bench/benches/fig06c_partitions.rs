@@ -1,0 +1,51 @@
+//! Fig 6(c) — cumulative number of index partitions across all adaptive
+//! indices as the query sequence evolves, adaptive vs holistic (§5.1).
+//! Holistic indexing creates more pieces because background refinement keeps
+//! cracking while queries run.
+
+use holix_bench::{sample_indices, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 6(c): cumulative index partitions over the query sequence",
+        "csv: query,adaptive_pieces,holistic_pieces",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 6));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 60).generate();
+
+    let adaptive_engine = AdaptiveEngine::new(
+        data.clone(),
+        CrackMode::Pvdc {
+            threads: env.threads,
+        },
+    );
+    let mut adaptive_pieces = Vec::with_capacity(env.queries);
+    for q in &queries {
+        adaptive_engine.execute(q);
+        adaptive_pieces.push(adaptive_engine.total_pieces());
+    }
+
+    let holistic_engine =
+        HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+    let mut holistic_pieces = Vec::with_capacity(env.queries);
+    for q in &queries {
+        holistic_engine.execute(q);
+        holistic_pieces.push(holistic_engine.total_pieces());
+    }
+    holistic_engine.stop();
+
+    println!("query,adaptive_pieces,holistic_pieces");
+    for i in sample_indices(env.queries, 40) {
+        println!("{},{},{}", i + 1, adaptive_pieces[i], holistic_pieces[i]);
+    }
+    println!(
+        "# final: adaptive={} holistic={}",
+        adaptive_pieces.last().unwrap_or(&0),
+        holistic_pieces.last().unwrap_or(&0)
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig 6(d) — idle-CPU utilisation: total worker response time and number of
+//! activated workers per tuning cycle (§5.1). The first activations are
+//! expensive (big pieces); later cycles are cheap as the indices converge.
+
+use holix_bench::{run_per_query, secs, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 6(d): holistic worker activations per tuning cycle",
+        "csv: cycle,workers,worker_time_total_s,wall_s,refinements,busy_skips",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 6));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 60).generate();
+
+    let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+    run_per_query(&engine, &queries);
+    let cycles = engine.stop();
+
+    println!("cycle,workers,worker_time_total,wall,refinements,busy_skips");
+    for (i, c) in cycles.iter().enumerate() {
+        println!(
+            "{},{},{:.6},{:.6},{},{}",
+            i + 1,
+            c.workers,
+            secs(c.worker_time_total),
+            secs(c.wall),
+            c.refinements,
+            c.busy
+        );
+    }
+    let total_ref: u64 = cycles.iter().map(|c| c.refinements).sum();
+    println!("# activations={} total_refinements={total_ref}", cycles.len());
+}

@@ -1,0 +1,58 @@
+//! Fig 7 — distributing the hardware contexts between user queries and
+//! holistic workers (§5.1). The paper finds that giving user queries only
+//! half the contexts and devoting the rest to holistic workers beats using
+//! every context for parallel query-driven cracking.
+//!
+//! Config labels follow the paper: `u{U}w{N}x{T}` = U user contexts, N
+//! workers of T threads each.
+
+use holix_bench::{run_per_query, secs, total, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 7: thread distribution between user queries and holistic workers",
+        "csv: config,total_seconds",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 7));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 70).generate();
+    let t = env.threads;
+
+    println!("config,total_seconds");
+
+    // All contexts to user queries: plain PVDC, no holistic workers.
+    let all_user = run_per_query(
+        &AdaptiveEngine::new(data.clone(), CrackMode::Pvdc { threads: t }),
+        &queries,
+    );
+    println!("u{t},{:.6}", secs(total(&all_user)));
+
+    // Splits: (user contexts, workers, threads per worker).
+    let mut splits: Vec<(usize, usize, usize)> = Vec::new();
+    if t >= 4 {
+        splits.push((t - 2, 2, 1));
+        splits.push((t / 2, t / 2, 1));
+        splits.push((t / 2, 1, t / 2));
+        if t / 2 >= 4 {
+            splits.push((t / 2, t / 4, 2));
+        }
+        splits.push((2, t - 2, 1));
+    } else {
+        splits.push((t / 2, t / 2, 1));
+    }
+
+    for (user, workers, wt) in splits {
+        let mut cfg = HolisticEngineConfig::split_half(t);
+        cfg.user_threads = user.max(1);
+        cfg.holistic.worker_threads = wt.max(1);
+        cfg.holistic.max_workers = Some(workers.max(1));
+        let engine = HolisticEngine::new(data.clone(), cfg);
+        let times = run_per_query(&engine, &queries);
+        engine.stop();
+        println!("u{user}w{workers}x{wt},{:.6}", secs(total(&times)));
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig 8 — per-query response time of adaptive indexing on a single
+//! attribute: the first queries are slow because they reorganise big
+//! partitions; the curve collapses as pieces shrink (§5.1).
+
+use holix_bench::{run_per_query, secs, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{AdaptiveEngine, CrackMode};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 8: per-query response time of adaptive indexing (one attribute)",
+        "csv: query,seconds",
+    );
+    let data = Dataset::new(uniform_table(1, env.n, env.domain, 8));
+    let n_queries = env.queries.min(100);
+    let queries = WorkloadSpec::random(1, n_queries, env.domain, 80).generate();
+
+    let engine = AdaptiveEngine::new(
+        data,
+        CrackMode::Pvdc {
+            threads: env.threads,
+        },
+    );
+    let times = run_per_query(&engine, &queries);
+    println!("query,seconds");
+    for (i, t) in times.iter().enumerate() {
+        println!("{},{:.6}", i + 1, secs(*t));
+    }
+    let first10: f64 = times.iter().take(10).map(|&d| secs(d)).sum();
+    let last10: f64 = times.iter().rev().take(10).map(|&d| secs(d)).sum();
+    println!("# first10={first10:.6} last10={last10:.6}");
+}

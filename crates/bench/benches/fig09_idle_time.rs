@@ -1,0 +1,72 @@
+//! Fig 9 — idle time before query processing (§5.1): holistic indexing fills
+//! `C_potential` with speculative indices and refines them before the first
+//! query arrives; adaptive indexing cannot use the idle period. The benefit
+//! shows up at the *start* of the workload.
+
+use holix_bench::{run_per_query, secs, total, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+use std::time::Duration;
+
+fn bucket_series(times: &[std::time::Duration], n: usize) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut width = 1usize;
+    while start < n {
+        let end = (start + width).min(n);
+        out.push((
+            format!("{}..{}", start + 1, end),
+            secs(total(&times[start..end])),
+        ));
+        start = end;
+        width = (width * 9).min(n);
+    }
+    out
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 9: exploiting idle time before the workload (C_potential)",
+        "csv: bucket,adaptive,holistic (seconds); idle period scaled by HOLIX_IDLE_MS",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 9));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 90).generate();
+
+    // Adaptive indexing: the idle period is wasted.
+    let adaptive = run_per_query(
+        &AdaptiveEngine::new(
+            data.clone(),
+            CrackMode::Pvdc {
+                threads: env.threads,
+            },
+        ),
+        &queries,
+    );
+
+    // Holistic: speculative indices on every attribute, refined during the
+    // idle period before the first query.
+    let engine = HolisticEngine::new(
+        data,
+        HolisticEngineConfig::split_half(env.threads),
+    );
+    let attrs: Vec<usize> = (0..env.attrs).collect();
+    engine.add_potential(&attrs);
+    std::thread::sleep(Duration::from_millis(env.idle_ms));
+    let pieces_before_queries = engine.total_pieces();
+    let holistic = run_per_query(&engine, &queries);
+    engine.stop();
+
+    println!("bucket,adaptive,holistic");
+    for ((label, a), (_, h)) in bucket_series(&adaptive, env.queries)
+        .iter()
+        .zip(&bucket_series(&holistic, env.queries))
+    {
+        println!("{label},{a:.6},{h:.6}");
+    }
+    println!("# pieces_prepared_during_idle={pieces_before_queries}");
+    println!("# total,adaptive,{:.6}", secs(total(&adaptive)));
+    println!("# total,holistic,{:.6}", secs(total(&holistic)));
+}

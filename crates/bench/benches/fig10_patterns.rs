@@ -1,0 +1,39 @@
+//! Fig 10 — the five workload patterns: predicate value against query
+//! sequence for Random, Skewed, Periodic, Sequential and the (synthetic)
+//! SkyServer trace (§5.3).
+
+use holix_bench::{sample_indices, BenchEnv};
+use holix_workloads::patterns::{AttrDist, Pattern, WorkloadSpec};
+use holix_workloads::skyserver::SkyServerSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 10: workload patterns (predicate value vs query sequence)",
+        "csv: workload,query,predicate_lo",
+    );
+    println!("workload,query,predicate_lo");
+    let n = env.queries.min(200);
+    for p in Pattern::SYNTHETIC {
+        let spec = WorkloadSpec {
+            pattern: p,
+            attr_dist: AttrDist::Uniform,
+            n_attrs: 1,
+            n_queries: n,
+            domain: env.domain,
+            seed: 10,
+        };
+        for (i, q) in spec.generate().iter().enumerate() {
+            println!("{},{},{}", p.label(), i + 1, q.lo);
+        }
+    }
+    let sky = SkyServerSpec {
+        n_queries: env.queries.max(1_000),
+        domain: env.domain,
+        ..Default::default()
+    }
+    .generate();
+    for i in sample_indices(sky.len(), 200) {
+        println!("SkyServer,{},{}", i + 1, sky[i].lo);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig 11 — holistic indexing vs multi-core adaptive-indexing baselines
+//! (PVDC, PVSDC, mP-CCGI) while varying the number of cores (§5.2).
+//!
+//! Expected shape: everything improves with more cores; holistic improves
+//! most because it stays active between and during queries. Core counts are
+//! modelled logically; on machines with fewer physical cores the high end
+//! oversubscribes (noted in the banner).
+
+use holix_bench::{secs, time, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_parallel::ccgi::ChunkedCrackerColumn;
+use holix_storage::select::Predicate;
+use holix_workloads::data::uniform_table;
+use holix_workloads::{QuerySpec, WorkloadSpec};
+
+fn run_engine(engine: &dyn QueryEngine, queries: &[QuerySpec]) -> f64 {
+    let (_, d) = time(|| {
+        for q in queries {
+            std::hint::black_box(engine.execute(q));
+        }
+    });
+    secs(d)
+}
+
+fn run_ccgi(data: &Dataset, queries: &[QuerySpec], chunks: usize) -> f64 {
+    let cols: Vec<ChunkedCrackerColumn<i64>> = (0..data.attrs())
+        .map(|a| ChunkedCrackerColumn::build(&format!("a{a}"), data.column(a), chunks, 6))
+        .collect();
+    let (_, d) = time(|| {
+        for q in queries {
+            std::hint::black_box(cols[q.attr].select(Predicate::range(q.lo, q.hi)));
+        }
+    });
+    secs(d)
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 11: holistic vs multi-core adaptive indexing, varying cores",
+        "csv: cores,mp_ccgi,pvdc,pvsdc,holistic (total seconds; cores modelled logically)",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 11));
+    let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 110).generate();
+
+    let mut cores = vec![2usize, 4];
+    if env.threads >= 8 {
+        cores.push(8);
+    }
+    if env.threads >= 16 {
+        cores.push(16);
+    }
+    if env.threads >= 32 {
+        cores.push(32);
+    }
+
+    println!("cores,mp_ccgi,pvdc,pvsdc,holistic,hi_label");
+    for &c in &cores {
+        let ccgi = run_ccgi(&data, &queries, c);
+        let pvdc = run_engine(
+            &AdaptiveEngine::new(data.clone(), CrackMode::Pvdc { threads: c }),
+            &queries,
+        );
+        let pvsdc = run_engine(
+            &AdaptiveEngine::new(data.clone(), CrackMode::Pvsdc { threads: c }),
+            &queries,
+        );
+        // Holistic: half the cores to user queries, half to workers (the
+        // best split per §5.2).
+        let user = (c / 2).max(1);
+        let workers = (c - user).max(1);
+        let mut cfg = HolisticEngineConfig::split_half(c);
+        cfg.user_threads = user;
+        cfg.holistic.max_workers = Some(workers);
+        let engine = HolisticEngine::new(data.clone(), cfg);
+        let hi = run_engine(&engine, &queries);
+        engine.stop();
+        println!("{c},{ccgi:.6},{pvdc:.6},{pvsdc:.6},{hi:.6},u{user}w{workers}x1");
+    }
+}

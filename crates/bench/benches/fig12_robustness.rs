@@ -1,0 +1,86 @@
+//! Fig 12 — robustness across workload patterns (§5.3): total processing
+//! cost of PVDC, PVSDC and holistic indexing on Random, Skewed, Periodic,
+//! Sequential and the synthetic SkyServer trace.
+//!
+//! Expected shape: PVDC blows up on Sequential/Skewed (big unindexed
+//! pieces); PVSDC repairs most of it; holistic wins everywhere because its
+//! refinements span the whole domain and keep running.
+
+use holix_bench::{secs, time, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::patterns::{AttrDist, Pattern, WorkloadSpec};
+use holix_workloads::skyserver::SkyServerSpec;
+use holix_workloads::QuerySpec;
+
+fn run_engine(engine: &dyn QueryEngine, queries: &[QuerySpec]) -> f64 {
+    let (_, d) = time(|| {
+        for q in queries {
+            std::hint::black_box(engine.execute(q));
+        }
+    });
+    secs(d)
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 12: robustness across workload patterns",
+        "csv: workload,pvdc,pvsdc,holistic (total seconds)",
+    );
+
+    let mut workloads: Vec<(String, usize, Vec<QuerySpec>)> = Pattern::SYNTHETIC
+        .iter()
+        .map(|&p| {
+            let qs = WorkloadSpec {
+                pattern: p,
+                attr_dist: AttrDist::Uniform,
+                n_attrs: env.attrs,
+                n_queries: env.queries,
+                domain: env.domain,
+                seed: 12,
+            }
+            .generate();
+            (p.label().to_string(), env.attrs, qs)
+        })
+        .collect();
+    // SkyServer: one attribute, 10× more queries (paper: 10⁴ vs 10³).
+    workloads.push((
+        "SkyServer".into(),
+        1,
+        SkyServerSpec {
+            n_queries: env.queries * 4,
+            domain: env.domain,
+            ..Default::default()
+        }
+        .generate(),
+    ));
+
+    println!("workload,pvdc,pvsdc,holistic");
+    for (label, attrs, queries) in &workloads {
+        let data = Dataset::new(uniform_table(*attrs, env.n, env.domain, 120));
+        let pvdc = run_engine(
+            &AdaptiveEngine::new(
+                data.clone(),
+                CrackMode::Pvdc {
+                    threads: env.threads,
+                },
+            ),
+            queries,
+        );
+        let pvsdc = run_engine(
+            &AdaptiveEngine::new(
+                data.clone(),
+                CrackMode::Pvsdc {
+                    threads: env.threads,
+                },
+            ),
+            queries,
+        );
+        let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+        let hi = run_engine(&engine, queries);
+        engine.stop();
+        println!("{label},{pvdc:.6},{pvsdc:.6},{hi:.6}");
+    }
+}

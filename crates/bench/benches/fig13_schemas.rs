@@ -1,0 +1,92 @@
+//! Fig 13 — more benefits with complex schemas (§5.4): sweep the number of
+//! attributes (5–10) under {random, skewed} attribute distributions ×
+//! {random, periodic} value patterns; compare PVDC, PVSDC and holistic
+//! indexing under all four index-decision strategies W1–W4.
+//!
+//! Expected shape: holistic's edge grows with the attribute count; all
+//! strategies are close, with W4 (random) robust on periodic values.
+
+use holix_bench::{secs, time, BenchEnv};
+use holix_core::Strategy;
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::patterns::{AttrDist, Pattern, WorkloadSpec};
+use holix_workloads::QuerySpec;
+
+fn run_engine(engine: &dyn QueryEngine, queries: &[QuerySpec]) -> f64 {
+    let (_, d) = time(|| {
+        for q in queries {
+            std::hint::black_box(engine.execute(q));
+        }
+    });
+    secs(d)
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 13: attribute sweep x attribute/value distributions x strategies",
+        "csv: attr_dist,value_pattern,attrs,pvdc,pvsdc,hi_w1,hi_w2,hi_w3,hi_w4",
+    );
+    // This experiment multiplies many configurations; shrink per-config work.
+    let n = env.n / 2;
+    let n_queries = env.queries / 2;
+
+    println!("attr_dist,value_pattern,attrs,pvdc,pvsdc,hi_w1,hi_w2,hi_w3,hi_w4");
+    for attr_dist in [AttrDist::Uniform, AttrDist::Skewed] {
+        for pattern in [Pattern::Random, Pattern::Periodic] {
+            for attrs in [5usize, 6, 7, 8, 9, 10] {
+                let data = Dataset::new(uniform_table(attrs, n, env.domain, 13));
+                let queries = WorkloadSpec {
+                    pattern,
+                    attr_dist,
+                    n_attrs: attrs,
+                    n_queries,
+                    domain: env.domain,
+                    seed: 130,
+                }
+                .generate();
+
+                let pvdc = run_engine(
+                    &AdaptiveEngine::new(
+                        data.clone(),
+                        CrackMode::Pvdc {
+                            threads: env.threads,
+                        },
+                    ),
+                    &queries,
+                );
+                let pvsdc = run_engine(
+                    &AdaptiveEngine::new(
+                        data.clone(),
+                        CrackMode::Pvsdc {
+                            threads: env.threads,
+                        },
+                    ),
+                    &queries,
+                );
+                let mut hi = Vec::new();
+                for strategy in Strategy::ALL {
+                    let mut cfg = HolisticEngineConfig::split_half(env.threads);
+                    cfg.holistic.strategy = strategy;
+                    let engine = HolisticEngine::new(data.clone(), cfg);
+                    hi.push(run_engine(&engine, &queries));
+                    engine.stop();
+                }
+                let dist = match attr_dist {
+                    AttrDist::Uniform => "random_attrs",
+                    AttrDist::Skewed => "skewed_attrs",
+                };
+                println!(
+                    "{dist},{},{attrs},{pvdc:.6},{pvsdc:.6},{:.6},{:.6},{:.6},{:.6}",
+                    pattern.label(),
+                    hi[0],
+                    hi[1],
+                    hi[2],
+                    hi[3]
+                );
+            }
+        }
+    }
+}

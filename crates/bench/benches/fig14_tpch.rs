@@ -1,0 +1,83 @@
+//! Fig 14 — TPC-H Q1, Q6 and Q12 (§5.6): 30 random variants per query type
+//! against plain scans, pre-sorted projections, sideways cracking and
+//! holistic indexing.
+//!
+//! Expected shape: the first sideways/holistic query pays the map-copy cost,
+//! then both track (or beat) the pre-sorted engine — which itself paid a
+//! pre-sorting cost the curves exclude (printed separately, as the paper
+//! notes "pre-sorted times exclude pre-sorting costs").
+
+use holix_bench::{secs, time, BenchEnv};
+use holix_engine::tpch::{
+    HolisticTpch, PresortedTpch, ScanTpch, SidewaysTpch, TpchDb, TpchEngine,
+};
+use holix_workloads::tpch::{generate, q12_variants, q1_variants, q6_variants};
+use std::sync::Arc;
+
+fn run_series(
+    label: &str,
+    engines: &[&dyn TpchEngine],
+    run: impl Fn(&dyn TpchEngine, usize) -> (),
+    variants: usize,
+) {
+    for (e_idx, e) in engines.iter().enumerate() {
+        let _ = e_idx;
+        for v in 0..variants {
+            let (_, d) = time(|| run(*e, v));
+            println!("{label},{},{},{:.6}", e.name(), v + 1, secs(d));
+        }
+    }
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 14: TPC-H Q1/Q6/Q12, 30 variants, 4 engines",
+        "csv: query,engine,variant,seconds (presort cost printed separately)",
+    );
+    let db = Arc::new(TpchDb::new(generate(env.tpch_sf, 14)));
+    println!(
+        "# lineitem_rows={} orders_rows={}",
+        db.li.len(),
+        db.orders.len()
+    );
+
+    let scan = ScanTpch::new(Arc::clone(&db));
+    let (presorted, presort_cost) = time(|| PresortedTpch::new(Arc::clone(&db)));
+    println!("# presort_cost_seconds={:.6}", secs(presort_cost));
+    let (sideways, sideways_build) = time(|| SidewaysTpch::new(Arc::clone(&db)));
+    println!("# sideways_map_build_seconds={:.6}", secs(sideways_build));
+    let holistic = HolisticTpch::new(Arc::clone(&db), 140);
+
+    let engines: Vec<&dyn TpchEngine> = vec![&scan, &presorted, &sideways, &holistic];
+    let variants = 30usize;
+
+    println!("query,engine,variant,seconds");
+    let q1 = q1_variants(variants, 141);
+    run_series(
+        "Q1",
+        &engines,
+        |e, v| {
+            std::hint::black_box(e.q1(q1[v]));
+        },
+        variants,
+    );
+    let q6 = q6_variants(variants, 142);
+    run_series(
+        "Q6",
+        &engines,
+        |e, v| {
+            std::hint::black_box(e.q6(q6[v]));
+        },
+        variants,
+    );
+    let q12 = q12_variants(variants, 143);
+    run_series(
+        "Q12",
+        &engines,
+        |e, v| {
+            std::hint::black_box(e.q12(q12[v]));
+        },
+        variants,
+    );
+}

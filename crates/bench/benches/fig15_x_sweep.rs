@@ -1,0 +1,88 @@
+//! Fig 15 — sweep of `x`, the refinements each holistic worker performs per
+//! activation (§5.5): more refinements per worker help until the indices
+//! converge (the paper settles on x = 16).
+
+use holix_bench::{secs, time, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::patterns::{AttrDist, Pattern, WorkloadSpec};
+use holix_workloads::skyserver::SkyServerSpec;
+use holix_workloads::QuerySpec;
+
+fn run_engine(engine: &dyn QueryEngine, queries: &[QuerySpec]) -> f64 {
+    let (_, d) = time(|| {
+        for q in queries {
+            std::hint::black_box(engine.execute(q));
+        }
+    });
+    secs(d)
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 15: refinements per worker (x) across workloads",
+        "csv: workload,pvdc,pvsdc,x1,x2,x4,x8,x16,x32",
+    );
+    let xs = [1usize, 2, 4, 8, 16, 32];
+
+    let mut workloads: Vec<(String, usize, Vec<QuerySpec>)> = Pattern::SYNTHETIC
+        .iter()
+        .map(|&p| {
+            let qs = WorkloadSpec {
+                pattern: p,
+                attr_dist: AttrDist::Uniform,
+                n_attrs: env.attrs,
+                n_queries: env.queries / 2,
+                domain: env.domain,
+                seed: 15,
+            }
+            .generate();
+            (p.label().to_string(), env.attrs, qs)
+        })
+        .collect();
+    workloads.push((
+        "SkyServer".into(),
+        1,
+        SkyServerSpec {
+            n_queries: env.queries,
+            domain: env.domain,
+            ..Default::default()
+        }
+        .generate(),
+    ));
+
+    println!("workload,pvdc,pvsdc,x1,x2,x4,x8,x16,x32");
+    for (label, attrs, queries) in &workloads {
+        let data = Dataset::new(uniform_table(*attrs, env.n / 2, env.domain, 150));
+        let pvdc = run_engine(
+            &AdaptiveEngine::new(
+                data.clone(),
+                CrackMode::Pvdc {
+                    threads: env.threads,
+                },
+            ),
+            queries,
+        );
+        let pvsdc = run_engine(
+            &AdaptiveEngine::new(
+                data.clone(),
+                CrackMode::Pvsdc {
+                    threads: env.threads,
+                },
+            ),
+            queries,
+        );
+        print!("{label},{pvdc:.6},{pvsdc:.6}");
+        for &x in &xs {
+            let mut cfg = HolisticEngineConfig::split_half(env.threads);
+            cfg.holistic.refinements_per_worker = x;
+            let engine = HolisticEngine::new(data.clone(), cfg);
+            let hi = run_engine(&engine, queries);
+            engine.stop();
+            print!(",{hi:.6}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig 17 — varying the number of concurrent clients (§5.8): holistic
+//! indexing helps most with few clients; as clients saturate the contexts,
+//! the load monitor scales workers down and holistic converges to PVDC.
+
+use holix_bench::{secs, BenchEnv};
+use holix_engine::api::Dataset;
+use holix_engine::session::run_clients;
+use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::WorkloadSpec;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 17: varying number of concurrent clients",
+        "csv: clients,pvdc,holistic,hi_label (total wall seconds)",
+    );
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 17));
+    let queries = WorkloadSpec::random(env.attrs, env.queries * 2, env.domain, 170).generate();
+    let t = env.threads;
+
+    let mut clients_list = vec![1usize, 2, 4];
+    if t >= 8 {
+        clients_list.push(8);
+    }
+    if t >= 16 {
+        clients_list.push(16);
+        clients_list.push(32);
+    }
+
+    println!("clients,pvdc,holistic,hi_label");
+    for &clients in &clients_list {
+        // PVDC: each client's query cracks with its share of the contexts.
+        let per_client = (t / clients).max(1);
+        let pvdc_engine = AdaptiveEngine::new(
+            data.clone(),
+            CrackMode::Pvdc {
+                threads: per_client,
+            },
+        );
+        let (pvdc_wall, _) = run_clients(&pvdc_engine, &queries, clients);
+
+        // Holistic: user queries take half the per-client share; the daemon
+        // sees the remaining contexts through the accountant and scales
+        // workers automatically.
+        let user = (t / (2 * clients)).max(1);
+        let mut cfg = HolisticEngineConfig::split_half(t);
+        cfg.user_threads = user;
+        let engine = HolisticEngine::new(data.clone(), cfg);
+        let (hi_wall, _) = run_clients(&engine, &queries, clients);
+        let cycles = engine.stop();
+        let max_workers = cycles.iter().map(|c| c.workers).max().unwrap_or(0);
+        println!(
+            "{clients},{:.6},{:.6},u{user}w{max_workers}",
+            secs(pvdc_wall),
+            secs(hi_wall)
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks — ablations for the design decisions in
+//! DESIGN.md §2: crack kernels (branchy vs vectorized out-of-place vs
+//! parallel), AVL vs `BTreeMap` cracker-index lookups, weight-heap updates,
+//! and Ripple insertion vs naive re-cracking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use holix_core::weight_heap::WeightHeap;
+use holix_cracking::avl::Avl;
+use holix_cracking::crack::crack_in_two;
+use holix_cracking::index::CrackerIndex;
+use holix_cracking::updates::ripple_insert;
+use holix_cracking::vectorized::{crack_in_two_oop, CrackScratch};
+use holix_parallel::{concentric_partition, parallel_partition};
+use rand::prelude::*;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const N: usize = 1 << 17;
+
+fn data(seed: u64) -> (Vec<i64>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vals: Vec<i64> = (0..N).map(|_| rng.random_range(0..1_000_000)).collect();
+    let rows: Vec<u32> = (0..N as u32).collect();
+    (vals, rows)
+}
+
+fn bench_crack_kernels(c: &mut Criterion) {
+    let (vals, rows) = data(1);
+    let mut g = c.benchmark_group("crack_kernels");
+    g.sample_size(10);
+
+    g.bench_function("branchy", |b| {
+        b.iter_batched(
+            || (vals.clone(), rows.clone()),
+            |(mut v, mut r)| black_box(crack_in_two(&mut v, &mut r, 500_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("vectorized_oop", |b| {
+        let mut scratch = CrackScratch::new();
+        b.iter_batched(
+            || (vals.clone(), rows.clone()),
+            |(mut v, mut r)| black_box(crack_in_two_oop(&mut v, &mut r, 500_000, &mut scratch)),
+            BatchSize::LargeInput,
+        )
+    });
+    for t in [2usize, 4] {
+        g.bench_function(format!("parallel_x{t}"), |b| {
+            b.iter_batched(
+                || (vals.clone(), rows.clone()),
+                |(mut v, mut r)| black_box(parallel_partition(&mut v, &mut r, 500_000, t)),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("concentric_x{t}"), |b| {
+            b.iter_batched(
+                || (vals.clone(), rows.clone()),
+                |(mut v, mut r)| black_box(concentric_partition(&mut v, &mut r, 500_000, t)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cracker_index(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys: Vec<i64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+    let mut g = c.benchmark_group("cracker_index_lookup");
+    g.sample_size(20);
+
+    let mut avl = Avl::new();
+    let mut btree = BTreeMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        avl.insert(k, i);
+        btree.insert(k, i);
+    }
+    let probes: Vec<i64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+
+    g.bench_function("avl_floor", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &probes {
+                if let Some((_, &v)) = avl.floor(&p) {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("btreemap_range", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in &probes {
+                if let Some((_, &v)) = btree.range(..=p).next_back() {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_weight_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weight_heap");
+    g.sample_size(20);
+    g.bench_function("upsert_update_cycle", |b| {
+        b.iter_batched(
+            WeightHeap::new,
+            |mut h| {
+                for k in 0..256usize {
+                    h.upsert(k, (k * 31 % 97) as u128);
+                }
+                for k in 0..256usize {
+                    h.upsert(k, (k * 17 % 89) as u128);
+                    black_box(h.peek_max());
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ripple_vs_rebuild(c: &mut Criterion) {
+    // Insert 64 values into a column cracked into 256 pieces: Ripple moves
+    // one element per downstream piece; the naive alternative re-sorts the
+    // touched suffix.
+    let (vals, rows) = data(3);
+    let mut index = CrackerIndex::new(N);
+    let mut cvals = vals.clone();
+    let mut crows = rows.clone();
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..255 {
+        let pivot = rng.random_range(0..1_000_000);
+        let bounds = index.bounds_in_order();
+        if bounds.iter().any(|&(k, _)| k == pivot) {
+            continue;
+        }
+        let idx = bounds.partition_point(|&(k, _)| k <= pivot);
+        let start = if idx == 0 { 0 } else { bounds[idx - 1].1 };
+        let end = if idx < bounds.len() {
+            bounds[idx].1
+        } else {
+            cvals.len()
+        };
+        let split = crack_in_two(&mut cvals[start..end], &mut crows[start..end], pivot);
+        index.insert_bound(pivot, start + split);
+    }
+
+    let mut g = c.benchmark_group("updates");
+    g.sample_size(10);
+    g.bench_function("ripple_insert_64", |b| {
+        b.iter_batched(
+            || (cvals.clone(), crows.clone(), index.clone()),
+            |(mut v, mut r, mut idx)| {
+                for k in 0..64u32 {
+                    ripple_insert(&mut v, &mut r, &mut idx, (k as i64) * 13_337, N as u32 + k);
+                }
+                black_box(v.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("append_and_resort_64", |b| {
+        b.iter_batched(
+            || vals.clone(),
+            |mut v| {
+                for k in 0..64i64 {
+                    v.push(k * 13_337);
+                }
+                v.sort_unstable();
+                black_box(v.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crack_kernels,
+    bench_cracker_index,
+    bench_weight_heap,
+    bench_ripple_vs_rebuild
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 1 — qualitative difference among offline, online, adaptive and
+//! holistic indexing, derived from the engines' capability metadata.
+
+use holix_bench::BenchEnv;
+use holix_engine::api::{Capabilities, Dataset, QueryEngine};
+use holix_engine::{
+    AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig, OfflineEngine, OnlineEngine,
+};
+use holix_workloads::data::uniform_table;
+
+fn row(name: &str, c: Capabilities) {
+    let tick = |b: bool| if b { "yes" } else { "no" };
+    println!(
+        "{name},{},{},{},{},{},{}",
+        tick(c.workload_analysis),
+        tick(c.idle_before_queries),
+        tick(c.idle_during_queries),
+        if c.full_materialization { "full" } else { "partial" },
+        if c.high_update_cost { "high" } else { "low" },
+        if c.dynamic { "dynamic" } else { "static" },
+    );
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Table 1: qualitative comparison of indexing approaches",
+        "columns: analysis,idle-before,idle-during,materialization,update-cost,workload",
+    );
+    let data = Dataset::new(uniform_table(1, 1_000, 1_000, 1));
+    println!("indexing,analysis,idle_before,idle_during,materialization,update_cost,workload");
+    row(
+        "offline",
+        OfflineEngine::new(data.clone(), 1).capabilities(),
+    );
+    row(
+        "online",
+        OnlineEngine::new(data.clone(), 1, 100).capabilities(),
+    );
+    row(
+        "adaptive",
+        AdaptiveEngine::new(data.clone(), CrackMode::Sequential).capabilities(),
+    );
+    let h = HolisticEngine::new(data, HolisticEngineConfig::split_half(2));
+    row("holistic", h.capabilities());
+    h.stop();
+}

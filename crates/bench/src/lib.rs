@@ -1,0 +1,170 @@
+//! # holix-bench — shared infrastructure for the figure/table harnesses
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the paper's evaluation (§5) at laptop scale and prints the same
+//! rows/series as CSV. Scale knobs come from the environment:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `HOLIX_N` | rows per attribute | `1 << 20` |
+//! | `HOLIX_QUERIES` | queries per workload | `512` |
+//! | `HOLIX_ATTRS` | attributes in the microbenchmark table | `10` |
+//! | `HOLIX_THREADS` | hardware contexts to model | machine |
+//! | `HOLIX_TPCH_SF` | TPC-H scale factor | `0.02` |
+//! | `HOLIX_IDLE_MS` | scaled idle period (Fig 9/16) | `500` |
+//!
+//! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
+//! reachable by setting the variables accordingly.
+
+use holix_engine::api::QueryEngine;
+use holix_workloads::QuerySpec;
+use std::time::{Duration, Instant};
+
+/// Scale parameters resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    pub n: usize,
+    pub queries: usize,
+    pub attrs: usize,
+    pub threads: usize,
+    pub domain: i64,
+    pub tpch_sf: f64,
+    pub idle_ms: u64,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchEnv {
+    /// Reads the scale knobs.
+    pub fn from_env() -> Self {
+        // Contexts are modelled logically (LoadAccountant), so the default
+        // gives the tuning daemon head-room even on small machines; threads
+        // beyond the physical cores simply oversubscribe.
+        let threads = env_usize(
+            "HOLIX_THREADS",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+        );
+        let n = env_usize("HOLIX_N", 1 << 20);
+        BenchEnv {
+            n,
+            queries: env_usize("HOLIX_QUERIES", 512),
+            attrs: env_usize("HOLIX_ATTRS", 10),
+            threads: threads.max(2),
+            domain: (n as i64).max(1 << 20),
+            tpch_sf: env_f64("HOLIX_TPCH_SF", 0.02),
+            idle_ms: env_usize("HOLIX_IDLE_MS", 500) as u64,
+        }
+    }
+
+    /// Prints the standard experiment header.
+    pub fn banner(&self, figure: &str, notes: &str) {
+        println!("# {figure}");
+        println!(
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={}",
+            self.n, self.queries, self.attrs, self.threads, self.domain, self.tpch_sf,
+            self.idle_ms
+        );
+        if !notes.is_empty() {
+            println!("# {notes}");
+        }
+    }
+}
+
+/// Times one closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Executes a workload sequentially, returning per-query durations.
+pub fn run_per_query(engine: &dyn QueryEngine, queries: &[QuerySpec]) -> Vec<Duration> {
+    queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            std::hint::black_box(engine.execute(q));
+            t0.elapsed()
+        })
+        .collect()
+}
+
+/// Total across per-query times.
+pub fn total(times: &[Duration]) -> Duration {
+    times.iter().sum()
+}
+
+/// Cumulative series.
+pub fn cumulative(times: &[Duration]) -> Vec<Duration> {
+    let mut acc = Duration::ZERO;
+    times
+        .iter()
+        .map(|&t| {
+            acc += t;
+            acc
+        })
+        .collect()
+}
+
+/// Seconds as fractional value for CSV output.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Sample indices for plotting a long series (~`points` log-ish spaced rows,
+/// always including the first and the last).
+pub fn sample_indices(len: usize, points: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let step = (len / points.max(1)).max(1);
+    let mut idx: Vec<usize> = (0..len).step_by(step).collect();
+    if *idx.last().unwrap() != len - 1 {
+        idx.push(len - 1);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_accumulates() {
+        let times = [Duration::from_millis(1), Duration::from_millis(2)];
+        let c = cumulative(&times);
+        assert_eq!(c[1], Duration::from_millis(3));
+        assert_eq!(total(&times), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn sample_indices_cover_ends() {
+        let idx = sample_indices(1000, 10);
+        assert_eq!(idx[0], 0);
+        assert_eq!(*idx.last().unwrap(), 999);
+        assert!(idx.len() <= 12);
+        assert!(sample_indices(0, 10).is_empty());
+    }
+
+    #[test]
+    fn env_defaults() {
+        let e = BenchEnv::from_env();
+        assert!(e.threads >= 2);
+        assert!(e.n > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! CPU-utilisation monitoring (§4.1 "CPU Utilization").
+//!
+//! The tuning cycle consumes a single signal: *how many hardware contexts
+//! were idle over the last sampling window*. Two sources are provided:
+//!
+//! - [`LoadAccountant`] — deterministic logical accounting: the engine
+//!   registers every running user-query task; idle = total − busy. This is
+//!   the default for reproducible experiments (substitution documented in
+//!   DESIGN.md §2.6).
+//! - [`ProcStatMonitor`] — kernel statistics from `/proc/stat`, like the
+//!   paper's MonetDB load-checker (Linux only; parsing is unit-tested on
+//!   fixtures).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Source of the "n idle hardware contexts" signal. Implementations block
+/// for approximately `window` so the daemon's cycle cadence matches the
+/// paper's "monitors the CPU load at intervals of 1 second".
+pub trait CpuMonitor: Send + Sync {
+    /// Hardware contexts the machine (or the experiment) exposes.
+    fn total_contexts(&self) -> usize;
+
+    /// Blocks ~`window`, then reports idle contexts observed.
+    fn idle_contexts(&self, window: Duration) -> usize;
+}
+
+/// Deterministic logical load tracker.
+///
+/// User-query execution paths hold a [`TaskGuard`] while running; the
+/// monitor reports `total − busy`.
+pub struct LoadAccountant {
+    total: usize,
+    busy: AtomicUsize,
+}
+
+impl LoadAccountant {
+    /// Tracker for `total` hardware contexts.
+    pub fn new(total: usize) -> Arc<Self> {
+        Arc::new(LoadAccountant {
+            total: total.max(1),
+            busy: AtomicUsize::new(0),
+        })
+    }
+
+    /// Tracker sized to the machine.
+    pub fn for_machine() -> Arc<Self> {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Marks `contexts` hardware contexts busy until the guard drops.
+    pub fn begin_task(self: &Arc<Self>, contexts: usize) -> TaskGuard {
+        self.busy.fetch_add(contexts, Ordering::Relaxed);
+        TaskGuard {
+            acc: Arc::clone(self),
+            contexts,
+        }
+    }
+
+    /// Currently busy contexts.
+    pub fn busy(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+}
+
+impl CpuMonitor for LoadAccountant {
+    fn total_contexts(&self) -> usize {
+        self.total
+    }
+
+    fn idle_contexts(&self, window: Duration) -> usize {
+        if !window.is_zero() {
+            std::thread::sleep(window);
+        }
+        self.total.saturating_sub(self.busy())
+    }
+}
+
+/// RAII registration of a running user task.
+pub struct TaskGuard {
+    acc: Arc<LoadAccountant>,
+    contexts: usize,
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        self.acc.busy.fetch_sub(self.contexts, Ordering::Relaxed);
+    }
+}
+
+/// Kernel-statistics monitor reading `/proc/stat` deltas.
+pub struct ProcStatMonitor {
+    total: usize,
+}
+
+impl ProcStatMonitor {
+    /// Monitor sized to the machine.
+    pub fn new() -> Self {
+        ProcStatMonitor {
+            total: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Monitor for an explicit context count.
+    pub fn with_total(total: usize) -> Self {
+        ProcStatMonitor {
+            total: total.max(1),
+        }
+    }
+
+    fn sample() -> Option<CpuTimes> {
+        let text = std::fs::read_to_string("/proc/stat").ok()?;
+        parse_proc_stat(&text)
+    }
+}
+
+impl Default for ProcStatMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuMonitor for ProcStatMonitor {
+    fn total_contexts(&self) -> usize {
+        self.total
+    }
+
+    fn idle_contexts(&self, window: Duration) -> usize {
+        let Some(a) = Self::sample() else { return 0 };
+        std::thread::sleep(window);
+        let Some(b) = Self::sample() else { return 0 };
+        let d_busy = b.busy.saturating_sub(a.busy);
+        let d_idle = b.idle.saturating_sub(a.idle);
+        let denom = d_busy + d_idle;
+        if denom == 0 {
+            return 0;
+        }
+        ((d_idle as f64 / denom as f64) * self.total as f64).round() as usize
+    }
+}
+
+/// Aggregate jiffies from the `cpu ` summary line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuTimes {
+    /// Non-idle jiffies (user+nice+system+irq+softirq+steal).
+    pub busy: u64,
+    /// Idle jiffies (idle+iowait).
+    pub idle: u64,
+}
+
+/// Parses the aggregate `cpu ` line of `/proc/stat`.
+pub fn parse_proc_stat(text: &str) -> Option<CpuTimes> {
+    let line = text.lines().find(|l| {
+        l.starts_with("cpu ") || (l.starts_with("cpu") && l.as_bytes().get(3) == Some(&b'\t'))
+    })?;
+    let fields: Vec<u64> = line
+        .split_whitespace()
+        .skip(1)
+        .filter_map(|f| f.parse().ok())
+        .collect();
+    if fields.len() < 4 {
+        return None;
+    }
+    let get = |i: usize| fields.get(i).copied().unwrap_or(0);
+    let idle = get(3) + get(4); // idle + iowait
+    let busy = get(0) + get(1) + get(2) + get(5) + get(6) + get(7);
+    Some(CpuTimes { busy, idle })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accountant_tracks_guards() {
+        let acc = LoadAccountant::new(8);
+        assert_eq!(acc.idle_contexts(Duration::ZERO), 8);
+        let g1 = acc.begin_task(2);
+        let g2 = acc.begin_task(3);
+        assert_eq!(acc.busy(), 5);
+        assert_eq!(acc.idle_contexts(Duration::ZERO), 3);
+        drop(g1);
+        assert_eq!(acc.idle_contexts(Duration::ZERO), 5);
+        drop(g2);
+        assert_eq!(acc.idle_contexts(Duration::ZERO), 8);
+    }
+
+    #[test]
+    fn accountant_saturates_on_oversubscription() {
+        let acc = LoadAccountant::new(2);
+        let _g = acc.begin_task(5);
+        assert_eq!(acc.idle_contexts(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn accountant_is_thread_safe() {
+        let acc = LoadAccountant::new(64);
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let acc = Arc::clone(&acc);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let _g = acc.begin_task(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acc.busy(), 0);
+    }
+
+    #[test]
+    fn parse_proc_stat_fixture() {
+        let fixture = "cpu  4705 150 1120 16250856 30 0 25 12 0 0\n\
+                       cpu0 1200 38 280 4062714 7 0 6 3 0 0\n\
+                       intr 12345\n";
+        let t = parse_proc_stat(fixture).unwrap();
+        assert_eq!(t.idle, 16_250_856 + 30);
+        assert_eq!(t.busy, 4705 + 150 + 1120 + 0 + 25 + 12);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_proc_stat(""), None);
+        assert_eq!(parse_proc_stat("cpu x y z"), None);
+        assert_eq!(parse_proc_stat("intr 5\nctxt 7\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn proc_stat_monitor_reads_live_kernel() {
+        let m = ProcStatMonitor::with_total(4);
+        let idle = m.idle_contexts(Duration::from_millis(30));
+        assert!(idle <= 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Type-erased handles to refinable adaptive indices.
+//!
+//! The index space manages indices over columns of different value types
+//! (`i32` dates, `i64` measures, …). [`RefinableIndex`] erases the value
+//! type down to the operations holistic tuning needs: piece statistics for
+//! Equation (1) and random-pivot refinement.
+
+use holix_cracking::{CrackScratch, CrackerColumn, RefineOutcome};
+use holix_storage::types::CrackValue;
+use parking_lot::Mutex;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Outcome of a type-erased refinement step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineResult {
+    /// A piece was split (length of the partitioned piece).
+    Refined { piece_len: usize },
+    /// The drawn pivot already was a boundary.
+    AlreadyBound,
+    /// All attempted pieces were latched.
+    Busy,
+}
+
+/// What holistic tuning needs from an adaptive index, independent of the
+/// concrete value type.
+pub trait RefinableIndex: Send + Sync {
+    /// Index (column) name.
+    fn name(&self) -> &str;
+    /// Tuples in the cracker column.
+    fn len(&self) -> usize;
+    /// Current piece count `p`.
+    fn piece_count(&self) -> usize;
+    /// Value width in bytes (for the `L1s` term of Equation 1).
+    fn value_width(&self) -> usize;
+    /// Materialised bytes (values + row ids + index) for budgeting.
+    fn payload_bytes(&self) -> usize;
+    /// One refinement at a random pivot; tries up to `attempts` pivots when
+    /// pieces are latched. Also merges pending updates for the target piece.
+    fn refine_random(&self, rng: &mut dyn RngCore, attempts: usize) -> RefineResult;
+}
+
+/// [`RefinableIndex`] adapter around a [`CrackerColumn`].
+///
+/// Keeps a small pool of crack scratch buffers so concurrent workers do not
+/// re-allocate per refinement.
+pub struct CrackerHandle<V> {
+    col: Arc<CrackerColumn<V>>,
+    scratch_pool: Mutex<Vec<CrackScratch<V>>>,
+}
+
+impl<V: CrackValue> CrackerHandle<V> {
+    /// Wraps a shared cracker column.
+    pub fn new(col: Arc<CrackerColumn<V>>) -> Self {
+        CrackerHandle {
+            col,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying column.
+    pub fn column(&self) -> &Arc<CrackerColumn<V>> {
+        &self.col
+    }
+
+    fn take_scratch(&self) -> CrackScratch<V> {
+        self.scratch_pool.lock().pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, s: CrackScratch<V>) {
+        let mut pool = self.scratch_pool.lock();
+        if pool.len() < 64 {
+            pool.push(s);
+        }
+    }
+}
+
+impl<V: CrackValue> RefinableIndex for CrackerHandle<V> {
+    fn name(&self) -> &str {
+        self.col.name()
+    }
+
+    fn len(&self) -> usize {
+        self.col.len()
+    }
+
+    fn piece_count(&self) -> usize {
+        self.col.piece_count()
+    }
+
+    fn value_width(&self) -> usize {
+        V::width()
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.col.payload_bytes()
+    }
+
+    fn refine_random(&self, mut rng: &mut dyn RngCore, attempts: usize) -> RefineResult {
+        let mut scratch = self.take_scratch();
+        let outcome = self.col.refine_random(&mut rng, &mut scratch, attempts);
+        self.return_scratch(scratch);
+        match outcome {
+            RefineOutcome::Refined { piece_len } => RefineResult::Refined { piece_len },
+            RefineOutcome::AlreadyBound => RefineResult::AlreadyBound,
+            RefineOutcome::Busy => RefineResult::Busy,
+        }
+    }
+}
+
+/// Distance to the optimal index per Equation (1):
+/// `d(I, I_opt) = N/p − L1s`, floored at zero.
+pub fn distance_to_optimal(index: &dyn RefinableIndex, l1_bytes: usize) -> u64 {
+    let n = index.len();
+    let p = index.piece_count().max(1);
+    let l1s = (l1_bytes / index.value_width().max(1)).max(1);
+    (n / p).saturating_sub(l1s) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn handle(n: usize) -> CrackerHandle<i64> {
+        let base: Vec<i64> = (0..n as i64).rev().collect();
+        CrackerHandle::new(Arc::new(CrackerColumn::from_base("a", &base)))
+    }
+
+    #[test]
+    fn adapter_reports_column_properties() {
+        let h = handle(10_000);
+        assert_eq!(h.len(), 10_000);
+        assert_eq!(h.piece_count(), 1);
+        assert_eq!(h.value_width(), 8);
+        assert_eq!(h.name(), "a");
+        assert!(h.payload_bytes() >= 10_000 * 12);
+    }
+
+    #[test]
+    fn refine_random_through_erased_type() {
+        let h = handle(10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dyn_ref: &dyn RefinableIndex = &h;
+        let mut refined = 0;
+        for _ in 0..50 {
+            if matches!(
+                dyn_ref.refine_random(&mut rng, 4),
+                RefineResult::Refined { .. }
+            ) {
+                refined += 1;
+            }
+        }
+        assert!(refined > 30, "only {refined} refinements succeeded");
+        assert_eq!(h.piece_count(), refined + 1);
+    }
+
+    #[test]
+    fn distance_shrinks_with_refinement() {
+        let h = handle(100_000);
+        let l1 = 32 * 1024;
+        let d0 = distance_to_optimal(&h, l1);
+        assert_eq!(d0, 100_000 - 4096);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            h.refine_random(&mut rng, 8);
+        }
+        let d1 = distance_to_optimal(&h, l1);
+        assert!(d1 < d0 / 10, "d1={d1}");
+    }
+
+    #[test]
+    fn distance_zero_when_pieces_fit_l1() {
+        let h = handle(1_000); // 1000 values < 4096-value L1 budget
+        assert_eq!(distance_to_optimal(&h, 32 * 1024), 0);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let h = handle(1_000);
+        let s1 = h.take_scratch();
+        h.return_scratch(s1);
+        assert_eq!(h.scratch_pool.lock().len(), 1);
+        let _s2 = h.take_scratch();
+        assert_eq!(h.scratch_pool.lock().len(), 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! The index space `IS = C_actual ∪ C_potential` and its management (§4.1).
+//!
+//! - `C_actual` — indices created by user queries; candidates for weighted
+//!   refinement.
+//! - `C_potential` — indices added speculatively (by the system during idle
+//!   time, or manually); refined when `C_actual` offers nothing.
+//! - `C_optimal` — indices whose average piece fits in L1 (Equation 1);
+//!   excluded from further background refinement.
+//!
+//! A storage budget bounds the materialised index bytes; exceeding it evicts
+//! least-frequently-used indices (§4.2 "Storage Constraints").
+
+use crate::config::HolisticConfig;
+use crate::handle::{distance_to_optimal, RefinableIndex, RefineResult};
+use crate::stats::IndexStats;
+use crate::strategy::Strategy;
+use crate::weight_heap::WeightHeap;
+use parking_lot::RwLock;
+use rand::seq::IndexedRandom;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Slot id of an index inside the space (stable for the space's lifetime).
+pub type IndexId = usize;
+
+/// Which configuration an index currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// Created by a user query; candidate for weighted refinement.
+    Actual,
+    /// Added speculatively; refined when `C_actual` is exhausted.
+    Potential,
+    /// Average piece size ≤ |L1|; no further background refinement.
+    Optimal,
+    /// Evicted by the storage budget; the owner should drop and possibly
+    /// re-create it.
+    Dropped,
+}
+
+struct Entry {
+    handle: Arc<dyn RefinableIndex>,
+    stats: Arc<IndexStats>,
+    membership: Membership,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    /// Heap over `C_actual` entries with non-zero weight (strategies W1–W3;
+    /// maintained under W4 too so optimality transitions are uniform).
+    heap: WeightHeap,
+}
+
+/// Registry of adaptive indices with weights, memberships and budget.
+pub struct IndexSpace {
+    inner: RwLock<Inner>,
+    config: HolisticConfig,
+}
+
+impl IndexSpace {
+    /// Empty space.
+    pub fn new(config: HolisticConfig) -> Self {
+        IndexSpace {
+            inner: RwLock::new(Inner {
+                entries: Vec::new(),
+                heap: WeightHeap::new(),
+            }),
+            config,
+        }
+    }
+
+    /// The configuration this space runs with.
+    pub fn config(&self) -> &HolisticConfig {
+        &self.config
+    }
+
+    /// Registers an index created by a user query (goes to `C_actual`).
+    /// Returns the slot id and the shared statistics handle the select
+    /// operator updates.
+    pub fn register_actual(
+        &self,
+        handle: Arc<dyn RefinableIndex>,
+    ) -> (IndexId, Arc<IndexStats>) {
+        self.register(handle, Membership::Actual)
+    }
+
+    /// Registers a speculative index (goes to `C_potential`).
+    pub fn register_potential(
+        &self,
+        handle: Arc<dyn RefinableIndex>,
+    ) -> (IndexId, Arc<IndexStats>) {
+        self.register(handle, Membership::Potential)
+    }
+
+    fn register(
+        &self,
+        handle: Arc<dyn RefinableIndex>,
+        membership: Membership,
+    ) -> (IndexId, Arc<IndexStats>) {
+        let mut inner = self.inner.write();
+        self.make_room(&mut inner, handle.payload_bytes());
+        let stats = Arc::new(IndexStats::new());
+        let id = inner.entries.len();
+        let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
+        let membership = if d == 0 { Membership::Optimal } else { membership };
+        inner.entries.push(Entry {
+            handle,
+            stats: Arc::clone(&stats),
+            membership,
+        });
+        if membership == Membership::Actual {
+            let w = self.config.strategy.weight(d, 0, 0);
+            inner.heap.upsert(id, w);
+        }
+        (id, stats)
+    }
+
+    /// Evicts least-frequently-used indices until `incoming` bytes fit in
+    /// the budget (no-op when unlimited). The incoming index is always
+    /// admitted even if it alone exceeds the budget — dropping the index a
+    /// query needs right now would leave the query unanswerable.
+    fn make_room(&self, inner: &mut Inner, incoming: usize) {
+        let Some(budget) = self.config.storage_budget else {
+            return;
+        };
+        loop {
+            let used: usize = inner
+                .entries
+                .iter()
+                .filter(|e| e.membership != Membership::Dropped)
+                .map(|e| e.handle.payload_bytes())
+                .sum();
+            if used + incoming <= budget {
+                return;
+            }
+            // LFU victim among all live entries.
+            let victim = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.membership != Membership::Dropped)
+                .min_by_key(|(_, e)| e.stats.queries())
+                .map(|(i, _)| i);
+            let Some(v) = victim else { return };
+            inner.entries[v].membership = Membership::Dropped;
+            inner.heap.remove(v);
+        }
+    }
+
+    /// Handle and stats for a slot (`None` when dropped/unknown).
+    pub fn get(&self, id: IndexId) -> Option<(Arc<dyn RefinableIndex>, Arc<IndexStats>)> {
+        let inner = self.inner.read();
+        let e = inner.entries.get(id)?;
+        if e.membership == Membership::Dropped {
+            return None;
+        }
+        Some((Arc::clone(&e.handle), Arc::clone(&e.stats)))
+    }
+
+    /// Current membership of a slot.
+    pub fn membership(&self, id: IndexId) -> Option<Membership> {
+        self.inner.read().entries.get(id).map(|e| e.membership)
+    }
+
+    /// Records a user query on an index: updates `f_I` / `f_Ih`, promotes a
+    /// potential index to `C_actual`, refreshes the weight.
+    pub fn record_user_query(&self, id: IndexId, exact_hit: bool, bounds_cracked: u64) {
+        let mut inner = self.inner.write();
+        let Some(e) = inner.entries.get_mut(id) else {
+            return;
+        };
+        if e.membership == Membership::Dropped {
+            return;
+        }
+        e.stats.record_query(exact_hit, bounds_cracked);
+        if e.membership == Membership::Potential {
+            e.membership = Membership::Actual;
+        }
+        self.refresh_weight(&mut inner, id);
+    }
+
+    /// Records a worker refinement outcome and refreshes the weight.
+    pub fn record_worker_outcome(&self, id: IndexId, result: RefineResult) {
+        let mut inner = self.inner.write();
+        let Some(e) = inner.entries.get_mut(id) else {
+            return;
+        };
+        match result {
+            RefineResult::Refined { .. } => e.stats.record_worker_refinement(),
+            RefineResult::Busy => e.stats.record_worker_busy(),
+            RefineResult::AlreadyBound => {}
+        }
+        self.refresh_weight(&mut inner, id);
+    }
+
+    /// Recomputes `W_I`; moves the index to `C_optimal` when `d = 0`
+    /// ("Remove I from IS if d(I, I_opt) = 0", Fig 2).
+    fn refresh_weight(&self, inner: &mut Inner, id: IndexId) {
+        let e = &inner.entries[id];
+        if matches!(e.membership, Membership::Dropped | Membership::Optimal) {
+            return;
+        }
+        let d = distance_to_optimal(e.handle.as_ref(), self.config.l1_bytes);
+        if d == 0 {
+            inner.entries[id].membership = Membership::Optimal;
+            inner.heap.remove(id);
+            return;
+        }
+        if inner.entries[id].membership == Membership::Actual {
+            let stats = &inner.entries[id].stats;
+            let w = self
+                .config
+                .strategy
+                .weight(d, stats.queries(), stats.exact_hits());
+            inner.heap.upsert(id, w);
+        }
+    }
+
+    /// Picks the next index to refine per the configured strategy:
+    /// highest weight in `C_actual` (W1–W3) or a uniformly random member
+    /// (W4); falls back to a random `C_potential` entry when `C_actual` has
+    /// no candidates.
+    pub fn pick(&self, rng: &mut dyn RngCore) -> Option<(IndexId, Arc<dyn RefinableIndex>)> {
+        let inner = self.inner.read();
+        let mut pick_random = |members: Membership| -> Option<IndexId> {
+            let ids: Vec<IndexId> = inner
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.membership == members)
+                .map(|(i, _)| i)
+                .collect();
+            let mut rng = rng_compat(rng);
+            ids.choose(&mut rng).copied()
+        };
+        let id = match self.config.strategy {
+            Strategy::W4Random => pick_random(Membership::Actual),
+            _ => inner.heap.peek_max().filter(|&(_, w)| w > 0).map(|(k, _)| k),
+        };
+        let id = id.or_else(|| pick_random(Membership::Potential))?;
+        Some((id, Arc::clone(&inner.entries[id].handle)))
+    }
+
+    /// `(actual, potential, optimal, dropped)` counts.
+    pub fn membership_counts(&self) -> (usize, usize, usize, usize) {
+        let inner = self.inner.read();
+        let mut c = (0, 0, 0, 0);
+        for e in &inner.entries {
+            match e.membership {
+                Membership::Actual => c.0 += 1,
+                Membership::Potential => c.1 += 1,
+                Membership::Optimal => c.2 += 1,
+                Membership::Dropped => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Total pieces across live indices (the Fig 6(c) series).
+    pub fn total_pieces(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.membership != Membership::Dropped)
+            .map(|e| e.handle.piece_count())
+            .sum()
+    }
+
+    /// Materialised bytes across live indices.
+    pub fn bytes_used(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .entries
+            .iter()
+            .filter(|e| e.membership != Membership::Dropped)
+            .map(|e| e.handle.payload_bytes())
+            .sum()
+    }
+
+    /// Ids of all live indices.
+    pub fn live_ids(&self) -> Vec<IndexId> {
+        let inner = self.inner.read();
+        inner
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.membership != Membership::Dropped)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// `rand`'s `choose` needs `Rng: Sized`; wrap the dynamic RNG.
+fn rng_compat<'a>(rng: &'a mut dyn RngCore) -> impl rand::Rng + 'a {
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::CrackerHandle;
+    use holix_cracking::CrackerColumn;
+    use rand::prelude::*;
+
+    fn space_with(strategy: Strategy, budget: Option<usize>) -> IndexSpace {
+        IndexSpace::new(HolisticConfig {
+            strategy,
+            storage_budget: budget,
+            ..HolisticConfig::default()
+        })
+    }
+
+    fn make_handle(n: usize, name: &str) -> Arc<dyn RefinableIndex> {
+        let base: Vec<i64> = (0..n as i64).rev().collect();
+        Arc::new(CrackerHandle::new(Arc::new(CrackerColumn::from_base(
+            name, &base,
+        ))))
+    }
+
+    #[test]
+    fn register_actual_and_pick_by_weight() {
+        let space = space_with(Strategy::W1Distance, None);
+        let (small, _) = space.register_actual(make_handle(50_000, "small"));
+        let (big, _) = space.register_actual(make_handle(200_000, "big"));
+        assert_eq!(space.membership(small), Some(Membership::Actual));
+        let mut rng = StdRng::seed_from_u64(1);
+        // W1 picks the largest-distance index: the big one.
+        let (picked, _) = space.pick(&mut rng).unwrap();
+        assert_eq!(picked, big);
+    }
+
+    #[test]
+    fn tiny_index_is_immediately_optimal() {
+        let space = space_with(Strategy::W1Distance, None);
+        let (id, _) = space.register_actual(make_handle(100, "tiny"));
+        assert_eq!(space.membership(id), Some(Membership::Optimal));
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(space.pick(&mut rng).is_none());
+    }
+
+    #[test]
+    fn refinement_drives_index_to_optimal() {
+        let space = space_with(Strategy::W1Distance, None);
+        let (id, _) = space.register_actual(make_handle(30_000, "a"));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut steps = 0;
+        while space.membership(id) == Some(Membership::Actual) {
+            let (pid, h) = space.pick(&mut rng).expect("pickable");
+            assert_eq!(pid, id);
+            let res = h.refine_random(&mut rng, 8);
+            space.record_worker_outcome(pid, res);
+            steps += 1;
+            assert!(steps < 10_000, "did not converge");
+        }
+        assert_eq!(space.membership(id), Some(Membership::Optimal));
+        assert_eq!(space.membership_counts(), (0, 0, 1, 0));
+    }
+
+    #[test]
+    fn potential_used_when_actual_empty_and_promoted_on_query() {
+        let space = space_with(Strategy::W2FrequencyDistance, None);
+        let (id, _) = space.register_potential(make_handle(50_000, "p"));
+        let mut rng = StdRng::seed_from_u64(4);
+        let (picked, _) = space.pick(&mut rng).unwrap();
+        assert_eq!(picked, id);
+        assert_eq!(space.membership(id), Some(Membership::Potential));
+        space.record_user_query(id, false, 2);
+        assert_eq!(space.membership(id), Some(Membership::Actual));
+    }
+
+    #[test]
+    fn w2_prefers_frequently_queried() {
+        let space = space_with(Strategy::W2FrequencyDistance, None);
+        let (cold, _) = space.register_actual(make_handle(100_000, "cold"));
+        let (hot, _) = space.register_actual(make_handle(100_000, "hot"));
+        for _ in 0..10 {
+            space.record_user_query(hot, false, 1);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let (picked, _) = space.pick(&mut rng).unwrap();
+        assert_eq!(picked, hot);
+        let _ = cold;
+    }
+
+    #[test]
+    fn w3_discounts_exact_hits() {
+        let space = space_with(Strategy::W3MissDistance, None);
+        let (hits, _) = space.register_actual(make_handle(100_000, "hits"));
+        let (misses, _) = space.register_actual(make_handle(100_000, "misses"));
+        for _ in 0..10 {
+            space.record_user_query(hits, true, 0); // exact hits
+            space.record_user_query(misses, false, 2);
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let (picked, _) = space.pick(&mut rng).unwrap();
+        assert_eq!(picked, misses);
+        let _ = hits;
+    }
+
+    #[test]
+    fn lfu_eviction_respects_budget() {
+        // Each 10k-i64 index is ~120 KiB + index overhead; budget fits ~2.
+        let space = space_with(Strategy::W4Random, Some(300 * 1024));
+        let (a, _) = space.register_actual(make_handle(10_000, "a"));
+        let (b, _) = space.register_actual(make_handle(10_000, "b"));
+        // Make `a` hot so `b` is the LFU victim.
+        for _ in 0..5 {
+            space.record_user_query(a, false, 1);
+        }
+        let (c, _) = space.register_actual(make_handle(10_000, "c"));
+        assert_eq!(space.membership(b), Some(Membership::Dropped));
+        assert_eq!(space.membership(a), Some(Membership::Actual));
+        assert_eq!(space.membership(c), Some(Membership::Actual));
+        assert!(space.get(b).is_none());
+        assert!(space.bytes_used() <= 300 * 1024);
+    }
+
+    #[test]
+    fn total_pieces_sums_live_indices() {
+        let space = space_with(Strategy::W4Random, None);
+        let (id, _) = space.register_actual(make_handle(50_000, "a"));
+        space.register_actual(make_handle(50_000, "b"));
+        assert_eq!(space.total_pieces(), 2);
+        let (_, h) = space.get(id).map(|(h, s)| (s, h)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        h.refine_random(&mut rng, 8);
+        assert_eq!(space.total_pieces(), 3);
+    }
+}

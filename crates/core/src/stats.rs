@@ -1,0 +1,121 @@
+//! Per-index workload statistics (§4.1 "Statistical Information").
+//!
+//! "For each column in the schema it collects information regarding how many
+//! times it has been accessed by user queries, how many pieces the relevant
+//! cracker column contains, how many queries did not need to further refine
+//! the index because there was an exact hit."
+//!
+//! The counters are atomics because the select operator (user queries) and
+//! holistic workers update them concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one adaptive index.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// `f_I`: user queries that accessed the index.
+    queries: AtomicU64,
+    /// `f_Ih`: user queries answered without any refinement (both bounds
+    /// were exact hits).
+    exact_hits: AtomicU64,
+    /// Refinements performed by user queries (bounds cracked).
+    query_refinements: AtomicU64,
+    /// Refinements performed by holistic workers.
+    worker_refinements: AtomicU64,
+    /// Worker refinement attempts that found the piece latched.
+    worker_busy: AtomicU64,
+}
+
+impl IndexStats {
+    /// Fresh zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one user query; `exact_hit` when no bound needed cracking.
+    pub fn record_query(&self, exact_hit: bool, bounds_cracked: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if exact_hit {
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if bounds_cracked > 0 {
+            self.query_refinements
+                .fetch_add(bounds_cracked, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one successful worker refinement.
+    pub fn record_worker_refinement(&self) {
+        self.worker_refinements.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker attempt that hit a latched piece.
+    pub fn record_worker_busy(&self) {
+        self.worker_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `f_I` — user-query accesses.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// `f_Ih` — exact-hit queries.
+    pub fn exact_hits(&self) -> u64 {
+        self.exact_hits.load(Ordering::Relaxed)
+    }
+
+    /// Bounds cracked by user queries.
+    pub fn query_refinements(&self) -> u64 {
+        self.query_refinements.load(Ordering::Relaxed)
+    }
+
+    /// Successful holistic-worker refinements.
+    pub fn worker_refinements(&self) -> u64 {
+        self.worker_refinements.load(Ordering::Relaxed)
+    }
+
+    /// Worker attempts aborted on latched pieces.
+    pub fn worker_busy(&self) -> u64 {
+        self.worker_busy.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IndexStats::new();
+        s.record_query(false, 2);
+        s.record_query(true, 0);
+        s.record_worker_refinement();
+        s.record_worker_busy();
+        assert_eq!(s.queries(), 2);
+        assert_eq!(s.exact_hits(), 1);
+        assert_eq!(s.query_refinements(), 2);
+        assert_eq!(s.worker_refinements(), 1);
+        assert_eq!(s.worker_busy(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = Arc::new(IndexStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    s.record_query(false, 1);
+                    s.record_worker_refinement();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.queries(), 8_000);
+        assert_eq!(s.worker_refinements(), 8_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The IdleFunction a holistic worker executes (Fig 2 of the paper).
+//!
+//! "Each worker thread executes an instance of the IdleFunction, which picks
+//! an index from the Index Space IS and performs x partial index refinement
+//! actions on it. Every time an index is refined, the respective statistics
+//! […] are updated. When an index reaches the optimal status, it is moved
+//! into the optimal configuration."
+
+use crate::handle::RefineResult;
+use crate::index_space::{IndexSpace, Membership};
+use rand::RngCore;
+use std::time::{Duration, Instant};
+
+/// What one worker activation accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Successful piece splits.
+    pub refinements: u64,
+    /// Attempts that found every tried piece latched.
+    pub busy: u64,
+    /// Pivots that already were boundaries.
+    pub already_bound: u64,
+    /// Wall time spent in the IdleFunction.
+    pub duration: Duration,
+    /// Whether an index was available to work on.
+    pub picked: bool,
+}
+
+/// Runs one IdleFunction instance: pick an index, refine it `x` times with
+/// random pivots, update statistics, stop early once it turns optimal.
+pub fn idle_function(
+    space: &IndexSpace,
+    refinements_per_worker: usize,
+    latch_attempts: usize,
+    rng: &mut dyn RngCore,
+) -> WorkerReport {
+    let start = Instant::now();
+    let mut report = WorkerReport::default();
+
+    let Some((id, handle)) = space.pick(rng) else {
+        report.duration = start.elapsed();
+        return report;
+    };
+    report.picked = true;
+
+    for _ in 0..refinements_per_worker {
+        let result = handle.refine_random(rng, latch_attempts);
+        space.record_worker_outcome(id, result);
+        match result {
+            RefineResult::Refined { .. } => report.refinements += 1,
+            RefineResult::Busy => report.busy += 1,
+            RefineResult::AlreadyBound => report.already_bound += 1,
+        }
+        if space.membership(id) == Some(Membership::Optimal) {
+            break;
+        }
+    }
+    report.duration = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HolisticConfig;
+    use crate::handle::CrackerHandle;
+    use holix_cracking::CrackerColumn;
+    use rand::prelude::*;
+    use std::sync::Arc;
+
+    fn space_with_column(n: usize) -> IndexSpace {
+        let space = IndexSpace::new(HolisticConfig::default());
+        let base: Vec<i64> = (0..n as i64).rev().collect();
+        let handle = Arc::new(CrackerHandle::new(Arc::new(CrackerColumn::from_base(
+            "a", &base,
+        ))));
+        space.register_actual(handle);
+        space
+    }
+
+    #[test]
+    fn empty_space_reports_nothing_picked() {
+        let space = IndexSpace::new(HolisticConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = idle_function(&space, 16, 8, &mut rng);
+        assert!(!r.picked);
+        assert_eq!(r.refinements, 0);
+    }
+
+    #[test]
+    fn performs_x_refinements() {
+        let space = space_with_column(100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = idle_function(&space, 16, 8, &mut rng);
+        assert!(r.picked);
+        // On an unlatched fresh column almost every pivot splits a piece.
+        assert!(r.refinements + r.already_bound == 16, "{r:?}");
+        assert!(r.refinements >= 12);
+    }
+
+    #[test]
+    fn stops_at_optimal() {
+        // Column small enough that a handful of cracks reaches |L1| pieces.
+        let space = space_with_column(8_192);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0;
+        for _ in 0..50 {
+            let r = idle_function(&space, 16, 8, &mut rng);
+            total += r.refinements;
+            if !r.picked {
+                break;
+            }
+        }
+        // 8192 i64 values: optimal at avg piece ≤ 4096 values → 1 split.
+        assert!(total >= 1);
+        let (_, _, optimal, _) = space.membership_counts();
+        assert_eq!(optimal, 1);
+        // Once optimal, nothing remains pickable.
+        let r = idle_function(&space, 16, 8, &mut rng);
+        assert!(!r.picked);
+    }
+
+    #[test]
+    fn stats_recorded_per_outcome() {
+        let space = space_with_column(100_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        idle_function(&space, 8, 8, &mut rng);
+        let id = space.live_ids()[0];
+        let (_, stats) = space.get(id).unwrap();
+        assert!(stats.worker_refinements() > 0);
+        assert_eq!(stats.queries(), 0);
+    }
+}

@@ -1,0 +1,933 @@
+//! [`CrackerColumn`] — a cracker column `ACRK` plus its cracker index, safe
+//! for concurrent query-driven cracking and background refinement.
+//!
+//! ## Locking protocol
+//!
+//! Three layers, always acquired in this order and never re-entrantly:
+//!
+//! 1. `pending` mutex — pending-update queue (short critical sections).
+//! 2. `structure` RwLock — *shared* by every piece operation (cracks,
+//!    refinements, range reads), *exclusive* for Ripple updates that move
+//!    piece boundaries or grow the underlying vectors.
+//! 3. `index` RwLock — guards piece metadata (AVL + latch table); held only
+//!    for lookups and boundary insertion, never across data movement.
+//!
+//! Piece latches sit outside this order: an operation holds at most **one**
+//! piece latch at a time (range queries crack their two bounds one after the
+//! other), so latch-latch deadlock cannot occur. The index lock is never held
+//! while *blocking* on a piece latch.
+//!
+//! The crack path is lookup → latch → revalidate → partition → publish:
+//! a piece may be split between the lookup and the latch acquisition, so the
+//! locator runs again under the latch; holding the latch of the piece that
+//! *currently* contains the pivot makes the partition race-free.
+
+use crate::crack::{crack_in_three, crack_in_two, CrackKernel};
+use crate::index::{BoundLookup, CrackerIndex};
+use crate::range_cell::RangeCell;
+use crate::updates::{ripple_delete, ripple_insert, PendingUpdates};
+use crate::vectorized::{crack_in_three_oop, crack_in_two_oop, CrackScratch};
+use holix_storage::select::{Predicate, RangeStats};
+use holix_storage::types::{CrackValue, RowId};
+use parking_lot::{Mutex, RwLock};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A pluggable two-way partition kernel: partitions `vals`/`rows` around
+/// `pivot` and returns the split point. Multi-core cracking (PVDC, [44])
+/// installs a parallel partition through this hook.
+pub type PartitionFn<V> = Arc<dyn Fn(&mut [V], &mut [RowId], V) -> usize + Send + Sync>;
+
+enum KernelImpl<V> {
+    Branchy,
+    Vectorized,
+    Custom(PartitionFn<V>),
+}
+
+/// Result of one range select over a cracker column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// First qualifying position in the cracker column.
+    pub start: usize,
+    /// One past the last qualifying position.
+    pub end: usize,
+    /// The lower bound was already a boundary (no crack needed).
+    pub hit_lo: bool,
+    /// The upper bound was already a boundary.
+    pub hit_hi: bool,
+    /// Data accesses this select performed (piece lengths partitioned).
+    pub touched: usize,
+}
+
+impl Selection {
+    /// Number of qualifying tuples.
+    pub fn count(&self) -> u64 {
+        (self.end - self.start) as u64
+    }
+
+    /// Both bounds were exact hits — the paper's `f_Ih` statistic counts
+    /// these queries.
+    pub fn exact_hit(&self) -> bool {
+        self.hit_lo && self.hit_hi
+    }
+}
+
+/// Result of one background refinement attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineOutcome {
+    /// The pivot already was a boundary: nothing to do.
+    AlreadyBound,
+    /// The target piece was latched by someone else (try-lock path only).
+    Busy,
+    /// A piece was split.
+    Refined {
+        /// Length of the piece that was partitioned.
+        piece_len: usize,
+    },
+}
+
+/// A cracker column: copy of a base column (values + row ids) that is
+/// incrementally reorganised by queries and holistic workers.
+pub struct CrackerColumn<V> {
+    name: String,
+    vals: RangeCell<V>,
+    rows: RangeCell<RowId>,
+    structure: RwLock<()>,
+    index: RwLock<CrackerIndex<V>>,
+    pending: Mutex<PendingUpdates<V>>,
+    /// Observed value domain (base ∪ pending inserts); random pivots are
+    /// drawn from it.
+    domain: Mutex<Option<(V, V)>>,
+    /// Kernel for query-driven cracks (select bounds, stochastic auxiliary
+    /// cracks) — the paper's user queries may gang multiple threads here.
+    select_kernel: KernelImpl<V>,
+    /// Kernel for background (holistic-worker) refinements — typically
+    /// single-threaded, one worker per idle context.
+    refine_kernel: KernelImpl<V>,
+}
+
+impl<V: CrackValue> CrackerColumn<V> {
+    /// Copies a base column into a fresh cracker column (the paper's
+    /// "first time an attribute is required, a copy of the base column is
+    /// created").
+    pub fn from_base(name: impl Into<String>, base: &[V]) -> Self {
+        Self::with_kernel(name, base, CrackKernel::default())
+    }
+
+    /// Like [`CrackerColumn::from_base`] with an explicit crack kernel.
+    pub fn with_kernel(name: impl Into<String>, base: &[V], kernel: CrackKernel) -> Self {
+        let kernel = match kernel {
+            CrackKernel::Branchy => KernelImpl::Branchy,
+            CrackKernel::Vectorized => KernelImpl::Vectorized,
+        };
+        let refine = match kernel {
+            KernelImpl::Branchy => KernelImpl::Branchy,
+            _ => KernelImpl::Vectorized,
+        };
+        Self::build(name, base, 0, kernel, refine)
+    }
+
+    /// Builds a cracker column with a custom partition kernel for
+    /// query-driven cracks (multi-core cracking installs its parallel
+    /// partition here); background refinements stay single-threaded.
+    pub fn with_partition_fn(
+        name: impl Into<String>,
+        base: &[V],
+        partition: PartitionFn<V>,
+    ) -> Self {
+        Self::build(
+            name,
+            base,
+            0,
+            KernelImpl::Custom(partition),
+            KernelImpl::Vectorized,
+        )
+    }
+
+    /// Builds a cracker column with distinct query-path and worker-path
+    /// partition kernels (the thread-split experiments of §5.1 give user
+    /// queries and holistic workers different thread budgets).
+    pub fn with_partition_fns(
+        name: impl Into<String>,
+        base: &[V],
+        select_partition: PartitionFn<V>,
+        refine_partition: PartitionFn<V>,
+    ) -> Self {
+        Self::build(
+            name,
+            base,
+            0,
+            KernelImpl::Custom(select_partition),
+            KernelImpl::Custom(refine_partition),
+        )
+    }
+
+    /// Builds a cracker column whose row ids start at `offset` — chunked
+    /// variants (P-CCGI) crack per-chunk copies that must still report
+    /// global base-table positions.
+    pub fn from_base_offset(name: impl Into<String>, base: &[V], offset: RowId) -> Self {
+        Self::build(name, base, offset, KernelImpl::Vectorized, KernelImpl::Vectorized)
+    }
+
+    fn build(
+        name: impl Into<String>,
+        base: &[V],
+        offset: RowId,
+        select_kernel: KernelImpl<V>,
+        refine_kernel: KernelImpl<V>,
+    ) -> Self {
+        let mut lo_hi = None;
+        for &v in base {
+            lo_hi = Some(match lo_hi {
+                None => (v, v),
+                Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+            });
+        }
+        CrackerColumn {
+            name: name.into(),
+            vals: RangeCell::new(base.to_vec()),
+            rows: RangeCell::new((offset..offset + base.len() as RowId).collect()),
+            structure: RwLock::new(()),
+            index: RwLock::new(CrackerIndex::new(base.len())),
+            pending: Mutex::new(PendingUpdates::new()),
+            domain: Mutex::new(lo_hi),
+            select_kernel,
+            refine_kernel,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of merged (cracked) values; excludes pending inserts.
+    pub fn len(&self) -> usize {
+        self.index.read().len()
+    }
+
+    /// `true` if no merged values exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current number of pieces.
+    pub fn piece_count(&self) -> usize {
+        self.index.read().piece_count()
+    }
+
+    /// Average piece length `N/p` (Equation 1 input).
+    pub fn avg_piece_len(&self) -> usize {
+        self.index.read().avg_piece_len()
+    }
+
+    /// Observed value domain, if any values exist.
+    pub fn domain(&self) -> Option<(V, V)> {
+        *self.domain.lock()
+    }
+
+    /// Bytes held by values + row ids + index (storage-budget accounting).
+    pub fn payload_bytes(&self) -> usize {
+        let n = self.len();
+        n * V::width() + n * std::mem::size_of::<RowId>() + self.index.read().approx_bytes()
+    }
+
+    /// Index lookup for a bound value (exposed for stochastic cracking,
+    /// which needs the value range of the piece a bound falls into).
+    pub fn locate_for_stochastic(&self, v: V) -> BoundLookup<V> {
+        self.index.read().locate(v)
+    }
+
+    /// Draws a uniform random pivot from the observed domain.
+    pub fn random_pivot(&self, rng: &mut impl Rng) -> Option<V> {
+        let (lo, hi) = (*self.domain.lock())?;
+        if lo == hi {
+            return Some(lo);
+        }
+        Some(V::from_i64(rng.random_range(lo.as_i64()..=hi.as_i64())))
+    }
+
+    // ------------------------------------------------------------------
+    // Select path (user queries)
+    // ------------------------------------------------------------------
+
+    /// Range select `lo <= v < hi` with query-driven cracking: ensures both
+    /// bounds are boundaries (cracking at most two pieces — or one piece in
+    /// three when both bounds share a piece) and returns the contiguous
+    /// qualifying range.
+    ///
+    /// Pending updates falling inside the requested range are merged first
+    /// (Ripple), exactly as [28] prescribes.
+    pub fn select(&self, pred: Predicate<V>, scratch: &mut CrackScratch<V>) -> Selection {
+        if pred.is_empty() {
+            return Selection {
+                start: 0,
+                end: 0,
+                hit_lo: true,
+                hit_hi: true,
+                touched: 0,
+            };
+        }
+        self.merge_pending_range(pred.lo, pred.hi);
+
+        let _shared = self.structure.read();
+
+        // Fast path: both bounds missing and in the same piece → one
+        // three-way crack.
+        if let Some(sel) = self.try_crack_in_three(pred, scratch) {
+            return sel;
+        }
+
+        let (lo_pos, hit_lo, touched_lo) = if pred.lo == V::MIN_VALUE {
+            (0, true, 0)
+        } else {
+            self.crack_bound(pred.lo, scratch, true)
+                .expect("blocking crack cannot be Busy")
+        };
+        let (hi_pos, hit_hi, touched_hi) = if pred.hi == V::MAX_VALUE {
+            (self.index.read().len(), true, 0)
+        } else {
+            self.crack_bound(pred.hi, scratch, true)
+                .expect("blocking crack cannot be Busy")
+        };
+
+        Selection {
+            start: lo_pos,
+            end: hi_pos.max(lo_pos),
+            hit_lo,
+            hit_hi,
+            touched: touched_lo + touched_hi,
+        }
+    }
+
+    /// One attempt at the crack-in-three fast path. `None` means the bounds
+    /// do not (or no longer) share an unlatched piece — fall back to two
+    /// crack-in-two operations.
+    ///
+    /// Caller holds `structure` shared.
+    fn try_crack_in_three(
+        &self,
+        pred: Predicate<V>,
+        scratch: &mut CrackScratch<V>,
+    ) -> Option<Selection> {
+        if pred.lo == V::MIN_VALUE || pred.hi == V::MAX_VALUE {
+            return None;
+        }
+        let (piece_latch, start, end) = {
+            let idx = self.index.read();
+            match (idx.locate(pred.lo), idx.locate(pred.hi)) {
+                (
+                    BoundLookup::Piece {
+                        start: s1,
+                        end: e1,
+                        latch: l1,
+                        ..
+                    },
+                    BoundLookup::Piece {
+                        start: s2,
+                        end: e2,
+                        latch: l2,
+                        ..
+                    },
+                ) if s1 == s2 && e1 == e2 && l1.same_as(&l2) => (l1, s1, e1),
+                _ => return None,
+            }
+        };
+        let _guard = piece_latch.lock_write();
+        // Revalidate under the latch.
+        {
+            let idx = self.index.read();
+            match (idx.locate(pred.lo), idx.locate(pred.hi)) {
+                (
+                    BoundLookup::Piece {
+                        start: s1,
+                        end: e1,
+                        latch: l1,
+                        ..
+                    },
+                    BoundLookup::Piece {
+                        start: s2, latch: l2, ..
+                    },
+                ) if s1 == s2
+                    && l1.same_as(&piece_latch)
+                    && l2.same_as(&piece_latch)
+                    && s1 == start
+                    && e1 == end => {}
+                _ => return None,
+            }
+        }
+
+        let piece_len = end - start;
+        let (a, b) = {
+            // SAFETY: we hold the write latch of the piece [start, end) and
+            // `structure` shared, so the range is exclusively ours and the
+            // vectors cannot move.
+            let mut vg = unsafe { self.vals.range_mut(start, end) };
+            let mut rg = unsafe { self.rows.range_mut(start, end) };
+            match &self.select_kernel {
+                KernelImpl::Branchy => crack_in_three(vg.slice(), rg.slice(), pred.lo, pred.hi),
+                KernelImpl::Vectorized => {
+                    crack_in_three_oop(vg.slice(), rg.slice(), pred.lo, pred.hi, scratch)
+                }
+                KernelImpl::Custom(f) => {
+                    let (vals, rows) = (vg.slice(), rg.slice());
+                    let a = f(vals, rows, pred.lo);
+                    let b = a + f(&mut vals[a..], &mut rows[a..], pred.hi);
+                    (a, b)
+                }
+            }
+        };
+        {
+            let mut idx = self.index.write();
+            idx.insert_bound(pred.lo, start + a);
+            idx.insert_bound(pred.hi, start + b);
+        }
+        Some(Selection {
+            start: start + a,
+            end: start + b,
+            hit_lo: false,
+            hit_hi: false,
+            touched: piece_len,
+        })
+    }
+
+    /// Ensures `v` is a boundary, cracking its piece if needed. Returns
+    /// `(position, was_exact_hit, touched)`; `None` only on the non-blocking
+    /// path when the piece is latched elsewhere.
+    ///
+    /// Caller holds `structure` shared.
+    fn crack_bound(
+        &self,
+        v: V,
+        scratch: &mut CrackScratch<V>,
+        blocking: bool,
+    ) -> Option<(usize, bool, usize)> {
+        let kernel = if blocking {
+            &self.select_kernel
+        } else {
+            &self.refine_kernel
+        };
+        self.crack_bound_with(v, scratch, blocking, kernel)
+    }
+
+    fn crack_bound_with(
+        &self,
+        v: V,
+        scratch: &mut CrackScratch<V>,
+        blocking: bool,
+        kernel: &KernelImpl<V>,
+    ) -> Option<(usize, bool, usize)> {
+        loop {
+            let lookup = self.index.read().locate(v);
+            let latch = match lookup {
+                BoundLookup::Exact(pos) => return Some((pos, true, 0)),
+                BoundLookup::Piece { latch, .. } => latch,
+            };
+            let guard = if blocking {
+                latch.lock_write()
+            } else {
+                match latch.try_lock_write() {
+                    Some(g) => g,
+                    None => return None,
+                }
+            };
+            // Revalidate: the piece may have been split while we waited.
+            let (start, end) = {
+                let idx = self.index.read();
+                match idx.locate(v) {
+                    BoundLookup::Exact(pos) => {
+                        // Someone cracked exactly this value concurrently.
+                        drop(guard);
+                        return Some((pos, true, 0));
+                    }
+                    BoundLookup::Piece {
+                        start,
+                        end,
+                        latch: cur,
+                        ..
+                    } => {
+                        if !cur.same_as(&latch) {
+                            drop(guard);
+                            continue; // piece split away from our latch
+                        }
+                        (start, end)
+                    }
+                }
+            };
+
+            let split = {
+                // SAFETY: write latch on piece [start, end) held; `structure`
+                // shared prevents vector moves.
+                let mut vg = unsafe { self.vals.range_mut(start, end) };
+                let mut rg = unsafe { self.rows.range_mut(start, end) };
+                match kernel {
+                    KernelImpl::Branchy => crack_in_two(vg.slice(), rg.slice(), v),
+                    KernelImpl::Vectorized => crack_in_two_oop(vg.slice(), rg.slice(), v, scratch),
+                    KernelImpl::Custom(f) => f(vg.slice(), rg.slice(), v),
+                }
+            };
+            let pos = start + split;
+            self.index.write().insert_bound(v, pos);
+            return Some((pos, false, end - start));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement path (holistic workers)
+    // ------------------------------------------------------------------
+
+    /// One background refinement at `pivot`. Non-blocking: a latched piece
+    /// yields [`RefineOutcome::Busy`] so the worker can re-pick a pivot
+    /// (Fig 3(d)–(e) of the paper). Pending updates belonging to the target
+    /// piece are merged first, so workers also bring indices up to date.
+    pub fn refine_at(&self, pivot: V, scratch: &mut CrackScratch<V>) -> RefineOutcome {
+        self.merge_pending_for_piece_of(pivot);
+        let _shared = self.structure.read();
+        match self.crack_bound(pivot, scratch, false) {
+            None => RefineOutcome::Busy,
+            Some((_, true, _)) => RefineOutcome::AlreadyBound,
+            Some((_, false, touched)) => RefineOutcome::Refined { piece_len: touched },
+        }
+    }
+
+    /// Blocking refinement (used by single-threaded baselines and tests).
+    pub fn refine_at_blocking(&self, pivot: V, scratch: &mut CrackScratch<V>) -> RefineOutcome {
+        self.merge_pending_for_piece_of(pivot);
+        let _shared = self.structure.read();
+        match self.crack_bound(pivot, scratch, true) {
+            None => unreachable!("blocking crack cannot be Busy"),
+            Some((_, true, _)) => RefineOutcome::AlreadyBound,
+            Some((_, false, touched)) => RefineOutcome::Refined { piece_len: touched },
+        }
+    }
+
+    /// Draws random pivots until one lands on a free piece (at most
+    /// `max_attempts` draws) and refines there.
+    pub fn refine_random(
+        &self,
+        rng: &mut impl Rng,
+        scratch: &mut CrackScratch<V>,
+        max_attempts: usize,
+    ) -> RefineOutcome {
+        let mut last = RefineOutcome::Busy;
+        for _ in 0..max_attempts {
+            let Some(pivot) = self.random_pivot(rng) else {
+                return RefineOutcome::AlreadyBound;
+            };
+            last = self.refine_at(pivot, scratch);
+            if !matches!(last, RefineOutcome::Busy) {
+                return last;
+            }
+        }
+        last
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (pending queue + Ripple merge)
+    // ------------------------------------------------------------------
+
+    /// Queues an insertion; it is merged when a query or worker touches its
+    /// value range.
+    pub fn queue_insert(&self, v: V, row: RowId) {
+        let mut dom = self.domain.lock();
+        *dom = Some(match *dom {
+            None => (v, v),
+            Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+        });
+        drop(dom);
+        self.pending.lock().queue_insert(v, row);
+    }
+
+    /// Queues a deletion of the value previously inserted for `row`.
+    pub fn queue_delete(&self, v: V, row: RowId) {
+        self.pending.lock().queue_delete(v, row);
+    }
+
+    /// Number of unmerged pending operations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Merges every pending update with value in `[lo, hi)` into the cracked
+    /// column (exclusive; moves boundaries via the Ripple shifts).
+    pub fn merge_pending_range(&self, lo: V, hi: V) {
+        let (ins, del) = {
+            let mut p = self.pending.lock();
+            if !p.has_in_range(lo, hi) {
+                return;
+            }
+            p.take_range(lo, hi)
+        };
+        let _exclusive = self.structure.write();
+        let mut idx = self.index.write();
+        // SAFETY: `structure` held exclusively — no piece guard can be live
+        // and no reader observes the vectors while they move.
+        unsafe {
+            self.vals.with_vec_mut(|vals| {
+                self.rows.with_vec_mut(|rows| {
+                    for (v, r) in del {
+                        ripple_delete(vals, rows, &mut idx, v, r);
+                    }
+                    for (v, r) in ins {
+                        ripple_insert(vals, rows, &mut idx, v, r);
+                    }
+                })
+            });
+        }
+    }
+
+    /// Merges pending updates for the piece that currently contains `pivot`
+    /// (the holistic-worker merge of §4.2 "Updates").
+    fn merge_pending_for_piece_of(&self, pivot: V) {
+        if self.pending.lock().is_empty() {
+            return;
+        }
+        let (lo_key, hi_key) = match self.index.read().locate(pivot) {
+            BoundLookup::Exact(_) => return,
+            BoundLookup::Piece { lo_key, hi_key, .. } => (lo_key, hi_key),
+        };
+        let lo = lo_key.unwrap_or(V::MIN_VALUE);
+        let hi = hi_key.unwrap_or(V::MAX_VALUE);
+        self.merge_pending_range(lo, hi);
+    }
+
+    // ------------------------------------------------------------------
+    // Verification / instrumentation
+    // ------------------------------------------------------------------
+
+    /// Select plus an exclusive checksum scan of the qualifying range. Used
+    /// by tests and verification modes; concurrent refinements between the
+    /// select and the scan are harmless (they only permute inside the
+    /// range), concurrent *updates* are the caller's responsibility.
+    pub fn select_verified(
+        &self,
+        pred: Predicate<V>,
+        scratch: &mut CrackScratch<V>,
+    ) -> (Selection, RangeStats) {
+        let sel = self.select(pred, scratch);
+        let _exclusive = self.structure.write();
+        // SAFETY: exclusive structure lock — no live mutators.
+        let slice = unsafe { self.vals.read_range(sel.start, sel.end) };
+        (sel, holix_storage::select::slice_stats(slice))
+    }
+
+    /// Copies the values in cracked positions `[start, end)` (exclusive
+    /// access for the duration of the copy). Used by consolidation in the
+    /// chunked variants and by verification code.
+    pub fn snapshot_range(&self, start: usize, end: usize) -> Vec<V> {
+        let _exclusive = self.structure.write();
+        // SAFETY: exclusive structure lock — no live mutators.
+        unsafe { self.vals.read_range(start, end) }.to_vec()
+    }
+
+    /// Panics unless every cracking invariant holds. When `base` is given
+    /// (and no updates ran), also checks value/rowid alignment and that the
+    /// stored multiset is a permutation of the base.
+    pub fn check_invariants(&self, base: Option<&[V]>) {
+        let _exclusive = self.structure.write();
+        let idx = self.index.read();
+        let n = idx.len();
+        // SAFETY: exclusive structure lock.
+        let vals = unsafe { self.vals.read_range(0, n) };
+        let rows = unsafe { self.rows.read_range(0, n) };
+        assert_eq!(vals.len(), n);
+        assert_eq!(rows.len(), n);
+
+        let bounds = idx.bounds_in_order();
+        for w in bounds.windows(2) {
+            assert!(w[0].1 <= w[1].1, "bound positions must be non-decreasing");
+        }
+        let mut prev_key: Option<V> = None;
+        let mut prev_pos = 0usize;
+        for &(key, pos) in bounds.iter().chain(std::iter::once(&(V::MAX_VALUE, n))) {
+            for &v in &vals[prev_pos..pos] {
+                if let Some(pk) = prev_key {
+                    assert!(v >= pk, "value {v:?} below piece lower key {pk:?}");
+                }
+                // `key` may be MAX_VALUE sentinel for the last piece; values
+                // equal to MAX_VALUE are then legal.
+                if key != V::MAX_VALUE || pos != n {
+                    assert!(v < key, "value {v:?} not below boundary key {key:?}");
+                }
+            }
+            prev_key = Some(key);
+            prev_pos = pos;
+        }
+
+        if let Some(base) = base {
+            assert_eq!(base.len(), n);
+            let mut seen = vec![false; n];
+            for (i, (&v, &r)) in vals.iter().zip(rows).enumerate() {
+                assert_eq!(
+                    base[r as usize], v,
+                    "misaligned rowid at cracked position {i}"
+                );
+                assert!(!seen[r as usize], "duplicate rowid {r}");
+                seen[r as usize] = true;
+            }
+        }
+    }
+}
+
+impl<V: CrackValue> std::fmt::Debug for CrackerColumn<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrackerColumn")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .field("pieces", &self.piece_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_storage::select::scan_stats;
+    use rand::prelude::*;
+
+    fn column(n: usize, seed: u64) -> (Vec<i64>, CrackerColumn<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000)).collect();
+        let col = CrackerColumn::from_base("a", &base);
+        (base, col)
+    }
+
+    #[test]
+    fn first_select_cracks_and_matches_scan() {
+        let (base, col) = column(10_000, 1);
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(100, 400);
+        let (sel, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&base, pred));
+        assert_eq!(sel.count(), stats.count);
+        assert!(!sel.exact_hit());
+        col.check_invariants(Some(&base));
+    }
+
+    #[test]
+    fn repeated_select_is_exact_hit_and_touches_nothing() {
+        let (_, col) = column(10_000, 2);
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(100, 400);
+        let first = col.select(pred, &mut scratch);
+        assert!(first.touched > 0);
+        let second = col.select(pred, &mut scratch);
+        assert!(second.exact_hit());
+        assert_eq!(second.touched, 0);
+        assert_eq!((second.start, second.end), (first.start, first.end));
+    }
+
+    #[test]
+    fn successive_queries_touch_less() {
+        let (base, col) = column(50_000, 3);
+        let mut scratch = CrackScratch::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut prev_pieces = col.piece_count();
+        for _ in 0..100 {
+            let a = rng.random_range(0..1_000);
+            let b = rng.random_range(0..1_000);
+            let pred = Predicate::range(a.min(b), a.max(b));
+            let (_, stats) = col.select_verified(pred, &mut scratch);
+            assert_eq!(stats, scan_stats(&base, pred));
+            assert!(col.piece_count() >= prev_pieces);
+            prev_pieces = col.piece_count();
+        }
+        col.check_invariants(Some(&base));
+        assert!(col.piece_count() > 100);
+    }
+
+    #[test]
+    fn one_sided_predicates() {
+        let (base, col) = column(5_000, 4);
+        let mut scratch = CrackScratch::new();
+        for hi in [0, 1, 500, 999, 1_000] {
+            let pred = Predicate::less_than(hi);
+            let (sel, stats) = col.select_verified(pred, &mut scratch);
+            assert_eq!(stats, scan_stats(&base, pred), "hi={hi}");
+            assert_eq!(sel.start, 0);
+        }
+        let pred = Predicate::at_least(500);
+        let (sel, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&base, pred));
+        assert_eq!(sel.end, base.len());
+    }
+
+    #[test]
+    fn crack_in_three_used_for_fresh_column() {
+        let (base, col) = column(5_000, 5);
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(300, 600);
+        let sel = col.select(pred, &mut scratch);
+        // Both bounds in the single initial piece → one pass over the piece.
+        assert_eq!(sel.touched, base.len());
+        assert_eq!(col.piece_count(), 3);
+    }
+
+    #[test]
+    fn refine_at_splits_pieces() {
+        let (base, col) = column(5_000, 6);
+        let mut scratch = CrackScratch::new();
+        assert!(matches!(
+            col.refine_at(500, &mut scratch),
+            RefineOutcome::Refined { .. }
+        ));
+        assert!(matches!(
+            col.refine_at(500, &mut scratch),
+            RefineOutcome::AlreadyBound
+        ));
+        assert_eq!(col.piece_count(), 2);
+        col.check_invariants(Some(&base));
+    }
+
+    #[test]
+    fn refine_busy_when_piece_latched() {
+        let (_, col) = column(5_000, 7);
+        let mut scratch = CrackScratch::new();
+        // Latch the only piece by hand.
+        let latch = match col.index.read().locate(500) {
+            BoundLookup::Piece { latch, .. } => latch,
+            _ => panic!(),
+        };
+        let guard = latch.lock_write();
+        assert_eq!(col.refine_at(500, &mut scratch), RefineOutcome::Busy);
+        drop(guard);
+        assert!(matches!(
+            col.refine_at(500, &mut scratch),
+            RefineOutcome::Refined { .. }
+        ));
+    }
+
+    #[test]
+    fn refine_random_converges_to_small_pieces() {
+        let (base, col) = column(20_000, 8);
+        let mut scratch = CrackScratch::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            col.refine_random(&mut rng, &mut scratch, 4);
+        }
+        assert!(col.piece_count() > 100);
+        assert!(col.avg_piece_len() < base.len() / 100);
+        col.check_invariants(Some(&base));
+    }
+
+    #[test]
+    fn concurrent_queries_and_refiners_preserve_invariants() {
+        let (base, col) = column(100_000, 9);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let col = &col;
+                s.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    let mut scratch = CrackScratch::new();
+                    for _ in 0..200 {
+                        let a = rng.random_range(0..1_000);
+                        let b = rng.random_range(0..1_000);
+                        col.select(Predicate::range(a.min(b), a.max(b)), &mut scratch);
+                    }
+                });
+            }
+            for t in 0..4 {
+                let col = &col;
+                s.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(200 + t);
+                    let mut scratch = CrackScratch::new();
+                    for _ in 0..500 {
+                        col.refine_random(&mut rng, &mut scratch, 8);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        col.check_invariants(Some(&base));
+        // And results are still correct afterwards.
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(250, 750);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&base, pred));
+    }
+
+    #[test]
+    fn updates_merge_on_select() {
+        let (mut base, col) = column(10_000, 10);
+        let mut scratch = CrackScratch::new();
+        // Crack a bit first.
+        col.select(Predicate::range(200, 700), &mut scratch);
+        // Queue inserts, two of which fall in the probed range.
+        let n = base.len() as RowId;
+        for (i, v) in [250i64, 650, 900].into_iter().enumerate() {
+            col.queue_insert(v, n + i as RowId);
+            base.push(v);
+        }
+        assert_eq!(col.pending_len(), 3);
+        let pred = Predicate::range(200, 700);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&base, pred));
+        assert_eq!(col.pending_len(), 1); // 900 still pending
+        col.check_invariants(None);
+    }
+
+    #[test]
+    fn deletes_merge_on_select() {
+        let (base, col) = column(1_000, 11);
+        let mut scratch = CrackScratch::new();
+        col.select(Predicate::range(100, 800), &mut scratch);
+        // Delete the first base row whose value is in [100, 800).
+        let (victim_row, victim_val) = base
+            .iter()
+            .enumerate()
+            .find(|(_, &v)| (100..800).contains(&v))
+            .map(|(i, &v)| (i as RowId, v))
+            .unwrap();
+        col.queue_delete(victim_val, victim_row);
+        let pred = Predicate::range(100, 800);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        let mut expect = scan_stats(&base, pred);
+        expect.count -= 1;
+        expect.sum -= victim_val as i128;
+        assert_eq!(stats, expect);
+        col.check_invariants(None);
+    }
+
+    #[test]
+    fn empty_predicate_short_circuits() {
+        let (_, col) = column(100, 12);
+        let mut scratch = CrackScratch::new();
+        let sel = col.select(Predicate::range(10, 10), &mut scratch);
+        assert_eq!(sel.count(), 0);
+        assert_eq!(col.piece_count(), 1);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = CrackerColumn::<i64>::from_base("e", &[]);
+        let mut scratch = CrackScratch::new();
+        let sel = col.select(Predicate::range(0, 10), &mut scratch);
+        assert_eq!(sel.count(), 0);
+        assert_eq!(col.domain(), None);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            col.refine_random(&mut rng, &mut scratch, 3),
+            RefineOutcome::AlreadyBound
+        );
+    }
+
+    #[test]
+    fn branchy_and_vectorized_kernels_agree() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let base: Vec<i64> = (0..20_000).map(|_| rng.random_range(0..1_000)).collect();
+        let a = CrackerColumn::with_kernel("a", &base, CrackKernel::Branchy);
+        let b = CrackerColumn::with_kernel("b", &base, CrackKernel::Vectorized);
+        let mut scratch = CrackScratch::new();
+        for _ in 0..50 {
+            let x = rng.random_range(0..1_000);
+            let y = rng.random_range(0..1_000);
+            let pred = Predicate::range(x.min(y), x.max(y));
+            let (sa, ra) = a.select_verified(pred, &mut scratch);
+            let (sb, rb) = b.select_verified(pred, &mut scratch);
+            assert_eq!(ra, rb);
+            assert_eq!(sa.count(), sb.count());
+        }
+        a.check_invariants(Some(&base));
+        b.check_invariants(Some(&base));
+    }
+}

@@ -1,0 +1,354 @@
+//! The cracker index: AVL-mapped piece boundaries plus per-piece latches.
+//!
+//! A boundary `(key → pos)` states the cracking invariant: every value at a
+//! position `< pos` is `< key`, and every value at a position `>= pos` is
+//! `>= key`. The gaps between consecutive boundaries are the *pieces*. The
+//! piece starting at boundary `b` owns the latch stored in `b`'s entry; the
+//! piece starting at position 0 owns `first_latch`.
+//!
+//! Boundaries never move once created — cracking only permutes values
+//! strictly inside one piece — except under the exclusive Ripple-update path,
+//! which shifts boundary positions via [`CrackerIndex::shift_bounds`].
+
+use crate::avl::Avl;
+use crate::latch::PieceLatch;
+use holix_storage::types::CrackValue;
+
+/// Value part of a boundary entry.
+#[derive(Debug, Clone)]
+pub struct BoundEntry {
+    /// First position of the piece that starts at this boundary.
+    pub pos: usize,
+    /// Latch of the piece starting here.
+    pub latch: PieceLatch,
+}
+
+/// Result of locating a bound value in the index.
+#[derive(Debug, Clone)]
+pub enum BoundLookup<V> {
+    /// The value is already a boundary: its position can be used directly
+    /// (an "exact hit" in the paper's statistics).
+    Exact(usize),
+    /// The value falls inside a piece that must be cracked.
+    Piece {
+        /// First position of the piece.
+        start: usize,
+        /// One past the last position of the piece.
+        end: usize,
+        /// The piece's latch.
+        latch: PieceLatch,
+        /// Boundary key on the left (`None` = column minimum side): every
+        /// value in the piece is `>= lo_key`.
+        lo_key: Option<V>,
+        /// Boundary key on the right (`None` = column maximum side): every
+        /// value in the piece is `< hi_key`.
+        hi_key: Option<V>,
+    },
+}
+
+/// Piece bookkeeping for one cracker column.
+///
+/// `Clone` duplicates the bookkeeping but *shares* the piece latches (they
+/// are `Arc`-backed); benchmark setups use this to re-run destructive
+/// operations from one prepared state.
+#[derive(Debug, Clone)]
+pub struct CrackerIndex<V> {
+    bounds: Avl<V, BoundEntry>,
+    first_latch: PieceLatch,
+    len: usize,
+}
+
+impl<V: CrackValue> CrackerIndex<V> {
+    /// A fresh index over a column of `len` values: one piece, no bounds.
+    pub fn new(len: usize) -> Self {
+        CrackerIndex {
+            bounds: Avl::new(),
+            first_latch: PieceLatch::new(),
+            len,
+        }
+    }
+
+    /// Column length tracked by the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the indexed column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pieces (`bounds + 1`).
+    pub fn piece_count(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// Number of boundaries.
+    pub fn bound_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Average piece size in values — the `N/p` of Equation (1).
+    pub fn avg_piece_len(&self) -> usize {
+        self.len / self.piece_count()
+    }
+
+    /// Locates the piece a bound value falls into (or the exact boundary).
+    pub fn locate(&self, v: V) -> BoundLookup<V> {
+        if let Some(entry) = self.bounds.get(&v) {
+            return BoundLookup::Exact(entry.pos);
+        }
+        let (start, latch, lo_key) = match self.bounds.pred_strict(&v) {
+            Some((k, e)) => (e.pos, e.latch.clone(), Some(k)),
+            None => (0, self.first_latch.clone(), None),
+        };
+        let (end, hi_key) = match self.bounds.succ_strict(&v) {
+            Some((k, e)) => (e.pos, Some(k)),
+            None => (self.len, None),
+        };
+        BoundLookup::Piece {
+            start,
+            end,
+            latch,
+            lo_key,
+            hi_key,
+        }
+    }
+
+    /// Records a new boundary `key → pos` after a crack. The latch for the
+    /// new right piece (starting at `pos`) is created here; the left piece
+    /// keeps the latch of the piece that was split.
+    ///
+    /// Panics if the key already exists (callers re-validate under the piece
+    /// latch before cracking, so a duplicate insert is a protocol bug).
+    pub fn insert_bound(&mut self, key: V, pos: usize) {
+        debug_assert!(pos <= self.len);
+        let prev = self.bounds.insert(
+            key,
+            BoundEntry {
+                pos,
+                latch: PieceLatch::new(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate boundary inserted");
+    }
+
+    /// Shifts every boundary at position `>= from_pos` by `delta` (Ripple
+    /// updates only; caller holds the column exclusively).
+    pub fn shift_bounds(&mut self, from_pos: usize, delta: isize) {
+        self.bounds.for_each_mut(|_, e| {
+            if e.pos >= from_pos {
+                e.pos = e.pos.checked_add_signed(delta).expect("bound underflow");
+            }
+        });
+        self.len = self.len.checked_add_signed(delta).expect("len underflow");
+    }
+
+    /// Shifts every boundary whose *key* is strictly greater than `key` by
+    /// `delta`, and the tracked length with it. This is the shift the Ripple
+    /// algorithm needs: inserting a value `v` moves exactly the pieces to the
+    /// right of `v`'s piece, i.e. the boundaries with key `> v` — a purely
+    /// positional shift would also catch same-position boundaries of empty
+    /// pieces on the left of `v`.
+    pub fn shift_bounds_key_gt(&mut self, key: V, delta: isize) {
+        self.bounds.for_each_mut(|k, e| {
+            if k > key {
+                e.pos = e.pos.checked_add_signed(delta).expect("bound underflow");
+            }
+        });
+        self.len = self.len.checked_add_signed(delta).expect("len underflow");
+    }
+
+    /// Adjusts only the tracked length (batch helpers that maintain bounds
+    /// themselves).
+    pub fn set_len(&mut self, len: usize) {
+        self.len = len;
+    }
+
+    /// In-order boundaries as `(key, pos)` (invariant checks / stats).
+    pub fn bounds_in_order(&self) -> Vec<(V, usize)> {
+        self.bounds.iter().map(|(k, e)| (k, e.pos)).collect()
+    }
+
+    /// In-order pieces as `(start, end)` position ranges.
+    pub fn pieces_in_order(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.piece_count());
+        let mut prev = 0usize;
+        for (_, e) in self.bounds.iter() {
+            out.push((prev, e.pos));
+            prev = e.pos;
+        }
+        out.push((prev, self.len));
+        out
+    }
+
+    /// Latch of the piece *starting* at `start` (0 = first piece). Used by
+    /// verification reads that walk pieces in order.
+    pub fn latch_for_piece_start(&self, start: usize) -> Option<PieceLatch> {
+        if start == 0 {
+            return Some(self.first_latch.clone());
+        }
+        // Any boundary whose pos equals `start` owns that piece's latch; with
+        // empty pieces several bounds share a pos, in which case the *last*
+        // one in key order starts the non-empty piece, but all of them must
+        // be latched by a range reader anyway, so returning one is enough
+        // only for non-empty pieces. Walk via iteration (cold path).
+        self.bounds
+            .iter()
+            .find(|(_, e)| e.pos == start)
+            .map(|(_, e)| e.latch.clone())
+    }
+
+    /// Memory used by the index structure itself (rough, for budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.bounds.len() * (std::mem::size_of::<V>() + std::mem::size_of::<BoundEntry>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_index_is_one_piece() {
+        let idx = CrackerIndex::<i64>::new(100);
+        assert_eq!(idx.piece_count(), 1);
+        assert_eq!(idx.avg_piece_len(), 100);
+        match idx.locate(50) {
+            BoundLookup::Piece {
+                start,
+                end,
+                lo_key,
+                hi_key,
+                ..
+            } => {
+                assert_eq!((start, end), (0, 100));
+                assert_eq!((lo_key, hi_key), (None, None));
+            }
+            _ => panic!("expected piece"),
+        }
+    }
+
+    #[test]
+    fn exact_hit_after_insert() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(50, 42);
+        match idx.locate(50) {
+            BoundLookup::Exact(pos) => assert_eq!(pos, 42),
+            _ => panic!("expected exact"),
+        }
+        assert_eq!(idx.piece_count(), 2);
+    }
+
+    #[test]
+    fn locate_between_bounds() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(30, 25);
+        idx.insert_bound(70, 80);
+        match idx.locate(45) {
+            BoundLookup::Piece {
+                start,
+                end,
+                lo_key,
+                hi_key,
+                ..
+            } => {
+                assert_eq!((start, end), (25, 80));
+                assert_eq!((lo_key, hi_key), (Some(30), Some(70)));
+            }
+            _ => panic!(),
+        }
+        match idx.locate(10) {
+            BoundLookup::Piece { start, end, .. } => assert_eq!((start, end), (0, 25)),
+            _ => panic!(),
+        }
+        match idx.locate(90) {
+            BoundLookup::Piece { start, end, .. } => assert_eq!((start, end), (80, 100)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn split_keeps_left_latch_and_creates_right() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        let left_latch = match idx.locate(50) {
+            BoundLookup::Piece { latch, .. } => latch,
+            _ => panic!(),
+        };
+        idx.insert_bound(50, 40);
+        // Left piece [0,40) keeps the original latch.
+        match idx.locate(20) {
+            BoundLookup::Piece { start, end, latch, .. } => {
+                assert_eq!((start, end), (0, 40));
+                assert!(latch.same_as(&left_latch));
+            }
+            _ => panic!(),
+        }
+        // Right piece [40,100) has a fresh latch.
+        match idx.locate(80) {
+            BoundLookup::Piece { start, end, latch, .. } => {
+                assert_eq!((start, end), (40, 100));
+                assert!(!latch.same_as(&left_latch));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate boundary")]
+    fn duplicate_bound_panics() {
+        let mut idx = CrackerIndex::<i64>::new(10);
+        idx.insert_bound(5, 3);
+        idx.insert_bound(5, 3);
+    }
+
+    #[test]
+    fn pieces_in_order_covers_column() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(30, 25);
+        idx.insert_bound(70, 80);
+        idx.insert_bound(50, 60);
+        assert_eq!(
+            idx.pieces_in_order(),
+            vec![(0, 25), (25, 60), (60, 80), (80, 100)]
+        );
+        assert_eq!(
+            idx.bounds_in_order(),
+            vec![(30, 25), (50, 60), (70, 80)]
+        );
+    }
+
+    #[test]
+    fn shift_bounds_moves_suffix() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(30, 25);
+        idx.insert_bound(70, 80);
+        idx.shift_bounds(80, 1); // insert into the middle piece
+        assert_eq!(idx.bounds_in_order(), vec![(30, 25), (70, 81)]);
+        assert_eq!(idx.len(), 101);
+        idx.shift_bounds(25, -1);
+        assert_eq!(idx.bounds_in_order(), vec![(30, 24), (70, 80)]);
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn shift_bounds_key_gt_skips_left_empty_pieces() {
+        let mut idx = CrackerIndex::<i64>::new(10);
+        // Two bounds sharing position 5 (empty piece between them).
+        idx.insert_bound(30, 5);
+        idx.insert_bound(40, 5);
+        // Inserting value 35 (piece [5,5)) must shift only key 40.
+        idx.shift_bounds_key_gt(35, 1);
+        assert_eq!(idx.bounds_in_order(), vec![(30, 5), (40, 6)]);
+        assert_eq!(idx.len(), 11);
+    }
+
+    #[test]
+    fn latch_for_piece_start_finds_latches() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(30, 25);
+        assert!(idx.latch_for_piece_start(0).is_some());
+        assert!(idx.latch_for_piece_start(25).is_some());
+        assert!(idx.latch_for_piece_start(26).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! # holix-cracking — adaptive indexing (database cracking) substrate
+//!
+//! This crate implements the adaptive-indexing machinery of §3.2 and §4.2 of
+//! the paper:
+//!
+//! - [`avl`] — the AVL tree that serves as the *cracker index*,
+//! - [`crack`] / [`vectorized`] — in-place and out-of-place (vectorized)
+//!   crack kernels that partition a piece of a column around pivots,
+//! - [`index`] — piece bookkeeping: boundary positions, per-piece latches,
+//! - [`range_cell`] — the single `unsafe` building block: disjoint-range
+//!   mutable access into one shared vector, guarded by piece latches,
+//! - [`latch`] — piece-level read/write latches ([16, 17] in the paper):
+//!   user queries block on a busy piece, holistic workers `try_lock` and
+//!   re-pick a random pivot instead,
+//! - [`column`] — [`CrackerColumn`]: the cracker column `ACRK` plus its
+//!   cracker index, supporting concurrent query-driven cracking and
+//!   background refinement,
+//! - [`stochastic`] — stochastic cracking (auxiliary random crack inside the
+//!   piece a query is about to crack, [21]),
+//! - [`updates`] — pending insertions/deletions merged on-the-fly with the
+//!   Ripple algorithm ([28]).
+
+pub mod avl;
+pub mod column;
+pub mod crack;
+pub mod index;
+pub mod latch;
+pub mod range_cell;
+pub mod stochastic;
+pub mod updates;
+pub mod vectorized;
+
+pub use column::{CrackerColumn, PartitionFn, RefineOutcome, Selection};
+pub use crack::CrackKernel;
+pub use index::{BoundLookup, CrackerIndex};
+pub use latch::PieceLatch;
+pub use vectorized::CrackScratch;

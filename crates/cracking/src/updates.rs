@@ -1,0 +1,335 @@
+//! Pending updates and the Ripple merge algorithm ([28] "Updating a Cracked
+//! Database", as used by §4.2 and §5.7 of the holistic-indexing paper).
+//!
+//! Updates are queued per column and merged lazily: a query (or a holistic
+//! worker) that touches a value range merges exactly the pending updates
+//! falling inside that range, never destroying index information.
+//!
+//! The Ripple insight: pieces are *unordered multisets* within their value
+//! bounds, so making room for an insertion into piece `j` only needs to move
+//! **one boundary element per downstream piece** — shift each later piece's
+//! first element to its own end — instead of shifting the whole tail of the
+//! array. Deletion runs the same dance in reverse.
+
+use crate::index::CrackerIndex;
+use holix_storage::types::{CrackValue, RowId};
+
+/// Queue of not-yet-merged updates for one column.
+#[derive(Debug, Default)]
+pub struct PendingUpdates<V> {
+    inserts: Vec<(V, RowId)>,
+    deletes: Vec<(V, RowId)>,
+}
+
+impl<V: CrackValue> PendingUpdates<V> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        PendingUpdates {
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Queues an insertion.
+    pub fn queue_insert(&mut self, v: V, row: RowId) {
+        self.inserts.push((v, row));
+    }
+
+    /// Queues a deletion. A pending *insert* of the same `(value, row)` is
+    /// cancelled instead (it never reached the column).
+    pub fn queue_delete(&mut self, v: V, row: RowId) {
+        if let Some(i) = self
+            .inserts
+            .iter()
+            .position(|&(iv, ir)| iv == v && ir == row)
+        {
+            self.inserts.swap_remove(i);
+        } else {
+            self.deletes.push((v, row));
+        }
+    }
+
+    /// Total queued operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Any queued op with value in `[lo, hi)`?
+    pub fn has_in_range(&self, lo: V, hi: V) -> bool {
+        let hit = |&(v, _): &(V, RowId)| lo <= v && v < hi;
+        self.inserts.iter().any(hit) || self.deletes.iter().any(hit)
+    }
+
+    /// Removes and returns `(inserts, deletes)` with values in `[lo, hi)`.
+    pub fn take_range(&mut self, lo: V, hi: V) -> (Vec<(V, RowId)>, Vec<(V, RowId)>) {
+        let split = |q: &mut Vec<(V, RowId)>| {
+            let mut taken = Vec::new();
+            q.retain(|&(v, r)| {
+                if lo <= v && v < hi {
+                    taken.push((v, r));
+                    false
+                } else {
+                    true
+                }
+            });
+            taken
+        };
+        (split(&mut self.inserts), split(&mut self.deletes))
+    }
+}
+
+/// Position range `[start, end)` of the piece that contains value `v`,
+/// derived from the in-order bounds list.
+fn piece_of<V: CrackValue>(bounds: &[(V, usize)], len: usize, v: V) -> (usize, usize, usize) {
+    // First bound with key > v starts the piece *after* v's piece.
+    let idx = bounds.partition_point(|&(k, _)| k <= v);
+    let start = if idx == 0 { 0 } else { bounds[idx - 1].1 };
+    let end = if idx < bounds.len() {
+        bounds[idx].1
+    } else {
+        len
+    };
+    (idx, start, end)
+}
+
+/// Ripple-inserts one value into a cracked column. Caller holds the column
+/// exclusively (vectors may grow).
+pub fn ripple_insert<V: CrackValue>(
+    vals: &mut Vec<V>,
+    rows: &mut Vec<RowId>,
+    index: &mut CrackerIndex<V>,
+    v: V,
+    row: RowId,
+) {
+    let len = vals.len();
+    debug_assert_eq!(len, index.len());
+    let bounds = index.bounds_in_order();
+    let (idx, _start, end) = piece_of(&bounds, len, v);
+
+    // Grow by one; the new slot is the first "free" slot of the ripple.
+    vals.push(v);
+    rows.push(row);
+    let mut free = len;
+    // Walk downstream bounds from the rightmost piece towards v's piece,
+    // relocating each piece's first element to the free slot at its end.
+    for &(_, pos) in bounds[idx..].iter().rev() {
+        vals[free] = vals[pos];
+        rows[free] = rows[pos];
+        free = pos;
+    }
+    debug_assert_eq!(free, end);
+    vals[free] = v;
+    rows[free] = row;
+    index.shift_bounds_key_gt(v, 1);
+}
+
+/// Ripple-deletes the element `(v, row)`; returns `false` when the element is
+/// not present (e.g. it was never merged). Caller holds the column
+/// exclusively.
+pub fn ripple_delete<V: CrackValue>(
+    vals: &mut Vec<V>,
+    rows: &mut Vec<RowId>,
+    index: &mut CrackerIndex<V>,
+    v: V,
+    row: RowId,
+) -> bool {
+    let len = vals.len();
+    debug_assert_eq!(len, index.len());
+    let bounds = index.bounds_in_order();
+    let (idx, start, end) = piece_of(&bounds, len, v);
+
+    // Locate the victim inside its piece.
+    let Some(offset) = (start..end).find(|&i| rows[i] == row && vals[i] == v) else {
+        return false;
+    };
+
+    // Fill the hole with the piece's last element, then ripple the hole
+    // rightwards through each downstream piece.
+    vals[offset] = vals[end - 1];
+    rows[offset] = rows[end - 1];
+    let mut hole = end - 1;
+    for k in idx..bounds.len() {
+        let piece_end = if k + 1 < bounds.len() {
+            bounds[k + 1].1
+        } else {
+            len
+        };
+        vals[hole] = vals[piece_end - 1];
+        rows[hole] = rows[piece_end - 1];
+        hole = piece_end - 1;
+    }
+    debug_assert_eq!(hole, len - 1);
+    vals.pop();
+    rows.pop();
+    index.shift_bounds_key_gt(v, -1);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a cracked column state by cracking `base` at `pivots`
+    /// (sequentially, with the plain kernel applied to a plain Vec).
+    fn cracked_state(
+        base: &[i64],
+        pivots: &[i64],
+    ) -> (Vec<i64>, Vec<RowId>, CrackerIndex<i64>) {
+        let mut vals = base.to_vec();
+        let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
+        let mut index = CrackerIndex::new(base.len());
+        for &p in pivots {
+            let bounds = index.bounds_in_order();
+            if bounds.iter().any(|&(k, _)| k == p) {
+                continue;
+            }
+            let (_, s, e) = piece_of(&bounds, vals.len(), p);
+            let split =
+                crate::crack::crack_in_two(&mut vals[s..e], &mut rows[s..e], p);
+            index.insert_bound(p, s + split);
+        }
+        (vals, rows, index)
+    }
+
+    fn check_pieces(vals: &[i64], index: &CrackerIndex<i64>) {
+        let bounds = index.bounds_in_order();
+        let mut prev = 0usize;
+        let mut lo = i64::MIN;
+        for &(k, pos) in bounds.iter() {
+            for &v in &vals[prev..pos] {
+                assert!(v >= lo && v < k, "value {v} outside [{lo},{k})");
+            }
+            prev = pos;
+            lo = k;
+        }
+        for &v in &vals[prev..] {
+            assert!(v >= lo);
+        }
+    }
+
+    #[test]
+    fn queue_cancels_insert_on_delete() {
+        let mut q = PendingUpdates::new();
+        q.queue_insert(5, 1);
+        q.queue_delete(5, 1);
+        assert!(q.is_empty());
+        q.queue_delete(7, 2); // real delete: no matching insert
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn take_range_partitions_queue() {
+        let mut q = PendingUpdates::new();
+        for (v, r) in [(1, 0), (5, 1), (9, 2)] {
+            q.queue_insert(v, r);
+        }
+        q.queue_delete(6, 3);
+        assert!(q.has_in_range(5, 7));
+        let (ins, del) = q.take_range(5, 7);
+        assert_eq!(ins, vec![(5, 1)]);
+        assert_eq!(del, vec![(6, 3)]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.has_in_range(5, 7));
+    }
+
+    #[test]
+    fn insert_into_each_piece() {
+        let base = vec![15i64, 5, 25, 8, 30, 2, 22, 12];
+        let (mut vals, mut rows, mut index) = cracked_state(&base, &[10, 20]);
+        check_pieces(&vals, &index);
+
+        for (v, r) in [(7i64, 100u32), (11, 101), (27, 102)] {
+            ripple_insert(&mut vals, &mut rows, &mut index, v, r);
+            check_pieces(&vals, &index);
+        }
+        assert_eq!(vals.len(), base.len() + 3);
+        assert_eq!(index.len(), vals.len());
+        // All inserted values present with their rowids.
+        for (v, r) in [(7i64, 100u32), (11, 101), (27, 102)] {
+            assert!(vals.iter().zip(&rows).any(|(&vv, &rr)| vv == v && rr == r));
+        }
+    }
+
+    #[test]
+    fn insert_into_empty_piece() {
+        let base = vec![1i64, 30, 2, 31];
+        // Crack at 10 and 20: middle piece [10,20) is empty.
+        let (mut vals, mut rows, mut index) = cracked_state(&base, &[10, 20]);
+        ripple_insert(&mut vals, &mut rows, &mut index, 15, 50);
+        check_pieces(&vals, &index);
+        assert!(vals.contains(&15));
+    }
+
+    #[test]
+    fn insert_on_boundary_key() {
+        let base = vec![1i64, 30, 2, 31];
+        let (mut vals, mut rows, mut index) = cracked_state(&base, &[10]);
+        // v == boundary key joins the right piece (v >= key invariant).
+        ripple_insert(&mut vals, &mut rows, &mut index, 10, 50);
+        check_pieces(&vals, &index);
+    }
+
+    #[test]
+    fn delete_from_each_piece() {
+        let base = vec![15i64, 5, 25, 8, 30, 2, 22, 12];
+        let (mut vals, mut rows, mut index) = cracked_state(&base, &[10, 20]);
+        // Delete value 8 (rowid 3), 15 (rowid 0), 30 (rowid 4).
+        for (v, r) in [(8i64, 3u32), (15, 0), (30, 4)] {
+            assert!(ripple_delete(&mut vals, &mut rows, &mut index, v, r));
+            check_pieces(&vals, &index);
+        }
+        assert_eq!(vals.len(), base.len() - 3);
+        assert!(!rows.contains(&3));
+        assert!(!ripple_delete(&mut vals, &mut rows, &mut index, 8, 3));
+    }
+
+    #[test]
+    fn delete_last_remaining_element() {
+        let base = vec![5i64];
+        let (mut vals, mut rows, mut index) = cracked_state(&base, &[]);
+        assert!(ripple_delete(&mut vals, &mut rows, &mut index, 5, 0));
+        assert!(vals.is_empty());
+        assert_eq!(index.len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ripple_stream_matches_oracle(
+            base in proptest::collection::vec(0i64..100, 1..60),
+            pivots in proptest::collection::vec(0i64..100, 0..10),
+            ops in proptest::collection::vec((any::<bool>(), 0i64..100), 0..40),
+        ) {
+            let (mut vals, mut rows, mut index) = cracked_state(&base, &pivots);
+            let mut oracle: Vec<(i64, RowId)> =
+                base.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let mut next_row = base.len() as u32;
+
+            for (is_insert, v) in ops {
+                if is_insert {
+                    ripple_insert(&mut vals, &mut rows, &mut index, v, next_row);
+                    oracle.push((v, next_row));
+                    next_row += 1;
+                } else if let Some(pos) = oracle.iter().position(|&(ov, _)| ov == v) {
+                    let (ov, or) = oracle.swap_remove(pos);
+                    prop_assert!(ripple_delete(&mut vals, &mut rows, &mut index, ov, or));
+                }
+                check_pieces(&vals, &index);
+                prop_assert_eq!(vals.len(), oracle.len());
+                prop_assert_eq!(index.len(), vals.len());
+            }
+
+            // Multiset equality with the oracle.
+            let mut got: Vec<(i64, RowId)> =
+                vals.iter().zip(&rows).map(|(&v, &r)| (v, r)).collect();
+            got.sort_unstable();
+            oracle.sort_unstable();
+            prop_assert_eq!(got, oracle);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The engine interface shared by all five indexing approaches.
+
+use holix_workloads::QuerySpec;
+use std::sync::Arc;
+
+/// The microbenchmark dataset: a table of `i64` attributes.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    columns: Arc<Vec<Vec<i64>>>,
+}
+
+impl Dataset {
+    /// Wraps generated columns.
+    pub fn new(columns: Vec<Vec<i64>>) -> Self {
+        Dataset {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Rows per attribute.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Borrow one attribute's values.
+    pub fn column(&self, attr: usize) -> &[i64] {
+        &self.columns[attr]
+    }
+}
+
+/// The qualitative feature matrix of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Statistical analysis before query processing.
+    pub workload_analysis: bool,
+    /// Exploits idle resources before query processing.
+    pub idle_before_queries: bool,
+    /// Exploits idle resources during query processing.
+    pub idle_during_queries: bool,
+    /// "full" (true) vs "partial" (false) index materialisation.
+    pub full_materialization: bool,
+    /// High (true) vs low (false) update/maintenance cost.
+    pub high_update_cost: bool,
+    /// Adapts to a dynamic workload (vs static physical design).
+    pub dynamic: bool,
+}
+
+/// A query engine over a [`Dataset`]. Engines are `Sync`: §5.8 drives one
+/// engine from many concurrent clients.
+pub trait QueryEngine: Send + Sync {
+    /// Engine name (CSV label).
+    fn name(&self) -> &'static str;
+
+    /// Table 1 row for this engine.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Executes one range select and returns the qualifying-tuple count.
+    /// Index construction costs (sorting, copying, cracking) happen inside,
+    /// so wall-clock timing around this call reproduces the paper's
+    /// per-query cost attribution.
+    fn execute(&self, q: &QuerySpec) -> u64;
+
+    /// Count plus checksum for verification (may be slower; tests only).
+    fn execute_verified(&self, q: &QuerySpec) -> (u64, i128);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_accessors() {
+        let d = Dataset::new(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(d.attrs(), 2);
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.column(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![]);
+        assert_eq!(d.attrs(), 0);
+        assert_eq!(d.rows(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! The holistic indexing engine: adaptive indexing plus the always-on
+//! tuning daemon.
+//!
+//! User queries behave exactly like the adaptive engine (parallel vectorized
+//! cracking with the user thread budget); in the background the holistic
+//! daemon watches the load accountant and spends every idle hardware context
+//! on random-pivot refinements of the registered cracker columns.
+
+use crate::api::{Capabilities, Dataset, QueryEngine};
+use holix_core::cpu::LoadAccountant;
+use holix_core::handle::CrackerHandle;
+use holix_core::index_space::{IndexId, IndexSpace, Membership};
+use holix_core::{CpuMonitor, CycleRecord, HolisticConfig, HolisticDaemon};
+use holix_cracking::{CrackScratch, CrackerColumn, Selection};
+use holix_parallel::pvdc::parallel_partition_fn;
+use holix_storage::select::Predicate;
+use holix_workloads::QuerySpec;
+use parking_lot::RwLock;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static SCRATCH: RefCell<CrackScratch<i64>> = RefCell::new(CrackScratch::new());
+}
+
+/// Engine-level configuration on top of the core [`HolisticConfig`].
+#[derive(Debug, Clone)]
+pub struct HolisticEngineConfig {
+    /// Hardware contexts the experiment exposes (the paper's 32).
+    pub total_contexts: usize,
+    /// Contexts one user query uses for parallel cracking (the paper's
+    /// `uN` labels).
+    pub user_threads: usize,
+    /// Core tuning configuration (x, interval, strategy, budget,
+    /// worker_threads …).
+    pub holistic: HolisticConfig,
+}
+
+impl HolisticEngineConfig {
+    /// The paper's preferred split (§5.1/Fig 7): half the contexts to user
+    /// queries, the rest to holistic workers, with a fast monitor interval
+    /// for laptop-scale runs.
+    pub fn split_half(total_contexts: usize) -> Self {
+        HolisticEngineConfig {
+            total_contexts,
+            user_threads: (total_contexts / 2).max(1),
+            holistic: HolisticConfig::fast(),
+        }
+    }
+}
+
+struct AttrSlot {
+    col: Arc<CrackerColumn<i64>>,
+    id: IndexId,
+}
+
+/// Adaptive indexing + background tuning.
+pub struct HolisticEngine {
+    data: Dataset,
+    cfg: HolisticEngineConfig,
+    space: Arc<IndexSpace>,
+    accountant: Arc<LoadAccountant>,
+    daemon: parking_lot::Mutex<Option<HolisticDaemon>>,
+    cols: Vec<RwLock<Option<AttrSlot>>>,
+}
+
+impl HolisticEngine {
+    /// Builds the engine and starts the tuning daemon.
+    pub fn new(data: Dataset, cfg: HolisticEngineConfig) -> Self {
+        let space = Arc::new(IndexSpace::new(cfg.holistic.clone()));
+        let accountant = LoadAccountant::new(cfg.total_contexts);
+        let daemon = HolisticDaemon::spawn(
+            Arc::clone(&space),
+            Arc::clone(&accountant) as Arc<dyn CpuMonitor>,
+            cfg.holistic.clone(),
+        );
+        let cols = (0..data.attrs()).map(|_| RwLock::new(None)).collect();
+        HolisticEngine {
+            data,
+            cfg,
+            space,
+            accountant,
+            daemon: parking_lot::Mutex::new(Some(daemon)),
+            cols,
+        }
+    }
+
+    fn build_column(&self, attr: usize) -> Arc<CrackerColumn<i64>> {
+        let refine_threads = self.cfg.holistic.worker_threads.max(1);
+        Arc::new(CrackerColumn::with_partition_fns(
+            format!("attr{attr}"),
+            self.data.column(attr),
+            parallel_partition_fn(self.cfg.user_threads),
+            parallel_partition_fn(refine_threads),
+        ))
+    }
+
+    /// Gets (or creates / re-creates after eviction) the cracker column for
+    /// an attribute; creation registers it in `C_actual`.
+    pub fn column(&self, attr: usize) -> (Arc<CrackerColumn<i64>>, IndexId) {
+        {
+            let guard = self.cols[attr].read();
+            if let Some(slot) = guard.as_ref() {
+                if self.space.membership(slot.id) != Some(Membership::Dropped) {
+                    return (Arc::clone(&slot.col), slot.id);
+                }
+            }
+        }
+        let mut guard = self.cols[attr].write();
+        if let Some(slot) = guard.as_ref() {
+            if self.space.membership(slot.id) != Some(Membership::Dropped) {
+                return (Arc::clone(&slot.col), slot.id);
+            }
+        }
+        let col = self.build_column(attr);
+        let handle = Arc::new(CrackerHandle::new(Arc::clone(&col)));
+        let (id, _) = self.space.register_actual(handle);
+        *guard = Some(AttrSlot {
+            col: Arc::clone(&col),
+            id,
+        });
+        (col, id)
+    }
+
+    /// Adds speculative indices to `C_potential` (the Fig 9 idle-time
+    /// scenario: "holistic indexing chooses random indexes to insert in
+    /// C_potential and refines them until the first query arrives").
+    pub fn add_potential(&self, attrs: &[usize]) {
+        for &attr in attrs {
+            let mut guard = self.cols[attr].write();
+            if guard.is_some() {
+                continue;
+            }
+            let col = self.build_column(attr);
+            let handle = Arc::new(CrackerHandle::new(Arc::clone(&col)));
+            let (id, _) = self.space.register_potential(handle);
+            *guard = Some(AttrSlot { col, id });
+        }
+    }
+
+    /// The shared index space (inspection / experiments).
+    pub fn space(&self) -> &Arc<IndexSpace> {
+        &self.space
+    }
+
+    /// The load accountant — external load (e.g. other clients) can be
+    /// modelled by holding task guards.
+    pub fn accountant(&self) -> &Arc<LoadAccountant> {
+        &self.accountant
+    }
+
+    /// Total pieces across all live indices (Fig 6(c)).
+    pub fn total_pieces(&self) -> usize {
+        self.space.total_pieces()
+    }
+
+    /// Tuning-cycle records so far (Fig 6(d)).
+    pub fn cycles(&self) -> Vec<CycleRecord> {
+        self.daemon
+            .lock()
+            .as_ref()
+            .map(|d| d.cycles())
+            .unwrap_or_default()
+    }
+
+    /// Stops the daemon and returns all cycle records.
+    pub fn stop(&self) -> Vec<CycleRecord> {
+        match self.daemon.lock().take() {
+            Some(d) => d.stop(),
+            None => Vec::new(),
+        }
+    }
+
+    fn select(&self, q: &QuerySpec) -> Selection {
+        // Register this query's thread usage so the daemon sees the load.
+        let _task = self.accountant.begin_task(self.cfg.user_threads);
+        let (col, id) = self.column(q.attr);
+        let pred = Predicate::range(q.lo, q.hi);
+        let sel = SCRATCH.with(|s| col.select(pred, &mut s.borrow_mut()));
+        let cracked = (!sel.hit_lo) as u64 + (!sel.hit_hi) as u64;
+        self.space.record_user_query(id, sel.exact_hit(), cracked);
+        sel
+    }
+}
+
+impl QueryEngine for HolisticEngine {
+    fn name(&self) -> &'static str {
+        "holistic"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            workload_analysis: true,
+            idle_before_queries: true,
+            idle_during_queries: true,
+            full_materialization: false,
+            high_update_cost: false,
+            dynamic: true,
+        }
+    }
+
+    fn execute(&self, q: &QuerySpec) -> u64 {
+        self.select(q).count()
+    }
+
+    fn execute_verified(&self, q: &QuerySpec) -> (u64, i128) {
+        let _task = self.accountant.begin_task(self.cfg.user_threads);
+        let (col, id) = self.column(q.attr);
+        let pred = Predicate::range(q.lo, q.hi);
+        let (sel, stats) = SCRATCH.with(|s| col.select_verified(pred, &mut s.borrow_mut()));
+        let cracked = (!sel.hit_lo) as u64 + (!sel.hit_hi) as u64;
+        self.space.record_user_query(id, sel.exact_hit(), cracked);
+        (stats.count, stats.sum)
+    }
+}
+
+impl Drop for HolisticEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_storage::select::scan_stats;
+    use holix_workloads::data::uniform_table;
+    use rand::prelude::*;
+    use std::time::Duration;
+
+    fn engine(attrs: usize, rows: usize) -> HolisticEngine {
+        let data = Dataset::new(uniform_table(attrs, rows, 1_000_000, 3));
+        let mut cfg = HolisticEngineConfig::split_half(4);
+        cfg.holistic.monitor_interval = Duration::from_millis(1);
+        HolisticEngine::new(data, cfg)
+    }
+
+    #[test]
+    fn queries_match_scan_oracle_while_daemon_runs() {
+        let e = engine(3, 100_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..60 {
+            let attr = rng.random_range(0..3);
+            let a = rng.random_range(0..1_000_000);
+            let b = rng.random_range(0..1_000_000);
+            let q = QuerySpec {
+                attr,
+                lo: a.min(b),
+                hi: a.max(b).max(a.min(b) + 1),
+            };
+            let oracle = scan_stats(e.data.column(attr), Predicate::range(q.lo, q.hi));
+            assert_eq!(e.execute(&q), oracle.count);
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn daemon_refines_beyond_query_driven_cracks() {
+        let e = engine(2, 200_000);
+        // One query creates the index; then let the daemon work.
+        e.execute(&QuerySpec {
+            attr: 0,
+            lo: 100,
+            hi: 200_000,
+        });
+        let after_query = e.total_pieces();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while e.total_pieces() <= after_query + 10 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon inactive: still at {} pieces",
+                e.total_pieces()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let cycles = e.stop();
+        assert!(cycles.iter().map(|c| c.refinements).sum::<u64>() > 10);
+    }
+
+    #[test]
+    fn potential_indices_refined_before_first_query() {
+        let e = engine(4, 100_000);
+        e.add_potential(&[0, 1, 2, 3]);
+        assert_eq!(e.space().membership_counts().1, 4);
+        // Bounded wait: under test-runner contention the daemon thread may
+        // be scheduled late, so poll instead of sleeping a fixed interval.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while e.total_pieces() <= 12 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "potential indices not refined"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // First query on a potential attr promotes it to actual — unless the
+        // daemon already drove it all the way to optimal, which also removes
+        // it from C_potential.
+        e.execute(&QuerySpec {
+            attr: 2,
+            lo: 0,
+            hi: 500,
+        });
+        let (actual, potential, optimal, _) = e.space().membership_counts();
+        assert!(actual + optimal >= 1, "queried index neither actual nor optimal");
+        assert!(potential <= 3, "queried index still potential");
+        e.stop();
+    }
+
+    #[test]
+    fn eviction_and_recreation_under_budget() {
+        let data = Dataset::new(uniform_table(3, 50_000, 1_000_000, 4));
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(1);
+        // Budget fits roughly one 50k-row column (600 KiB payload each).
+        cfg.holistic.storage_budget = Some(700 * 1024);
+        let e = HolisticEngine::new(data, cfg);
+        for attr in 0..3 {
+            let q = QuerySpec {
+                attr,
+                lo: 0,
+                hi: 1_000,
+            };
+            assert_eq!(
+                e.execute(&q),
+                scan_stats(e.data.column(attr), Predicate::range(0, 1_000)).count
+            );
+        }
+        let (_, _, _, dropped) = e.space().membership_counts();
+        assert!(dropped >= 2, "budget never evicted (dropped={dropped})");
+        // Queries on evicted attributes still answer correctly (re-created).
+        for attr in 0..3 {
+            let q = QuerySpec {
+                attr,
+                lo: 500_000,
+                hi: 600_000,
+            };
+            assert_eq!(
+                e.execute(&q),
+                scan_stats(e.data.column(attr), Predicate::range(500_000, 600_000)).count
+            );
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let e = engine(1, 10_000);
+        e.stop();
+        assert!(e.stop().is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! "No indexing" baseline: every query scans the whole column in parallel.
+
+use crate::api::{Capabilities, Dataset, QueryEngine};
+use holix_storage::pscan::{parallel_scan_count, parallel_scan_stats};
+use holix_storage::select::Predicate;
+use holix_workloads::QuerySpec;
+
+/// Parallel full-scan engine (the paper's plain MonetDB select).
+pub struct ScanEngine {
+    data: Dataset,
+    threads: usize,
+}
+
+impl ScanEngine {
+    /// Scan engine using `threads` threads per query.
+    pub fn new(data: Dataset, threads: usize) -> Self {
+        ScanEngine {
+            data,
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl QueryEngine for ScanEngine {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            workload_analysis: false,
+            idle_before_queries: false,
+            idle_during_queries: false,
+            full_materialization: false,
+            high_update_cost: false,
+            dynamic: false,
+        }
+    }
+
+    fn execute(&self, q: &QuerySpec) -> u64 {
+        parallel_scan_count(
+            self.data.column(q.attr),
+            Predicate::range(q.lo, q.hi),
+            self.threads,
+        )
+    }
+
+    fn execute_verified(&self, q: &QuerySpec) -> (u64, i128) {
+        let s = parallel_scan_stats(
+            self.data.column(q.attr),
+            Predicate::range(q.lo, q.hi),
+            self.threads,
+        );
+        (s.count, s.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counts_correctly() {
+        let data = Dataset::new(vec![(0..1000).collect(), (0..1000).rev().collect()]);
+        let e = ScanEngine::new(data, 2);
+        let q = QuerySpec {
+            attr: 0,
+            lo: 100,
+            hi: 200,
+        };
+        assert_eq!(e.execute(&q), 100);
+        let q1 = QuerySpec {
+            attr: 1,
+            lo: 100,
+            hi: 200,
+        };
+        assert_eq!(e.execute(&q1), 100);
+        let (c, s) = e.execute_verified(&q);
+        assert_eq!(c, 100);
+        assert_eq!(s, (100..200).sum::<i64>() as i128);
+    }
+}

@@ -1,0 +1,111 @@
+//! Multi-client execution (§5.8 "Varying Number of Clients").
+//!
+//! Queries are dealt round-robin to `clients` threads that execute them
+//! concurrently against one shared engine. Holistic indexing detects the
+//! rising load through its accountant and scales workers down automatically.
+
+use crate::api::QueryEngine;
+use holix_workloads::QuerySpec;
+use std::time::{Duration, Instant};
+
+/// Per-client outcome.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Client index.
+    pub client: usize,
+    /// Queries the client executed.
+    pub queries: usize,
+    /// Sum of the client's per-query times.
+    pub busy_time: Duration,
+}
+
+/// Runs `queries` across `clients` concurrent sessions; returns total wall
+/// time and per-client reports.
+pub fn run_clients(
+    engine: &dyn QueryEngine,
+    queries: &[QuerySpec],
+    clients: usize,
+) -> (Duration, Vec<ClientReport>) {
+    let clients = clients.max(1);
+    let t0 = Instant::now();
+    let reports = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let my_queries: Vec<QuerySpec> = queries
+                    .iter()
+                    .skip(c)
+                    .step_by(clients)
+                    .copied()
+                    .collect();
+                s.spawn(move |_| {
+                    let mut busy = Duration::ZERO;
+                    for q in &my_queries {
+                        let t = Instant::now();
+                        std::hint::black_box(engine.execute(q));
+                        busy += t.elapsed();
+                    }
+                    ClientReport {
+                        client: c,
+                        queries: my_queries.len(),
+                        busy_time: busy,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("client scope panicked");
+    (t0.elapsed(), reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::{AdaptiveEngine, CrackMode};
+    use crate::api::Dataset;
+    use holix_workloads::data::uniform_table;
+    use holix_workloads::WorkloadSpec;
+
+    #[test]
+    fn clients_split_the_workload() {
+        let data = Dataset::new(uniform_table(2, 50_000, 100_000, 1));
+        let engine = AdaptiveEngine::new(data, CrackMode::Sequential);
+        let queries = WorkloadSpec::random(2, 64, 100_000, 2).generate();
+        let (wall, reports) = run_clients(&engine, &queries, 4);
+        assert!(wall > Duration::ZERO);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.queries).sum::<usize>(), 64);
+        assert!(reports.iter().all(|r| r.queries == 16));
+    }
+
+    #[test]
+    fn concurrent_clients_get_correct_counts() {
+        let data = Dataset::new(uniform_table(1, 50_000, 1_000, 3));
+        let base: Vec<i64> = data.column(0).to_vec();
+        let engine = AdaptiveEngine::new(data, CrackMode::Sequential);
+        // All clients fire the same query; every result must equal the scan.
+        let expect = base.iter().filter(|&&v| (100..300).contains(&v)).count() as u64;
+        let queries: Vec<QuerySpec> = (0..32)
+            .map(|_| QuerySpec {
+                attr: 0,
+                lo: 100,
+                hi: 300,
+            })
+            .collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let queries = &queries;
+                s.spawn(move |_| {
+                    for q in queries {
+                        assert_eq!(engine.execute(q), expect);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,402 @@
+//! Concentric-slice parallel cracking — the literal Fig 4 layout of the
+//! paper (from [44] "Database Cracking: Fancy Scan, not Poor Man's Sort!").
+//!
+//! The to-be-cracked piece is cut into `n` slices: the **center slice is
+//! contiguous**, while each of the remaining `n − 1` slices consists of two
+//! disjoint halves arranged **concentrically** around the center (slice `i`
+//! owns a prefix block on the far left and a suffix block on the far right;
+//! `x_i`/`y_i` mark its first and last element, as in the figure). Every
+//! thread partitions its own logical slice — lows pack into its left extent
+//! first, highs into its right extent first — and a merge pass swaps the
+//! misplaced regions around the global split point.
+//!
+//! [`crate::partition`] keeps the contiguous-slice variant; this module
+//! implements the concentric layout so the substitution documented in
+//! DESIGN.md §3 can be *measured* rather than assumed: both variants are
+//! property-tested to produce identical partitions and compared in the
+//! micro-benchmarks. The concentric layout's appeal is statistical — rings
+//! see value distributions closer to the whole piece's, so per-ring
+//! boundaries cluster near the global split and the merge moves less data.
+
+use crate::partition::execute_swaps;
+use holix_storage::types::{CrackValue, RowId};
+
+/// Partitions `vals`/`rows` around `pivot` using the concentric-slice layout
+/// with up to `threads` threads. Returns the split point.
+pub fn concentric_partition<V: CrackValue>(
+    vals: &mut [V],
+    rows: &mut [RowId],
+    pivot: V,
+    threads: usize,
+) -> usize {
+    debug_assert_eq!(vals.len(), rows.len());
+    let n = vals.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 4 * threads {
+        let mut scratch = holix_cracking::vectorized::CrackScratch::new();
+        return holix_cracking::vectorized::crack_in_two_oop(vals, rows, pivot, &mut scratch);
+    }
+
+    let rings = build_rings(n, threads);
+
+    // Phase 1: each thread partitions its ring in place.
+    let vp = SyncPtr(vals.as_mut_ptr());
+    let rp = SyncPtr(rows.as_mut_ptr());
+    let cuts: Vec<RingCut> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = rings
+            .iter()
+            .map(|ring| {
+                let ring = *ring;
+                let vp = vp;
+                let rp = rp;
+                // SAFETY: rings are pairwise disjoint by construction, so
+                // each thread owns its index ranges exclusively.
+                s.spawn(move |_| unsafe { partition_ring(vp.get(), rp.get(), ring, pivot) })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ring worker panicked"))
+            .collect()
+    })
+    .expect("concentric scope panicked");
+
+    // Phase 2: swap misplaced regions across the global boundary.
+    let boundary: usize = cuts.iter().map(|c| c.low_count).sum();
+    let mut high_left: Vec<(usize, usize)> = Vec::new(); // highs at < boundary
+    let mut low_right: Vec<(usize, usize)> = Vec::new(); // lows at >= boundary
+    for cut in &cuts {
+        for &(a, b) in cut.low_segments().iter() {
+            if b > boundary {
+                low_right.push((a.max(boundary), b));
+            }
+        }
+        for &(a, b) in cut.high_segments().iter() {
+            if a < boundary {
+                high_left.push((a, b.min(boundary)));
+            }
+        }
+    }
+    high_left.retain(|&(a, b)| a < b);
+    low_right.retain(|&(a, b)| a < b);
+    high_left.sort_unstable();
+    low_right.sort_unstable();
+    debug_assert_eq!(
+        high_left.iter().map(|&(a, b)| b - a).sum::<usize>(),
+        low_right.iter().map(|&(a, b)| b - a).sum::<usize>(),
+        "misplaced volumes must match"
+    );
+
+    // Pair segments into fixed-length swap jobs (two-pointer).
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    let (mut hi, mut lo) = (0usize, 0usize);
+    let (mut hpos, mut lpos) = (0usize, 0usize);
+    while hi < high_left.len() && lo < low_right.len() {
+        let (ha, hb) = high_left[hi];
+        let (la, lb) = low_right[lo];
+        let take = ((hb - ha) - hpos).min((lb - la) - lpos);
+        jobs.push((ha + hpos, la + lpos, take));
+        hpos += take;
+        lpos += take;
+        if hpos == hb - ha {
+            hi += 1;
+            hpos = 0;
+        }
+        if lpos == lb - la {
+            lo += 1;
+            lpos = 0;
+        }
+    }
+    execute_swaps(vals, rows, &jobs, threads);
+    boundary
+}
+
+/// One ring: a left block `[left_start, left_end)` and a right block
+/// `[right_start, right_end)`. The center slice is a ring whose right block
+/// is empty.
+#[derive(Debug, Clone, Copy)]
+struct Ring {
+    left_start: usize,
+    left_end: usize,
+    right_start: usize,
+    right_end: usize,
+}
+
+impl Ring {
+    fn len(&self) -> usize {
+        (self.left_end - self.left_start) + (self.right_end - self.right_start)
+    }
+}
+
+/// Partition outcome of one ring, in global coordinates.
+#[derive(Debug, Clone, Copy)]
+struct RingCut {
+    ring: Ring,
+    /// Number of values `< pivot` in the ring.
+    low_count: usize,
+}
+
+impl RingCut {
+    /// Global index where the ring's lows end, in its logical order.
+    fn segments(&self) -> ([(usize, usize); 2], [(usize, usize); 2]) {
+        let r = self.ring;
+        let left_len = r.left_end - r.left_start;
+        if self.low_count <= left_len {
+            // Boundary inside the left block.
+            let cut = r.left_start + self.low_count;
+            (
+                [(r.left_start, cut), (0, 0)],
+                [(cut, r.left_end), (r.right_start, r.right_end)],
+            )
+        } else {
+            // Lows fill the whole left block and spill into the right block.
+            let cut = r.right_start + (self.low_count - left_len);
+            (
+                [(r.left_start, r.left_end), (r.right_start, cut)],
+                [(cut, r.right_end), (0, 0)],
+            )
+        }
+    }
+
+    fn low_segments(&self) -> Vec<(usize, usize)> {
+        self.segments().0.into_iter().filter(|&(a, b)| a < b).collect()
+    }
+
+    fn high_segments(&self) -> Vec<(usize, usize)> {
+        self.segments().1.into_iter().filter(|&(a, b)| a < b).collect()
+    }
+}
+
+fn build_rings(n: usize, t: usize) -> Vec<Ring> {
+    let half = n / (2 * t);
+    let mut rings = Vec::with_capacity(t);
+    for i in 0..t - 1 {
+        rings.push(Ring {
+            left_start: i * half,
+            left_end: (i + 1) * half,
+            right_start: n - (i + 1) * half,
+            right_end: n - i * half,
+        });
+    }
+    // Center slice: the contiguous remainder between the innermost blocks.
+    rings.push(Ring {
+        left_start: (t - 1) * half,
+        left_end: n - (t - 1) * half,
+        right_start: n - (t - 1) * half,
+        right_end: n - (t - 1) * half,
+    });
+    debug_assert_eq!(rings.iter().map(Ring::len).sum::<usize>(), n);
+    rings
+}
+
+/// Partitions one ring in place over the logical concatenation
+/// (left block ⧺ right block): lows pack leftwards from `left_start`, highs
+/// rightwards from `right_end`. Returns the ring's low count.
+///
+/// # Safety
+/// Caller guarantees exclusive ownership of the ring's index ranges.
+unsafe fn partition_ring<V: CrackValue>(
+    vals: *mut V,
+    rows: *mut RowId,
+    ring: Ring,
+    pivot: V,
+) -> RingCut {
+    let len = ring.len();
+    // Map logical index -> global index.
+    let left_len = ring.left_end - ring.left_start;
+    let global = |logical: usize| -> usize {
+        if logical < left_len {
+            ring.left_start + logical
+        } else {
+            ring.right_start + (logical - left_len)
+        }
+    };
+
+    let mut i = 0usize;
+    let mut j = len;
+    // SAFETY: `global` maps into the ring's blocks only; caller owns them.
+    unsafe {
+        while i < j {
+            if *vals.add(global(i)) < pivot {
+                i += 1;
+            } else {
+                j -= 1;
+                let (gi, gj) = (global(i), global(j));
+                std::ptr::swap(vals.add(gi), vals.add(gj));
+                std::ptr::swap(rows.add(gi), rows.add(gj));
+            }
+        }
+    }
+    RingCut {
+        ring,
+        low_count: i,
+    }
+}
+
+/// `Send`-asserting raw pointer for the disjoint-ring pattern. The accessor
+/// method keeps Rust 2021 closures from capturing the bare field.
+#[derive(Clone, Copy)]
+struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: rings are disjoint; each thread only touches its own ranges.
+unsafe impl<T> Send for SyncPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_cracking::crack::is_partitioned;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn check(base: &[i64], pivot: i64, threads: usize) {
+        let mut vals = base.to_vec();
+        let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
+        let split = concentric_partition(&mut vals, &mut rows, pivot, threads);
+        assert_eq!(
+            split,
+            base.iter().filter(|&&v| v < pivot).count(),
+            "split point t={threads}"
+        );
+        assert!(is_partitioned(&vals, split, pivot), "t={threads}");
+        assert!(
+            vals.iter().zip(&rows).all(|(&v, &r)| base[r as usize] == v),
+            "alignment t={threads}"
+        );
+        let mut a = base.to_vec();
+        let mut b = vals;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "multiset t={threads}");
+    }
+
+    #[test]
+    fn ring_layout_covers_input_exactly() {
+        for (n, t) in [(100usize, 4usize), (1_000, 3), (64, 8), (17, 2)] {
+            let rings = build_rings(n, t);
+            let mut covered = vec![0u8; n];
+            for r in &rings {
+                for i in (r.left_start..r.left_end).chain(r.right_start..r.right_end) {
+                    covered[i] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "n={n} t={t}: {covered:?}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        check(&[3, 1, 4, 1, 5], 3, 4);
+        check(&[], 1, 4);
+        check(&[9], 1, 4);
+    }
+
+    #[test]
+    fn random_inputs_many_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base: Vec<i64> = (0..100_000).map(|_| rng.random_range(0..10_000)).collect();
+        for t in [2usize, 3, 4, 8] {
+            check(&base, 5_000, t);
+            check(&base, 1, t);
+            check(&base, 9_999, t);
+        }
+    }
+
+    #[test]
+    fn adversarial_layouts() {
+        let n = 50_000;
+        let all_low: Vec<i64> = vec![0; n];
+        check(&all_low, 5, 4);
+        let all_high: Vec<i64> = vec![9; n];
+        check(&all_high, 5, 4);
+        let mut half: Vec<i64> = vec![0; n / 2];
+        half.extend(vec![9i64; n / 2]);
+        check(&half, 5, 4);
+        half.reverse();
+        check(&half, 5, 4);
+    }
+
+    #[test]
+    fn agrees_with_contiguous_variant() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base: Vec<i64> = (0..80_000).map(|_| rng.random_range(0..1_000)).collect();
+        for pivot in [0i64, 250, 500, 999, 1_000] {
+            let mut v1 = base.clone();
+            let mut r1: Vec<RowId> = (0..base.len() as u32).collect();
+            let s1 = crate::partition::parallel_partition(&mut v1, &mut r1, pivot, 4);
+
+            let mut v2 = base.clone();
+            let mut r2: Vec<RowId> = (0..base.len() as u32).collect();
+            let s2 = concentric_partition(&mut v2, &mut r2, pivot, 4);
+
+            assert_eq!(s1, s2, "pivot {pivot}");
+        }
+    }
+
+    #[test]
+    fn concentric_merge_volume_is_smaller_on_uniform_data() {
+        // The statistical argument for the concentric layout: per-ring
+        // boundaries cluster near the global split. Verify via segment
+        // accounting (not timing): count misplaced elements for a uniform
+        // input under both layouts.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000usize;
+        let base: Vec<i64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+        let pivot = 300_000i64;
+        let t = 4usize;
+
+        // Concentric misplaced volume.
+        let mut vals = base.clone();
+        let mut rows: Vec<RowId> = (0..n as u32).collect();
+        let rings = build_rings(n, t);
+        let cuts: Vec<RingCut> = rings
+            .iter()
+            .map(|&ring| unsafe {
+                partition_ring(vals.as_mut_ptr(), rows.as_mut_ptr(), ring, pivot)
+            })
+            .collect();
+        let boundary: usize = cuts.iter().map(|c| c.low_count).sum();
+        let concentric_misplaced: usize = cuts
+            .iter()
+            .flat_map(|c| c.high_segments())
+            .map(|(a, b)| b.min(boundary).saturating_sub(a))
+            .sum();
+
+        // Contiguous misplaced volume: chunk i = [i*c, (i+1)*c), lows first.
+        let chunk = n.div_ceil(t);
+        let mut contiguous_misplaced = 0usize;
+        for (i, part) in base.chunks(chunk).enumerate() {
+            let lows = part.iter().filter(|&&v| v < pivot).count();
+            let hi_start = i * chunk + lows;
+            let hi_end = i * chunk + part.len();
+            contiguous_misplaced += hi_end.min(boundary).saturating_sub(hi_start.min(boundary));
+        }
+
+        assert!(
+            concentric_misplaced <= contiguous_misplaced,
+            "concentric {concentric_misplaced} > contiguous {contiguous_misplaced}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_concentric_is_a_partition(
+            base in proptest::collection::vec(-100i64..100, 0..4000),
+            pivot in -110i64..110,
+            threads in 1usize..7,
+        ) {
+            let mut vals = base.clone();
+            let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
+            let split = concentric_partition(&mut vals, &mut rows, pivot, threads);
+            prop_assert_eq!(split, base.iter().filter(|&&v| v < pivot).count());
+            prop_assert!(is_partitioned(&vals, split, pivot));
+            prop_assert!(vals.iter().zip(&rows).all(|(&v, &r)| base[r as usize] == v));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # holix-parallel — multi-core adaptive indexing
+//!
+//! The multi-core baselines of §4.2 ("Multi-core Adaptive Indexing") and
+//! §5.2 of the paper:
+//!
+//! - [`partition`] — parallel partition-and-merge: the kernel behind
+//!   parallel vectorized cracking (Fig 4, from [44]). A piece is sliced,
+//!   every slice is partitioned by its own thread, and a parallel merge
+//!   swaps the misplaced middle regions into place.
+//! - [`concentric`] — the literal concentric-slice layout of Fig 4, for
+//!   measuring the contiguous-slice substitution documented in DESIGN.md.
+//! - [`pvdc`] — **P**arallel **V**ectorized **D**atabase **C**racking:
+//!   a [`holix_cracking::CrackerColumn`] whose crack kernel is the parallel
+//!   partition.
+//! - [`pvsdc`] — Parallel Vectorized **S**tochastic Database Cracking:
+//!   PVDC plus one auxiliary random crack per query bound.
+//! - [`ccgi`] — modified Parallel Chunked Coarse-Granular Index (mP-CCGI,
+//!   from [8] extended with result consolidation as §5.2 describes).
+
+pub mod ccgi;
+pub mod concentric;
+pub mod partition;
+pub mod pvdc;
+pub mod pvsdc;
+
+pub use ccgi::ChunkedCrackerColumn;
+pub use concentric::concentric_partition;
+pub use partition::parallel_partition;
+pub use pvdc::pvdc_column;
+pub use pvsdc::select_pvsdc;

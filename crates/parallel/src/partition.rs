@@ -1,0 +1,266 @@
+//! Parallel partition-and-merge — the multi-threaded crack kernel (Fig 4 of
+//! the paper, after [44]).
+//!
+//! Phase 1 slices the piece into `threads` contiguous slices; each thread
+//! partitions its slice independently (branch-free out-of-place kernel).
+//! Phase 2 computes the global split point and swaps the misplaced regions —
+//! high values stranded left of the split with low values stranded right of
+//! it — using disjoint swap jobs executed in parallel.
+//!
+//! DESIGN.md documents the substitution: the paper's concentric slice layout
+//! only balances merge work statistically; contiguous slices with a parallel
+//! misplaced-region swap produce the identical output layout at the same
+//! O(N/n + misplaced) cost.
+
+use holix_cracking::vectorized::{crack_in_two_oop, CrackScratch};
+use holix_storage::types::{CrackValue, RowId};
+
+/// Below this piece size the sequential kernel wins; used as the default
+/// threshold by [`crate::pvdc`].
+pub const DEFAULT_MIN_PARALLEL: usize = 1 << 16;
+
+/// Partitions `vals`/`rows` around `pivot` with up to `threads` threads.
+/// Returns the split point (count of values `< pivot`).
+pub fn parallel_partition<V: CrackValue>(
+    vals: &mut [V],
+    rows: &mut [RowId],
+    pivot: V,
+    threads: usize,
+) -> usize {
+    debug_assert_eq!(vals.len(), rows.len());
+    let n = vals.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 * threads {
+        let mut scratch = CrackScratch::new();
+        return crack_in_two_oop(vals, rows, pivot, &mut scratch);
+    }
+
+    // Phase 1: partition contiguous slices independently.
+    let chunk = n.div_ceil(threads);
+    let mut splits: Vec<(usize, usize)> = Vec::with_capacity(threads); // (slice_start, local_split)
+    {
+        let mut jobs: Vec<(usize, &mut [V], &mut [RowId])> = Vec::with_capacity(threads);
+        let mut vrest: &mut [V] = vals;
+        let mut rrest: &mut [RowId] = rows;
+        let mut off = 0usize;
+        while !vrest.is_empty() {
+            let take = chunk.min(vrest.len());
+            let (va, vb) = vrest.split_at_mut(take);
+            let (ra, rb) = rrest.split_at_mut(take);
+            jobs.push((off, va, ra));
+            vrest = vb;
+            rrest = rb;
+            off += take;
+        }
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(off, v, r)| {
+                    s.spawn(move |_| {
+                        let mut scratch = CrackScratch::new();
+                        (off, crack_in_two_oop(v, r, pivot, &mut scratch))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("partition scope panicked");
+        splits.extend(results);
+    }
+    splits.sort_unstable_by_key(|&(off, _)| off);
+
+    // Global boundary.
+    let boundary: usize = splits.iter().map(|&(_, s)| s).sum();
+
+    // Phase 2: collect misplaced segments. Slice i occupies
+    // [off, off+len) = lows [off, off+s) then highs [off+s, off+len).
+    let mut high_left: Vec<(usize, usize)> = Vec::new(); // highs at positions < boundary
+    let mut low_right: Vec<(usize, usize)> = Vec::new(); // lows at positions >= boundary
+    for (i, &(off, s)) in splits.iter().enumerate() {
+        let end = if i + 1 < splits.len() {
+            splits[i + 1].0
+        } else {
+            n
+        };
+        let (lo_s, lo_e) = (off, off + s);
+        let (hi_s, hi_e) = (off + s, end);
+        // Portion of the high segment lying left of the boundary.
+        if hi_s < boundary {
+            high_left.push((hi_s, hi_e.min(boundary)));
+        }
+        // Portion of the low segment lying right of the boundary.
+        if lo_e > boundary {
+            low_right.push((lo_s.max(boundary), lo_e));
+        }
+    }
+    let total_high: usize = high_left.iter().map(|&(a, b)| b - a).sum();
+    let total_low: usize = low_right.iter().map(|&(a, b)| b - a).sum();
+    debug_assert_eq!(total_high, total_low, "misplaced counts must match");
+
+    // Pair the segment lists into disjoint fixed-length swap jobs.
+    let mut swap_jobs: Vec<(usize, usize, usize)> = Vec::new(); // (left, right, len)
+    let (mut hi_idx, mut lo_idx) = (0usize, 0usize);
+    let (mut hi_pos, mut lo_pos) = (0usize, 0usize);
+    while hi_idx < high_left.len() && lo_idx < low_right.len() {
+        let (ha, hb) = high_left[hi_idx];
+        let (la, lb) = low_right[lo_idx];
+        let h_rem = (hb - ha) - hi_pos;
+        let l_rem = (lb - la) - lo_pos;
+        let take = h_rem.min(l_rem);
+        swap_jobs.push((ha + hi_pos, la + lo_pos, take));
+        hi_pos += take;
+        lo_pos += take;
+        if hi_pos == hb - ha {
+            hi_idx += 1;
+            hi_pos = 0;
+        }
+        if lo_pos == lb - la {
+            lo_idx += 1;
+            lo_pos = 0;
+        }
+    }
+
+    execute_swaps(vals, rows, &swap_jobs, threads);
+    boundary
+}
+
+/// Executes disjoint swap jobs, parallelised across threads. Shared with the
+/// concentric-slice variant.
+pub(crate) fn execute_swaps<V: CrackValue>(
+    vals: &mut [V],
+    rows: &mut [RowId],
+    jobs: &[(usize, usize, usize)],
+    threads: usize,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let total: usize = jobs.iter().map(|&(_, _, l)| l).sum();
+    if threads <= 1 || total < (1 << 14) {
+        for &(a, b, len) in jobs {
+            for k in 0..len {
+                vals.swap(a + k, b + k);
+                rows.swap(a + k, b + k);
+            }
+        }
+        return;
+    }
+
+    // Every job swaps a left region (< boundary) with a right region
+    // (>= boundary); all regions across all jobs are pairwise disjoint, so
+    // concurrent execution never touches the same element twice.
+    let vp = SendPtr(vals.as_mut_ptr());
+    let rp = SendPtr(rows.as_mut_ptr());
+    let per = jobs.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for batch in jobs.chunks(per) {
+            let vp = vp;
+            let rp = rp;
+            s.spawn(move |_| {
+                for &(a, b, len) in batch {
+                    // SAFETY: (a..a+len) and (b..b+len) are disjoint from
+                    // every other job's regions and from each other (left
+                    // regions lie strictly below the partition boundary,
+                    // right regions at or above it), so no element is
+                    // accessed by two threads.
+                    unsafe {
+                        std::ptr::swap_nonoverlapping(vp.ptr().add(a), vp.ptr().add(b), len);
+                        std::ptr::swap_nonoverlapping(rp.ptr().add(a), rp.ptr().add(b), len);
+                    }
+                }
+            });
+        }
+    })
+    .expect("swap scope panicked");
+}
+
+/// Raw pointer wrapper that asserts Send for the disjoint-job pattern above.
+/// The accessor method (rather than direct field access) matters: Rust 2021
+/// closures capture precise field paths, and capturing the bare `*mut T`
+/// field would defeat the `Send` wrapper.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: see `execute_swaps` — each thread only dereferences disjoint
+// offsets from the pointer.
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_cracking::crack::is_partitioned;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn check(base: &[i64], pivot: i64, threads: usize) {
+        let mut vals = base.to_vec();
+        let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
+        let split = parallel_partition(&mut vals, &mut rows, pivot, threads);
+        assert!(is_partitioned(&vals, split, pivot), "t={threads}");
+        assert!(
+            vals.iter().zip(&rows).all(|(&v, &r)| base[r as usize] == v),
+            "alignment broken t={threads}"
+        );
+        let mut a = base.to_vec();
+        let mut b = vals.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "multiset broken t={threads}");
+        assert_eq!(split, base.iter().filter(|&&v| v < pivot).count());
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        check(&[5, 1, 9], 4, 8);
+        check(&[], 4, 8);
+        check(&[1], 4, 8);
+    }
+
+    #[test]
+    fn random_inputs_all_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let base: Vec<i64> = (0..200_000).map(|_| rng.random_range(0..10_000)).collect();
+        for t in [1, 2, 3, 4, 8, 16] {
+            check(&base, 5_000, t);
+            check(&base, 0, t);
+            check(&base, 10_000, t);
+        }
+    }
+
+    #[test]
+    fn skewed_inputs() {
+        // All lows then all highs — maximum misplacement for some slices.
+        let mut base: Vec<i64> = vec![1; 100_000];
+        base.extend(vec![9i64; 100_000]);
+        check(&base, 5, 4);
+        // Reversed: all highs first.
+        let mut rev: Vec<i64> = vec![9; 100_000];
+        rev.extend(vec![1i64; 100_000]);
+        check(&rev, 5, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_parallel_matches_sequential(
+            base in proptest::collection::vec(-100i64..100, 0..5000),
+            pivot in -110i64..110,
+            threads in 1usize..9,
+        ) {
+            let mut vals = base.clone();
+            let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
+            let split = parallel_partition(&mut vals, &mut rows, pivot, threads);
+            prop_assert_eq!(split, base.iter().filter(|&&v| v < pivot).count());
+            prop_assert!(is_partitioned(&vals, split, pivot));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Scalar and grouped aggregation operators.
+
+use crate::hash::IntMap;
+use crate::types::{CrackValue, RowId};
+
+/// Running accumulator for one aggregate group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accumulator {
+    /// Number of contributing rows.
+    pub count: u64,
+    /// Sum of the aggregated expression (widened).
+    pub sum: i128,
+}
+
+impl Accumulator {
+    /// Folds one value in.
+    #[inline]
+    pub fn add(&mut self, v: i64) {
+        self.count += 1;
+        self.sum += v as i128;
+    }
+
+    /// Average as a rational pair `(sum, count)`; callers format as needed.
+    pub fn avg_num_den(&self) -> (i128, u64) {
+        (self.sum, self.count)
+    }
+}
+
+/// Sums `values` over the rows in `positions`.
+pub fn sum_at<V: CrackValue>(values: &[V], positions: &[RowId]) -> i128 {
+    positions
+        .iter()
+        .map(|&p| values[p as usize].as_i64() as i128)
+        .sum()
+}
+
+/// Grouped aggregation with a *small dense* grouping key (e.g. the 6 distinct
+/// `(returnflag, linestatus)` pairs of TPC-H Q1): key must be `< groups`.
+///
+/// Dense arrays beat hash tables when the group domain is tiny and known.
+pub fn group_aggregate_dense(
+    keys: &[u32],
+    aggregate_input: &[i64],
+    groups: usize,
+) -> Vec<Accumulator> {
+    debug_assert_eq!(keys.len(), aggregate_input.len());
+    let mut accs = vec![Accumulator::default(); groups];
+    for (&k, &v) in keys.iter().zip(aggregate_input) {
+        accs[k as usize].add(v);
+    }
+    accs
+}
+
+/// Grouped aggregation over an arbitrary integer key domain via hash table.
+pub fn group_aggregate_hash(keys: &[i64], aggregate_input: &[i64]) -> IntMap<i64, Accumulator> {
+    debug_assert_eq!(keys.len(), aggregate_input.len());
+    let mut accs: IntMap<i64, Accumulator> = IntMap::default();
+    for (&k, &v) in keys.iter().zip(aggregate_input) {
+        accs.entry(k).or_default().add(v);
+    }
+    accs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_count_and_sum() {
+        let mut a = Accumulator::default();
+        a.add(5);
+        a.add(-2);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, 3);
+        assert_eq!(a.avg_num_den(), (3, 2));
+    }
+
+    #[test]
+    fn sum_at_gathers() {
+        let vals = [10i64, 20, 30];
+        assert_eq!(sum_at(&vals, &[0, 2]), 40);
+        assert_eq!(sum_at(&vals, &[]), 0);
+    }
+
+    #[test]
+    fn dense_grouping() {
+        let keys = [0u32, 1, 0, 2, 1];
+        let input = [1i64, 10, 2, 100, 20];
+        let accs = group_aggregate_dense(&keys, &input, 3);
+        assert_eq!(accs[0], Accumulator { count: 2, sum: 3 });
+        assert_eq!(accs[1], Accumulator { count: 2, sum: 30 });
+        assert_eq!(accs[2], Accumulator { count: 1, sum: 100 });
+    }
+
+    #[test]
+    fn hash_grouping_matches_dense_on_shared_domain() {
+        let keys_small = [0u32, 1, 0, 2, 1, 2, 2];
+        let keys_big: Vec<i64> = keys_small.iter().map(|&k| k as i64 * 1_000_003).collect();
+        let input = [1i64, 2, 3, 4, 5, 6, 7];
+        let dense = group_aggregate_dense(&keys_small, &input, 3);
+        let hashed = group_aggregate_hash(&keys_big, &input);
+        for (k, acc) in [(0, dense[0]), (1, dense[1]), (2, dense[2])] {
+            assert_eq!(hashed[&(k * 1_000_003)], acc);
+        }
+    }
+}

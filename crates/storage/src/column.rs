@@ -1,0 +1,152 @@
+//! Dense, fixed-width columns — the storage unit of the column store.
+
+use crate::types::CrackValue;
+
+/// A named, dense array of fixed-width values.
+///
+/// Columns are append-only at this layer; in-place reorganisation (cracking)
+/// happens on *copies* managed by the adaptive-indexing crates, never on base
+/// columns, exactly as in the paper (`ACRK` is a copy of base column `A`).
+#[derive(Debug, Clone)]
+pub struct Column<V> {
+    name: String,
+    data: Vec<V>,
+}
+
+impl<V: CrackValue> Column<V> {
+    /// Creates an empty column.
+    pub fn new(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates a column from existing data, taking ownership.
+    pub fn from_vec(name: impl Into<String>, data: Vec<V>) -> Self {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Creates an empty column with room for `cap` values.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        Column {
+            name: name.into(),
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The column's name in the catalog.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the raw values. All bulk operators work on this slice.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Value at position `pos`; panics if out of bounds (positions are
+    /// produced by operators over the same column, so a miss is a logic bug).
+    #[inline]
+    pub fn get(&self, pos: usize) -> V {
+        self.data[pos]
+    }
+
+    /// Appends a single value.
+    pub fn push(&mut self, v: V) {
+        self.data.push(v);
+    }
+
+    /// Appends many values.
+    pub fn extend_from_slice(&mut self, vs: &[V]) {
+        self.data.extend_from_slice(vs);
+    }
+
+    /// Smallest and largest stored value, or `None` for an empty column.
+    ///
+    /// One tight pass; used to establish the pivot domain for holistic
+    /// refinement when a cracker column is created.
+    pub fn min_max(&self) -> Option<(V, V)> {
+        let mut it = self.data.iter();
+        let first = *it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for &v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Heap bytes consumed by the value payload (for storage budgeting).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * V::width()
+    }
+
+    /// Consumes the column, returning the raw data.
+    pub fn into_vec(self) -> Vec<V> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let mut c = Column::<i64>::new("a");
+        assert!(c.is_empty());
+        c.push(5);
+        c.extend_from_slice(&[2, 9, -1]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.values(), &[5, 2, 9, -1]);
+        assert_eq!(c.get(2), 9);
+        assert_eq!(c.name(), "a");
+    }
+
+    #[test]
+    fn min_max_full_and_empty() {
+        let c = Column::from_vec("a", vec![3i32, -7, 11, 0]);
+        assert_eq!(c.min_max(), Some((-7, 11)));
+        let e = Column::<i32>::new("e");
+        assert_eq!(e.min_max(), None);
+    }
+
+    #[test]
+    fn min_max_single_value() {
+        let c = Column::from_vec("a", vec![42i64]);
+        assert_eq!(c.min_max(), Some((42, 42)));
+    }
+
+    #[test]
+    fn payload_bytes_tracks_width() {
+        let c = Column::from_vec("a", vec![1i64, 2, 3]);
+        assert_eq!(c.payload_bytes(), 24);
+        let c = Column::from_vec("b", vec![1i32, 2, 3]);
+        assert_eq!(c.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let c = Column::from_vec("a", vec![1i64, 2]);
+        assert_eq!(c.into_vec(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for storage-level operations.
+
+use std::fmt;
+
+/// Errors raised by catalog and operator code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column name was not found in a table.
+    ColumnNotFound { table: String, column: String },
+    /// A column was accessed with the wrong concrete type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// Columns appended to one table must have equal lengths.
+    LengthMismatch {
+        table: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A duplicate column name was added to a table.
+    DuplicateColumn { table: String, column: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column `{column}` not found in table `{table}`")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has type {actual}, expected {expected}"
+            ),
+            StorageError::LengthMismatch {
+                table,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column length {actual} does not match table `{table}` height {expected}"
+            ),
+            StorageError::DuplicateColumn { table, column } => {
+                write!(f, "column `{column}` already exists in table `{table}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ColumnNotFound {
+            table: "lineitem".into(),
+            column: "l_tax".into(),
+        };
+        assert!(e.to_string().contains("l_tax"));
+        assert!(e.to_string().contains("lineitem"));
+
+        let e = StorageError::TypeMismatch {
+            column: "a".into(),
+            expected: "i64",
+            actual: "i32",
+        };
+        assert!(e.to_string().contains("expected i64"));
+    }
+}

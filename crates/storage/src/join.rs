@@ -1,0 +1,115 @@
+//! Hash join on integer keys.
+//!
+//! Build on the smaller input (unique keys in our TPC-H use: `orders`),
+//! probe with the larger (`lineitem`). Output is positional: pairs of
+//! `(probe_pos, build_pos)` so downstream projection stays positional.
+
+use crate::hash::IntMap;
+use crate::types::{CrackValue, RowId};
+
+/// Hash table mapping key → build-side position(s).
+pub struct JoinTable {
+    unique: IntMap<i64, RowId>,
+    /// Overflow for duplicate build keys (rare in key-foreign-key joins).
+    dupes: IntMap<i64, Vec<RowId>>,
+}
+
+impl JoinTable {
+    /// Builds from the build side's key column.
+    pub fn build<V: CrackValue>(keys: &[V]) -> Self {
+        let mut unique: IntMap<i64, RowId> = IntMap::default();
+        unique.reserve(keys.len());
+        let mut dupes: IntMap<i64, Vec<RowId>> = IntMap::default();
+        for (pos, &k) in keys.iter().enumerate() {
+            let k = k.as_i64();
+            match unique.entry(k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(pos as RowId);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    dupes.entry(k).or_default().push(pos as RowId);
+                }
+            }
+        }
+        JoinTable { unique, dupes }
+    }
+
+    /// Number of distinct keys in the table.
+    pub fn distinct_keys(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Probes one key, invoking `f` for every matching build position.
+    #[inline]
+    pub fn probe(&self, key: i64, mut f: impl FnMut(RowId)) {
+        if let Some(&first) = self.unique.get(&key) {
+            f(first);
+            if let Some(rest) = self.dupes.get(&key) {
+                for &p in rest {
+                    f(p);
+                }
+            }
+        }
+    }
+}
+
+/// Joins `probe_keys` (restricted to `probe_positions`) against the table,
+/// returning matched `(probe_pos, build_pos)` pairs.
+pub fn hash_join_positions<V: CrackValue>(
+    table: &JoinTable,
+    probe_keys: &[V],
+    probe_positions: &[RowId],
+) -> Vec<(RowId, RowId)> {
+    let mut out = Vec::with_capacity(probe_positions.len());
+    for &pp in probe_positions {
+        let key = probe_keys[pp as usize].as_i64();
+        table.probe(key, |bp| out.push((pp, bp)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_foreign_key_join() {
+        // build: orders with keys 100..105 at positions 0..5
+        let orders: Vec<i64> = (100..105).collect();
+        let t = JoinTable::build(&orders);
+        assert_eq!(t.distinct_keys(), 5);
+
+        // probe: lineitems referencing orders
+        let li = [104i64, 100, 100, 999, 102];
+        let pos: Vec<RowId> = (0..li.len() as u32).collect();
+        let mut pairs = hash_join_positions(&t, &li, &pos);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 4), (1, 0), (2, 0), (4, 2)]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_all_match() {
+        let build = [7i64, 7, 8];
+        let t = JoinTable::build(&build);
+        let mut hits = Vec::new();
+        t.probe(7, |p| hits.push(p));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn probe_subset_only() {
+        let t = JoinTable::build(&[1i64, 2, 3]);
+        let li = [1i64, 2, 3];
+        // only probe position 1
+        let pairs = hash_join_positions(&t, &li, &[1]);
+        assert_eq!(pairs, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn missing_keys_produce_no_pairs() {
+        let t = JoinTable::build(&[10i64]);
+        let pairs = hash_join_positions(&t, &[99i64], &[0]);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Positional projection (gather) — late tuple reconstruction.
+//!
+//! A select over column `A` yields positions; projecting column `B` fetches
+//! `B[pos]` for each position. Because base columns are positionally aligned,
+//! this is a plain gather.
+
+use crate::select::RangeStats;
+use crate::types::{CrackValue, RowId};
+
+/// Gathers `values[pos]` for every position, materialising the projection.
+pub fn gather<V: CrackValue>(values: &[V], positions: &[RowId]) -> Vec<V> {
+    positions.iter().map(|&p| values[p as usize]).collect()
+}
+
+/// Gathers and aggregates in one pass, avoiding materialisation — used for
+/// checksum verification of `select B from R where A ...` plans.
+pub fn gather_stats<V: CrackValue>(values: &[V], positions: &[RowId]) -> RangeStats {
+    let mut sum = 0i128;
+    for &p in positions {
+        sum += values[p as usize].as_i64() as i128;
+    }
+    RangeStats {
+        count: positions.len() as u64,
+        sum,
+    }
+}
+
+/// Gathers `values[pos]` for a *contiguous* position range — the fast path
+/// for selections that produce contiguous candidate lists (sorted or cracked
+/// columns).
+pub fn gather_range<V: CrackValue>(values: &[V], start: usize, end: usize) -> Vec<V> {
+    values[start..end].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_fetches_positions() {
+        let b = [10i64, 20, 30, 40];
+        assert_eq!(gather(&b, &[3, 0, 0]), vec![40, 10, 10]);
+        assert!(gather(&b, &[]).is_empty());
+    }
+
+    #[test]
+    fn gather_stats_matches_gather() {
+        let b = [5i32, -1, 7];
+        let pos = [2u32, 1, 1];
+        let s = gather_stats(&b, &pos);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 5);
+        let mat = gather(&b, &pos);
+        assert_eq!(mat.iter().map(|v| *v as i128).sum::<i128>(), s.sum);
+    }
+
+    #[test]
+    fn gather_range_is_slice_copy() {
+        let b = [1i64, 2, 3, 4, 5];
+        assert_eq!(gather_range(&b, 1, 4), vec![2, 3, 4]);
+        assert!(gather_range(&b, 2, 2).is_empty());
+    }
+}

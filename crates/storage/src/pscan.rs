@@ -1,0 +1,120 @@
+//! Parallel range scan — the paper's "plain scans" baseline, where every
+//! query scans the entire column with all available threads.
+
+use crate::select::{scan_stats, Predicate, RangeStats};
+use crate::types::CrackValue;
+
+/// Scans `values` with `threads` worker threads, merging per-chunk
+/// [`RangeStats`]. Falls back to the sequential scan for small inputs or a
+/// single thread.
+pub fn parallel_scan_stats<V: CrackValue>(
+    values: &[V],
+    pred: Predicate<V>,
+    threads: usize,
+) -> RangeStats {
+    const MIN_PARALLEL: usize = 1 << 14;
+    let threads = threads.max(1);
+    if threads == 1 || values.len() < MIN_PARALLEL {
+        return scan_stats(values, pred);
+    }
+    let chunk = values.len().div_ceil(threads);
+    let mut total = RangeStats::default();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|part| s.spawn(move |_| scan_stats(part, pred)))
+            .collect();
+        for h in handles {
+            total.merge(h.join().expect("scan worker panicked"));
+        }
+    })
+    .expect("scan scope panicked");
+    total
+}
+
+/// Count-only parallel scan (the fair comparison point against indexed
+/// selects, which produce counts from contiguous ranges).
+pub fn parallel_scan_count<V: CrackValue>(
+    values: &[V],
+    pred: Predicate<V>,
+    threads: usize,
+) -> u64 {
+    const MIN_PARALLEL: usize = 1 << 14;
+    let threads = threads.max(1);
+    if threads == 1 || values.len() < MIN_PARALLEL {
+        return crate::select::scan_count(values, pred);
+    }
+    let chunk = values.len().div_ceil(threads);
+    let mut total = 0u64;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|part| s.spawn(move |_| crate::select::scan_count(part, pred)))
+            .collect();
+        for h in handles {
+            total += h.join().expect("scan worker panicked");
+        }
+    })
+    .expect("scan scope panicked");
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn count_matches_stats_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let vals: Vec<i64> = (0..(1 << 16)).map(|_| rng.random_range(0..1000)).collect();
+        let pred = Predicate::range(100, 700);
+        assert_eq!(
+            parallel_scan_count(&vals, pred, 8),
+            parallel_scan_stats(&vals, pred, 8).count
+        );
+    }
+
+    #[test]
+    fn matches_sequential_on_small_input() {
+        let vals: Vec<i64> = (0..100).collect();
+        let pred = Predicate::range(10, 20);
+        assert_eq!(
+            parallel_scan_stats(&vals, pred, 4),
+            scan_stats(&vals, pred)
+        );
+    }
+
+    #[test]
+    fn matches_sequential_on_large_random_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vals: Vec<i64> = (0..(1 << 16)).map(|_| rng.random_range(0..1000)).collect();
+        for (lo, hi) in [(0, 1000), (100, 101), (500, 499), (250, 750)] {
+            let pred = Predicate::range(lo, hi);
+            assert_eq!(
+                parallel_scan_stats(&vals, pred, 8),
+                scan_stats(&vals, pred),
+                "range {lo}..{hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_result() {
+        let vals: Vec<i32> = (0..(1 << 15)).map(|i| (i * 37) % 1024).collect();
+        let pred = Predicate::range(100, 600);
+        let base = scan_stats(&vals, pred);
+        for t in [1, 2, 3, 5, 16] {
+            assert_eq!(parallel_scan_stats(&vals, pred, t), base, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let vals: Vec<i64> = vec![];
+        assert_eq!(
+            parallel_scan_stats(&vals, Predicate::less_than(5), 4),
+            RangeStats::default()
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Tables and the minimal catalog: named collections of positionally aligned
+//! columns with dynamic (per-column) value types.
+
+use crate::column::Column;
+use crate::error::StorageError;
+
+/// A column of any supported concrete type.
+///
+/// The enum keeps dynamic dispatch out of hot operator loops: engines match
+/// once, then run monomorphised kernels on the inner slices.
+#[derive(Debug, Clone)]
+pub enum AnyColumn {
+    I8(Column<i8>),
+    I16(Column<i16>),
+    I32(Column<i32>),
+    I64(Column<i64>),
+}
+
+impl AnyColumn {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyColumn::I8(c) => c.len(),
+            AnyColumn::I16(c) => c.len(),
+            AnyColumn::I32(c) => c.len(),
+            AnyColumn::I64(c) => c.len(),
+        }
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        match self {
+            AnyColumn::I8(c) => c.name(),
+            AnyColumn::I16(c) => c.name(),
+            AnyColumn::I32(c) => c.name(),
+            AnyColumn::I64(c) => c.name(),
+        }
+    }
+
+    /// Name of the concrete value type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AnyColumn::I8(_) => "i8",
+            AnyColumn::I16(_) => "i16",
+            AnyColumn::I32(_) => "i32",
+            AnyColumn::I64(_) => "i64",
+        }
+    }
+
+    /// Heap bytes of the value payload.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            AnyColumn::I8(c) => c.payload_bytes(),
+            AnyColumn::I16(c) => c.payload_bytes(),
+            AnyColumn::I32(c) => c.payload_bytes(),
+            AnyColumn::I64(c) => c.payload_bytes(),
+        }
+    }
+}
+
+impl From<Column<i8>> for AnyColumn {
+    fn from(c: Column<i8>) -> Self {
+        AnyColumn::I8(c)
+    }
+}
+impl From<Column<i16>> for AnyColumn {
+    fn from(c: Column<i16>) -> Self {
+        AnyColumn::I16(c)
+    }
+}
+impl From<Column<i32>> for AnyColumn {
+    fn from(c: Column<i32>) -> Self {
+        AnyColumn::I32(c)
+    }
+}
+impl From<Column<i64>> for AnyColumn {
+    fn from(c: Column<i64>) -> Self {
+        AnyColumn::I64(c)
+    }
+}
+
+/// A vertically fragmented relational table: equal-height columns aligned by
+/// position.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    name: String,
+    columns: Vec<AnyColumn>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tuples (the shared column height); 0 for a table with no
+    /// columns.
+    pub fn height(&self) -> usize {
+        self.columns.first().map_or(0, AnyColumn::len)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in insertion order.
+    pub fn columns(&self) -> &[AnyColumn] {
+        &self.columns
+    }
+
+    /// Adds a column; its length must match the table height (unless this is
+    /// the first column) and its name must be fresh.
+    pub fn add_column(&mut self, col: impl Into<AnyColumn>) -> Result<(), StorageError> {
+        let col = col.into();
+        if !self.columns.is_empty() && col.len() != self.height() {
+            return Err(StorageError::LengthMismatch {
+                table: self.name.clone(),
+                expected: self.height(),
+                actual: col.len(),
+            });
+        }
+        if self.columns.iter().any(|c| c.name() == col.name()) {
+            return Err(StorageError::DuplicateColumn {
+                table: self.name.clone(),
+                column: col.name().to_string(),
+            });
+        }
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Looks a column up by name.
+    pub fn column(&self, name: &str) -> Result<&AnyColumn, StorageError> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| StorageError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Typed accessor for an `i64` column.
+    pub fn col_i64(&self, name: &str) -> Result<&Column<i64>, StorageError> {
+        match self.column(name)? {
+            AnyColumn::I64(c) => Ok(c),
+            other => Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "i64",
+                actual: other.type_name(),
+            }),
+        }
+    }
+
+    /// Typed accessor for an `i32` column.
+    pub fn col_i32(&self, name: &str) -> Result<&Column<i32>, StorageError> {
+        match self.column(name)? {
+            AnyColumn::I32(c) => Ok(c),
+            other => Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "i32",
+                actual: other.type_name(),
+            }),
+        }
+    }
+
+    /// Typed accessor for an `i8` column.
+    pub fn col_i8(&self, name: &str) -> Result<&Column<i8>, StorageError> {
+        match self.column(name)? {
+            AnyColumn::I8(c) => Ok(c),
+            other => Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "i8",
+                actual: other.type_name(),
+            }),
+        }
+    }
+
+    /// Total payload bytes across all columns.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns.iter().map(AnyColumn::payload_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_table() -> Table {
+        let mut t = Table::new("r");
+        t.add_column(Column::from_vec("a", vec![1i64, 2, 3])).unwrap();
+        t.add_column(Column::from_vec("b", vec![10i32, 20, 30])).unwrap();
+        t
+    }
+
+    #[test]
+    fn height_and_width() {
+        let t = two_col_table();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.name(), "r");
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let t = two_col_table();
+        assert_eq!(t.col_i64("a").unwrap().values(), &[1, 2, 3]);
+        assert_eq!(t.col_i32("b").unwrap().values(), &[10, 20, 30]);
+        assert!(matches!(
+            t.col_i64("b"),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.col_i64("zzz"),
+            Err(StorageError::ColumnNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut t = two_col_table();
+        let err = t
+            .add_column(Column::from_vec("c", vec![1i64, 2]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::LengthMismatch { expected: 3, actual: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut t = two_col_table();
+        let err = t
+            .add_column(Column::from_vec("a", vec![0i64, 0, 0]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn payload_bytes_sums_columns() {
+        let t = two_col_table();
+        assert_eq!(t.payload_bytes(), 3 * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty");
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.width(), 0);
+        assert_eq!(t.payload_bytes(), 0);
+    }
+}

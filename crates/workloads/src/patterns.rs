@@ -1,0 +1,259 @@
+//! Query-pattern generators (Fig 10(a)–(d) and the §5.4 schema sweeps).
+//!
+//! Each workload is a sequence of single-attribute range selects. The
+//! *pattern* governs how predicate values walk the value domain; the
+//! *attribute distribution* governs which attribute each query touches.
+
+use rand::prelude::*;
+
+/// The value patterns of Fig 10 (SkyServer lives in [`crate::skyserver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Uniformly random ranges — both bounds drawn uniformly (the §5.1
+    /// microbenchmark: "the value range requested by each query (and thus
+    /// the selectivity) is random").
+    Random,
+    /// Queries confined to the top fifth of the domain (Fig 10(b): "from
+    /// 800 million to 2³⁰").
+    Skewed,
+    /// Repeated ascending sweeps across the domain (Fig 10(c)).
+    Periodic,
+    /// One monotone sweep in small steps (Fig 10(d)).
+    Sequential,
+}
+
+impl Pattern {
+    /// Patterns used in the robustness experiments (Fig 12/15) excluding
+    /// SkyServer.
+    pub const SYNTHETIC: [Pattern; 4] = [
+        Pattern::Random,
+        Pattern::Skewed,
+        Pattern::Periodic,
+        Pattern::Sequential,
+    ];
+
+    /// Label used in benchmark CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Random => "Random",
+            Pattern::Skewed => "Skewed",
+            Pattern::Periodic => "Periodic",
+            Pattern::Sequential => "Sequential",
+        }
+    }
+}
+
+/// How queries choose attributes in a multi-attribute schema (§5.4: "we run
+/// both a random workload where every attribute is evenly queried as well as
+/// a skewed workload where some attributes are queried more than others").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttrDist {
+    /// Every attribute equally likely.
+    #[default]
+    Uniform,
+    /// Zipf-like: attribute `k` is queried proportionally to `1/(k+1)`.
+    Skewed,
+}
+
+/// One range-select query over one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Which attribute the query touches.
+    pub attr: usize,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Exclusive upper bound.
+    pub hi: i64,
+}
+
+/// Full description of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Value pattern.
+    pub pattern: Pattern,
+    /// Attribute-selection distribution.
+    pub attr_dist: AttrDist,
+    /// Attributes in the schema.
+    pub n_attrs: usize,
+    /// Queries to generate.
+    pub n_queries: usize,
+    /// Value domain `[0, domain)`.
+    pub domain: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A §5.1-style workload: random ranges, uniform attributes.
+    pub fn random(n_attrs: usize, n_queries: usize, domain: i64, seed: u64) -> Self {
+        WorkloadSpec {
+            pattern: Pattern::Random,
+            attr_dist: AttrDist::Uniform,
+            n_attrs,
+            n_queries,
+            domain,
+            seed,
+        }
+    }
+
+    /// Generates the query sequence.
+    pub fn generate(&self) -> Vec<QuerySpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let domain = self.domain.max(2);
+        // Non-random patterns query a window of ~1% of the domain around the
+        // pattern-driven position, so selectivity stays comparable across
+        // patterns.
+        let window = (domain / 100).max(1);
+        // Periodic pattern: a handful of full sweeps across the workload.
+        let period = (self.n_queries / 8).max(2);
+
+        (0..self.n_queries)
+            .map(|i| {
+                let attr = self.pick_attr(&mut rng);
+                let (lo, hi) = match self.pattern {
+                    Pattern::Random => {
+                        let a = rng.random_range(0..domain);
+                        let b = rng.random_range(0..domain);
+                        (a.min(b), a.max(b).max(a.min(b) + 1))
+                    }
+                    Pattern::Skewed => {
+                        let base = domain * 4 / 5;
+                        let pos = base + rng.random_range(0..(domain - base).max(1));
+                        clamp_window(pos, window, domain)
+                    }
+                    Pattern::Periodic => {
+                        let frac = (i % period) as f64 / period as f64;
+                        let pos = (frac * domain as f64) as i64
+                            + rng.random_range(0..window.max(1));
+                        clamp_window(pos, window, domain)
+                    }
+                    Pattern::Sequential => {
+                        let frac = i as f64 / self.n_queries.max(1) as f64;
+                        let pos = (frac * domain as f64) as i64
+                            + rng.random_range(0..window.max(1));
+                        clamp_window(pos, window, domain)
+                    }
+                };
+                QuerySpec { attr, lo, hi }
+            })
+            .collect()
+    }
+
+    fn pick_attr(&self, rng: &mut StdRng) -> usize {
+        match self.attr_dist {
+            AttrDist::Uniform => rng.random_range(0..self.n_attrs.max(1)),
+            AttrDist::Skewed => {
+                // Zipf(1) over n_attrs by inverse-CDF on harmonic weights.
+                let n = self.n_attrs.max(1);
+                let h: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+                let target = rng.random_range(0.0..h);
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += 1.0 / (k + 1) as f64;
+                    if target < acc {
+                        return k;
+                    }
+                }
+                n - 1
+            }
+        }
+    }
+}
+
+fn clamp_window(pos: i64, window: i64, domain: i64) -> (i64, i64) {
+    let lo = pos.clamp(0, domain - 1);
+    let hi = (lo + window).clamp(lo + 1, domain);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(pattern: Pattern) -> WorkloadSpec {
+        WorkloadSpec {
+            pattern,
+            attr_dist: AttrDist::Uniform,
+            n_attrs: 10,
+            n_queries: 1_000,
+            domain: 1 << 30,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn all_patterns_produce_valid_ranges() {
+        for p in Pattern::SYNTHETIC {
+            let qs = spec(p).generate();
+            assert_eq!(qs.len(), 1_000, "{p:?}");
+            for q in &qs {
+                assert!(q.lo < q.hi, "{p:?} {q:?}");
+                assert!(q.lo >= 0 && q.hi <= 1 << 30);
+                assert!(q.attr < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_pattern_stays_in_upper_fifth() {
+        let qs = spec(Pattern::Skewed).generate();
+        let cutoff = (1i64 << 30) * 4 / 5;
+        assert!(qs.iter().all(|q| q.lo >= cutoff));
+    }
+
+    #[test]
+    fn sequential_is_monotone() {
+        let qs = spec(Pattern::Sequential).generate();
+        // Position trend must ascend: compare decile means.
+        let decile = |k: usize| -> f64 {
+            qs[k * 100..(k + 1) * 100]
+                .iter()
+                .map(|q| q.lo as f64)
+                .sum::<f64>()
+                / 100.0
+        };
+        for k in 0..9 {
+            assert!(decile(k) < decile(k + 1), "decile {k}");
+        }
+    }
+
+    #[test]
+    fn periodic_revisits_low_values() {
+        let qs = spec(Pattern::Periodic).generate();
+        let low_count = qs.iter().filter(|q| q.lo < (1 << 27)).count();
+        // Each sweep restarts at the bottom: low values appear throughout.
+        assert!(low_count > 50, "{low_count}");
+        let late_low = qs[800..]
+            .iter()
+            .filter(|q| q.lo < (1 << 27))
+            .count();
+        assert!(late_low > 5, "no late sweep restart");
+    }
+
+    #[test]
+    fn uniform_attrs_spread_evenly() {
+        let qs = spec(Pattern::Random).generate();
+        let mut counts = vec![0usize; 10];
+        for q in &qs {
+            counts[q.attr] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+
+    #[test]
+    fn skewed_attrs_prefer_low_indices() {
+        let mut s = spec(Pattern::Random);
+        s.attr_dist = AttrDist::Skewed;
+        let qs = s.generate();
+        let mut counts = vec![0usize; 10];
+        for q in &qs {
+            counts[q.attr] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(spec(Pattern::Random).generate(), spec(Pattern::Random).generate());
+    }
+}

@@ -1,0 +1,140 @@
+//! Mixed read/write streams for the update experiments (§5.7).
+//!
+//! Two scenarios: **HFLV** (High Frequency Low Volume — 10 inserts every 10
+//! queries) and **LFHV** (Low Frequency High Volume — 100 inserts every 100
+//! queries). Both interleave 500 range selects with 500 insertions on one
+//! attribute; the harness injects the paper's idle gap after the 10th query.
+
+use crate::patterns::QuerySpec;
+use rand::prelude::*;
+
+/// Update-arrival scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateScenario {
+    /// 10 inserts arrive every 10 queries.
+    HighFrequencyLowVolume,
+    /// 100 inserts arrive every 100 queries.
+    LowFrequencyHighVolume,
+}
+
+impl UpdateScenario {
+    /// Queries between insert batches == batch size.
+    pub fn batch(&self) -> usize {
+        match self {
+            UpdateScenario::HighFrequencyLowVolume => 10,
+            UpdateScenario::LowFrequencyHighVolume => 100,
+        }
+    }
+
+    /// CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateScenario::HighFrequencyLowVolume => "HFLV",
+            UpdateScenario::LowFrequencyHighVolume => "LFHV",
+        }
+    }
+}
+
+/// One element of the interleaved stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A range select on the single attribute.
+    Query(QuerySpec),
+    /// A batch of values to insert.
+    InsertBatch(Vec<i64>),
+}
+
+/// Generates the §5.7 stream: `n_queries` selects with an insert batch every
+/// `scenario.batch()` queries, `n_inserts` insertions in total.
+pub fn update_stream(
+    scenario: UpdateScenario,
+    n_queries: usize,
+    n_inserts: usize,
+    domain: i64,
+    seed: u64,
+) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = domain.max(2);
+    let batch = scenario.batch();
+    let n_batches = n_queries / batch;
+    let per_batch = if n_batches == 0 {
+        n_inserts
+    } else {
+        n_inserts / n_batches
+    };
+
+    let mut out = Vec::with_capacity(n_queries + n_batches + 1);
+    let mut inserted = 0usize;
+    for i in 0..n_queries {
+        if i > 0 && i % batch == 0 && inserted < n_inserts {
+            let take = per_batch.min(n_inserts - inserted);
+            let vals = (0..take).map(|_| rng.random_range(0..domain)).collect();
+            inserted += take;
+            out.push(Op::InsertBatch(vals));
+        }
+        let a = rng.random_range(0..domain);
+        let b = rng.random_range(0..domain);
+        out.push(Op::Query(QuerySpec {
+            attr: 0,
+            lo: a.min(b),
+            hi: a.max(b).max(a.min(b) + 1),
+        }));
+    }
+    if inserted < n_inserts {
+        let vals = (0..n_inserts - inserted)
+            .map(|_| rng.random_range(0..domain))
+            .collect();
+        out.push(Op::InsertBatch(vals));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(ops: &[Op]) -> (usize, usize) {
+        let q = ops.iter().filter(|o| matches!(o, Op::Query(_))).count();
+        let i = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::InsertBatch(v) => Some(v.len()),
+                _ => None,
+            })
+            .sum();
+        (q, i)
+    }
+
+    #[test]
+    fn hflv_counts() {
+        let ops = update_stream(UpdateScenario::HighFrequencyLowVolume, 500, 500, 1 << 20, 1);
+        assert_eq!(totals(&ops), (500, 500));
+        // Batches of ~10 appear regularly.
+        let batches = ops
+            .iter()
+            .filter(|o| matches!(o, Op::InsertBatch(_)))
+            .count();
+        assert!(batches >= 49, "batches={batches}");
+    }
+
+    #[test]
+    fn lfhv_counts() {
+        let ops = update_stream(UpdateScenario::LowFrequencyHighVolume, 500, 500, 1 << 20, 2);
+        assert_eq!(totals(&ops), (500, 500));
+        for op in &ops {
+            if let Op::InsertBatch(v) = op {
+                assert!(v.len() >= 100, "LFHV batch {}", v.len());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_valid_ranges() {
+        let ops = update_stream(UpdateScenario::HighFrequencyLowVolume, 200, 200, 1 << 16, 3);
+        for op in ops {
+            if let Op::Query(q) = op {
+                assert!(q.lo < q.hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a table, fire ad-hoc range queries, watch holistic
+//! indexing refine the physical design in the background.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use holix::engine::{Dataset, HolisticEngine, HolisticEngineConfig, QueryEngine};
+use holix::workloads::{data::uniform_table, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    // A 4-attribute table of 1M uniform integers per attribute.
+    let attrs = 4;
+    let rows = 1 << 20;
+    let domain = 1 << 20;
+    println!("building table: {attrs} attributes x {rows} rows");
+    let data = Dataset::new(uniform_table(attrs, rows, domain, 42));
+
+    // Holistic indexing with half the contexts for queries, half for
+    // background workers.
+    let contexts = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4);
+    let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(contexts));
+
+    // An ad-hoc workload: random ranges over random attributes — the
+    // "future is unknown" scenario the paper targets.
+    let queries = WorkloadSpec::random(attrs, 200, domain, 7).generate();
+
+    let mut first_ten = 0.0;
+    let mut last_ten = 0.0;
+    for (i, q) in queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let count = engine.execute(q);
+        let dt = t0.elapsed().as_secs_f64();
+        if i < 10 {
+            first_ten += dt;
+        }
+        if i >= queries.len() - 10 {
+            last_ten += dt;
+        }
+        if i % 50 == 0 {
+            println!(
+                "query {i:>3}: attr={} range=[{}, {}) -> {count} rows in {:.2} ms \
+                 ({} pieces across all indices)",
+                q.attr,
+                q.lo,
+                q.hi,
+                dt * 1e3,
+                engine.total_pieces()
+            );
+        }
+    }
+
+    let cycles = engine.stop();
+    let refinements: u64 = cycles.iter().map(|c| c.refinements).sum();
+    println!("---");
+    println!("first 10 queries: {:.2} ms", first_ten * 1e3);
+    println!("last 10 queries:  {:.2} ms", last_ten * 1e3);
+    println!(
+        "tuning cycles: {} | background refinements: {refinements} | final pieces: {}",
+        cycles.len(),
+        engine.total_pieces()
+    );
+    println!(
+        "the last queries are cheap because queries AND idle-cycle workers kept \
+         cracking the indices"
+    );
+}

@@ -1,0 +1,85 @@
+//! Exploratory analytics on a SkyServer-like trace (§5.3 of the paper):
+//! an astronomer's queries dwell on one region of the sky, then jump to
+//! another. Query-driven cracking alone leaves the rest of the sky
+//! unindexed; holistic indexing keeps refining the whole domain, so the
+//! next jump lands on prepared ground.
+//!
+//! ```sh
+//! cargo run --release --example skyserver_exploration
+//! ```
+
+use holix::engine::{
+    AdaptiveEngine, CrackMode, Dataset, HolisticEngine, HolisticEngineConfig, QueryEngine,
+};
+use holix::workloads::data::uniform_column;
+use holix::workloads::skyserver::SkyServerSpec;
+use std::time::Instant;
+
+fn run(engine: &dyn QueryEngine, queries: &[holix::workloads::QuerySpec]) -> (f64, f64) {
+    // Returns (total seconds, worst single "jump" query in seconds).
+    let mut total = 0.0;
+    let mut worst = 0.0f64;
+    for q in queries {
+        let t0 = Instant::now();
+        std::hint::black_box(engine.execute(q));
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        worst = worst.max(dt);
+    }
+    (total, worst)
+}
+
+fn main() {
+    let rows = 1 << 21;
+    let domain = 1 << 30;
+    println!("loading ascension column: {rows} tuples");
+    let data = Dataset::new(vec![uniform_column(rows, domain, 2015)]);
+
+    let trace = SkyServerSpec {
+        n_queries: 2_000,
+        domain,
+        dwell: 200,
+        seed: 77,
+    }
+    .generate();
+    println!("replaying {} dwell-and-jump queries", trace.len());
+
+    let contexts = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4);
+
+    let adaptive = AdaptiveEngine::new(
+        data.clone(),
+        CrackMode::Pvdc {
+            threads: contexts,
+        },
+    );
+    let (a_total, a_worst) = run(&adaptive, &trace);
+    println!(
+        "adaptive (PVDC):   total {:.2}s | worst query {:.1} ms | {} pieces",
+        a_total,
+        a_worst * 1e3,
+        adaptive.total_pieces()
+    );
+
+    let holistic = HolisticEngine::new(data, HolisticEngineConfig::split_half(contexts));
+    let (h_total, h_worst) = run(&holistic, &trace);
+    println!(
+        "holistic:          total {:.2}s | worst query {:.1} ms | {} pieces",
+        h_total,
+        h_worst * 1e3,
+        holistic.total_pieces()
+    );
+    holistic.stop();
+
+    println!("---");
+    println!(
+        "holistic/adaptive total: {:.2}x, worst-query: {:.2}x",
+        a_total / h_total.max(1e-9),
+        a_worst / h_worst.max(1e-9)
+    );
+    println!(
+        "jumps to unexplored sky regions are where background refinement pays off"
+    );
+}

@@ -1,0 +1,66 @@
+//! TPC-H analytics (§5.6 of the paper): run randomized variants of Q1, Q6
+//! and Q12 against four engines — plain scans, pre-sorted projections,
+//! sideways cracking and holistic indexing — and compare per-query times.
+//!
+//! ```sh
+//! cargo run --release --example tpch_analytics
+//! ```
+
+use holix::engine::tpch::{
+    HolisticTpch, PresortedTpch, ScanTpch, SidewaysTpch, TpchDb, TpchEngine,
+};
+use holix::workloads::tpch::{generate, q12_variants, q1_variants, q6_variants};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench<R>(label: &str, engines: &[&dyn TpchEngine], mut run: impl FnMut(&dyn TpchEngine, usize) -> R, n: usize) {
+    println!("{label}:");
+    for e in engines {
+        let t0 = Instant::now();
+        for v in 0..n {
+            std::hint::black_box(run(*e, v));
+        }
+        println!(
+            "  {:<10} {:>8.2} ms total ({:.2} ms/query)",
+            e.name(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            t0.elapsed().as_secs_f64() * 1e3 / n as f64
+        );
+    }
+}
+
+fn main() {
+    let sf = 0.05;
+    println!("generating synthetic TPC-H data (SF {sf})...");
+    let db = Arc::new(TpchDb::new(generate(sf, 1)));
+    println!(
+        "lineitem: {} rows | orders: {} rows",
+        db.li.len(),
+        db.orders.len()
+    );
+
+    let scan = ScanTpch::new(Arc::clone(&db));
+    let t0 = Instant::now();
+    let presorted = PresortedTpch::new(Arc::clone(&db));
+    println!(
+        "pre-sorting cost (excluded from per-query times below): {:.2} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    let sideways = SidewaysTpch::new(Arc::clone(&db));
+    let holistic = HolisticTpch::new(Arc::clone(&db), 7);
+
+    let engines: Vec<&dyn TpchEngine> = vec![&scan, &presorted, &sideways, &holistic];
+    let n = 30;
+
+    let q1 = q1_variants(n, 11);
+    bench("TPC-H Q1 (pricing summary, 30 variants)", &engines, |e, v| e.q1(q1[v]), n);
+    let q6 = q6_variants(n, 12);
+    bench("TPC-H Q6 (revenue forecast, 30 variants)", &engines, |e, v| e.q6(q6[v]), n);
+    let q12 = q12_variants(n, 13);
+    bench("TPC-H Q12 (shipping priority, 30 variants)", &engines, |e, v| e.q12(q12[v]), n);
+
+    let refinements = holistic.stop();
+    println!("---");
+    println!("holistic background refinements while queries ran: {refinements}");
+    println!("sideways/holistic pay a map-copy on the first query, then crack their way to presorted-level latency");
+}

@@ -1,0 +1,120 @@
+//! Cross-engine equivalence: every indexing approach must return exactly the
+//! same answer for every query of every workload pattern — the five engines
+//! differ only in *when* they invest indexing effort.
+
+use holix::engine::{
+    AdaptiveEngine, CrackMode, Dataset, HolisticEngine, HolisticEngineConfig, OfflineEngine,
+    OnlineEngine, QueryEngine, ScanEngine,
+};
+use holix::storage::select::{scan_stats, Predicate};
+use holix::workloads::data::uniform_table;
+use holix::workloads::patterns::{AttrDist, Pattern, WorkloadSpec};
+
+const ATTRS: usize = 3;
+const ROWS: usize = 60_000;
+const DOMAIN: i64 = 200_000;
+
+fn engines(data: &Dataset) -> Vec<Box<dyn QueryEngine>> {
+    vec![
+        Box::new(ScanEngine::new(data.clone(), 2)),
+        Box::new(OfflineEngine::new(data.clone(), 2)),
+        Box::new(OnlineEngine::new(data.clone(), 2, 10)),
+        Box::new(AdaptiveEngine::new(data.clone(), CrackMode::Sequential)),
+        Box::new(AdaptiveEngine::new(
+            data.clone(),
+            CrackMode::Pvdc { threads: 4 },
+        )),
+        Box::new(AdaptiveEngine::new(
+            data.clone(),
+            CrackMode::Pvsdc { threads: 4 },
+        )),
+        Box::new(HolisticEngine::new(
+            data.clone(),
+            HolisticEngineConfig::split_half(4),
+        )),
+    ]
+}
+
+#[test]
+fn all_engines_agree_on_every_pattern() {
+    for pattern in Pattern::SYNTHETIC {
+        let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 21));
+        let queries = WorkloadSpec {
+            pattern,
+            attr_dist: AttrDist::Uniform,
+            n_attrs: ATTRS,
+            n_queries: 60,
+            domain: DOMAIN,
+            seed: 210,
+        }
+        .generate();
+        let engines = engines(&data);
+        for (qi, q) in queries.iter().enumerate() {
+            let oracle = scan_stats(data.column(q.attr), Predicate::range(q.lo, q.hi));
+            for e in &engines {
+                assert_eq!(
+                    e.execute(q),
+                    oracle.count,
+                    "{} disagrees on {pattern:?} query {qi}",
+                    e.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn verified_execution_matches_checksums() {
+    let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 22));
+    let queries = WorkloadSpec::random(ATTRS, 40, DOMAIN, 220).generate();
+    let engines = engines(&data);
+    for q in &queries {
+        let oracle = scan_stats(data.column(q.attr), Predicate::range(q.lo, q.hi));
+        for e in &engines {
+            assert_eq!(
+                e.execute_verified(q),
+                (oracle.count, oracle.sum),
+                "{} checksum mismatch",
+                e.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_handle_degenerate_queries() {
+    let data = Dataset::new(uniform_table(1, 10_000, 1_000, 23));
+    let engines = engines(&data);
+    let cases = [
+        (0i64, 1_000i64),   // whole domain
+        (0, 1),             // leftmost sliver
+        (999, 1_000),       // rightmost sliver
+        (500, 501),         // single value
+        (-100, 0),          // entirely below
+        (1_000, 2_000),     // entirely above
+    ];
+    for (lo, hi) in cases {
+        let q = holix::workloads::QuerySpec { attr: 0, lo, hi };
+        let oracle = scan_stats(data.column(0), Predicate::range(lo, hi));
+        for e in &engines {
+            assert_eq!(e.execute(&q), oracle.count, "{} on [{lo},{hi})", e.name());
+        }
+    }
+}
+
+#[test]
+fn repeated_identical_queries_stay_stable() {
+    let data = Dataset::new(uniform_table(1, 20_000, 10_000, 24));
+    let engines = engines(&data);
+    let q = holix::workloads::QuerySpec {
+        attr: 0,
+        lo: 2_000,
+        hi: 7_000,
+    };
+    let oracle = scan_stats(data.column(0), Predicate::range(q.lo, q.hi));
+    for e in &engines {
+        for rep in 0..20 {
+            assert_eq!(e.execute(&q), oracle.count, "{} rep {rep}", e.name());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! TPC-H integration: all four engine kinds produce exactly the reference
+//! results across many variants, including while the holistic refiners run.
+
+use holix::engine::tpch::{
+    HolisticTpch, PresortedTpch, ScanTpch, SidewaysTpch, TpchDb, TpchEngine,
+};
+use holix::workloads::tpch::{
+    generate, q12_reference, q12_variants, q1_reference, q1_variants, q6_reference, q6_variants,
+};
+use std::sync::Arc;
+
+fn db() -> Arc<TpchDb> {
+    Arc::new(TpchDb::new(generate(0.01, 61))) // ~60k lineitems
+}
+
+#[test]
+fn thirty_variants_of_each_query_agree_everywhere() {
+    let db = db();
+    let engines: Vec<Box<dyn TpchEngine>> = vec![
+        Box::new(ScanTpch::new(Arc::clone(&db))),
+        Box::new(PresortedTpch::new(Arc::clone(&db))),
+        Box::new(SidewaysTpch::new(Arc::clone(&db))),
+        Box::new(HolisticTpch::new(Arc::clone(&db), 610)),
+    ];
+
+    for p in q1_variants(30, 611) {
+        let expect = q1_reference(&db.li, p);
+        for e in &engines {
+            assert_eq!(e.q1(p), expect, "{} Q1 {:?}", e.name(), p);
+        }
+    }
+    for p in q6_variants(30, 612) {
+        let expect = q6_reference(&db.li, p);
+        for e in &engines {
+            assert_eq!(e.q6(p), expect, "{} Q6 {:?}", e.name(), p);
+        }
+    }
+    for p in q12_variants(30, 613) {
+        let expect = q12_reference(&db.li, &db.orders, p);
+        for e in &engines {
+            assert_eq!(e.q12(p), expect, "{} Q12 {:?}", e.name(), p);
+        }
+    }
+}
+
+#[test]
+fn holistic_queries_race_refiners_without_wrong_answers() {
+    let db = db();
+    let holistic = HolisticTpch::new(Arc::clone(&db), 620);
+    // Interleave queries with ongoing refinement from time zero.
+    for (i, p) in q6_variants(40, 621).into_iter().enumerate() {
+        assert_eq!(holistic.q6(p), q6_reference(&db.li, p), "variant {i}");
+    }
+    let refinements = holistic.stop();
+    assert!(refinements > 0, "refiners never ran");
+}
+
+#[test]
+fn q1_aggregates_have_expected_group_structure() {
+    let db = db();
+    let scan = ScanTpch::new(Arc::clone(&db));
+    let p = q1_variants(1, 630)[0];
+    let rows = scan.q1(p);
+    // Groups are keyed by (returnflag, linestatus); each row's derived
+    // aggregates must be internally consistent.
+    for ((rf, ls), row) in rows {
+        assert!((0..=2).contains(&rf) && (0..=1).contains(&ls));
+        assert!(row.count > 0);
+        assert!(row.sum_qty >= row.count as i128); // quantity >= 1
+        assert!(row.sum_disc_price <= row.sum_base_price * 100);
+        assert!(row.sum_charge >= row.sum_disc_price * 100);
+    }
+}
+
+#[test]
+fn q12_counts_split_by_priority_consistently() {
+    let db = db();
+    let scan = ScanTpch::new(Arc::clone(&db));
+    // A window over all receipt dates with two modes: high+low must equal a
+    // manual filter count.
+    let p = holix::workloads::tpch::Q12Params {
+        mode1: 0,
+        mode2: 3,
+        date_lo: 0,
+        date_hi: 10_000,
+    };
+    let rows = scan.q12(p);
+    let total: u64 = rows.iter().map(|&(_, h, l)| h + l).sum();
+    let manual = (0..db.li.len())
+        .filter(|&i| {
+            (db.li.shipmode[i] == 0 || db.li.shipmode[i] == 3)
+                && db.li.commitdate[i] < db.li.receiptdate[i]
+                && db.li.shipdate[i] < db.li.commitdate[i]
+        })
+        .count() as u64;
+    assert_eq!(total, manual);
+}

@@ -1,0 +1,128 @@
+//! Update streams against a live oracle: interleaved queries, insertions,
+//! deletions and background refinement must always agree with a naive
+//! re-scanned model of the column.
+
+use holix::cracking::{CrackScratch, CrackerColumn};
+use holix::storage::select::Predicate;
+use holix::workloads::data::uniform_column;
+use holix::workloads::updates::{update_stream, Op, UpdateScenario};
+use rand::prelude::*;
+
+/// Naive model: a plain Vec of (value) rows.
+fn oracle_count(model: &[i64], lo: i64, hi: i64) -> u64 {
+    model.iter().filter(|&&v| lo <= v && v < hi).count() as u64
+}
+
+#[test]
+fn hflv_and_lfhv_streams_match_oracle() {
+    for scenario in [
+        UpdateScenario::HighFrequencyLowVolume,
+        UpdateScenario::LowFrequencyHighVolume,
+    ] {
+        let base = uniform_column(40_000, 1 << 16, 51);
+        let col = CrackerColumn::from_base("a", &base);
+        let mut model = base.clone();
+        let mut scratch = CrackScratch::new();
+        let mut next_row = base.len() as u32;
+
+        for op in update_stream(scenario, 200, 200, 1 << 16, 510) {
+            match op {
+                Op::Query(q) => {
+                    let sel = col.select(Predicate::range(q.lo, q.hi), &mut scratch);
+                    assert_eq!(
+                        sel.count(),
+                        oracle_count(&model, q.lo, q.hi),
+                        "{scenario:?}"
+                    );
+                }
+                Op::InsertBatch(vals) => {
+                    for v in vals {
+                        col.queue_insert(v, next_row);
+                        model.push(v);
+                        next_row += 1;
+                    }
+                }
+            }
+        }
+        col.check_invariants(None);
+    }
+}
+
+#[test]
+fn background_refinement_merges_pending_updates() {
+    let base = uniform_column(50_000, 1 << 16, 52);
+    let col = CrackerColumn::from_base("a", &base);
+    let mut scratch = CrackScratch::new();
+    let mut rng = StdRng::seed_from_u64(520);
+
+    // Crack a little so pieces exist, then queue inserts everywhere.
+    col.select(Predicate::range(10_000, 50_000), &mut scratch);
+    let mut next_row = base.len() as u32;
+    for _ in 0..500 {
+        col.queue_insert(rng.random_range(0..1 << 16), next_row);
+        next_row += 1;
+    }
+    assert_eq!(col.pending_len(), 500);
+
+    // Pure background refinement (no queries) must drain pending inserts as
+    // it touches their pieces.
+    for _ in 0..2_000 {
+        col.refine_random(&mut rng, &mut scratch, 8);
+        if col.pending_len() == 0 {
+            break;
+        }
+    }
+    assert!(
+        col.pending_len() < 500,
+        "workers merged nothing: {} still pending",
+        col.pending_len()
+    );
+    col.check_invariants(None);
+
+    // Total content is intact: every value answered exactly once.
+    let sel = col.select(Predicate::range(i64::MIN + 1, i64::MAX), &mut scratch);
+    assert_eq!(sel.count() as usize + col.pending_len(), 50_000 + 500);
+}
+
+#[test]
+fn deletes_and_inserts_interleaved_with_refinement() {
+    let base = uniform_column(30_000, 10_000, 53);
+    let col = CrackerColumn::from_base("a", &base);
+    let mut model: Vec<(i64, u32)> = base
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut scratch = CrackScratch::new();
+    let mut rng = StdRng::seed_from_u64(530);
+    let mut next_row = base.len() as u32;
+
+    for step in 0..300 {
+        match step % 4 {
+            0 => {
+                let v = rng.random_range(0..10_000);
+                col.queue_insert(v, next_row);
+                model.push((v, next_row));
+                next_row += 1;
+            }
+            1 => {
+                if let Some(idx) = (0..model.len()).choose(&mut rng) {
+                    let (v, r) = model.swap_remove(idx);
+                    col.queue_delete(v, r);
+                }
+            }
+            2 => {
+                col.refine_random(&mut rng, &mut scratch, 4);
+            }
+            _ => {
+                let a = rng.random_range(0..10_000);
+                let b = rng.random_range(0..10_000);
+                let (lo, hi) = (a.min(b), a.max(b) + 1);
+                let sel = col.select(Predicate::range(lo, hi), &mut scratch);
+                let expect = model.iter().filter(|&&(v, _)| lo <= v && v < hi).count();
+                assert_eq!(sel.count() as usize, expect, "step {step}");
+            }
+        }
+    }
+    col.check_invariants(None);
+}
