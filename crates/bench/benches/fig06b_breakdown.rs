@@ -58,12 +58,6 @@ fn main() {
     for ((label, a), (_, h)) in ba.iter().zip(&bh) {
         println!("{label},{a:.6},{h:.6}");
     }
-    println!(
-        "# total,adaptive,{:.6}",
-        secs(total(&adaptive))
-    );
-    println!(
-        "# total,holistic,{:.6}",
-        secs(total(&holistic))
-    );
+    println!("# total,adaptive,{:.6}", secs(total(&adaptive)));
+    println!("# total,holistic,{:.6}", secs(total(&holistic)));
 }

@@ -30,8 +30,7 @@ fn main() {
         adaptive_pieces.push(adaptive_engine.total_pieces());
     }
 
-    let holistic_engine =
-        HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
+    let holistic_engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
     let mut holistic_pieces = Vec::with_capacity(env.queries);
     for q in &queries {
         holistic_engine.execute(q);

@@ -34,5 +34,8 @@ fn main() {
         );
     }
     let total_ref: u64 = cycles.iter().map(|c| c.refinements).sum();
-    println!("# activations={} total_refinements={total_ref}", cycles.len());
+    println!(
+        "# activations={} total_refinements={total_ref}",
+        cycles.len()
+    );
 }

@@ -48,10 +48,7 @@ fn main() {
 
     // Holistic: speculative indices on every attribute, refined during the
     // idle period before the first query.
-    let engine = HolisticEngine::new(
-        data,
-        HolisticEngineConfig::split_half(env.threads),
-    );
+    let engine = HolisticEngine::new(data, HolisticEngineConfig::split_half(env.threads));
     let attrs: Vec<usize> = (0..env.attrs).collect();
     engine.add_potential(&attrs);
     std::thread::sleep(Duration::from_millis(env.idle_ms));

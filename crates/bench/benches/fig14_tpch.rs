@@ -8,9 +8,7 @@
 //! notes "pre-sorted times exclude pre-sorting costs").
 
 use holix_bench::{secs, time, BenchEnv};
-use holix_engine::tpch::{
-    HolisticTpch, PresortedTpch, ScanTpch, SidewaysTpch, TpchDb, TpchEngine,
-};
+use holix_engine::tpch::{HolisticTpch, PresortedTpch, ScanTpch, SidewaysTpch, TpchDb, TpchEngine};
 use holix_workloads::tpch::{generate, q12_variants, q1_variants, q6_variants};
 use std::sync::Arc;
 

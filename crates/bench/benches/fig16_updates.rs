@@ -19,11 +19,7 @@ use std::time::Duration;
 /// Runs the stream; when `idle_refine` is set, a single worker spends the
 /// idle gap after the 10th query refining the index (merging pending
 /// updates along the way).
-fn run_stream(
-    base: &[i64],
-    ops: &[Op],
-    idle_refine: Option<Duration>,
-) -> f64 {
+fn run_stream(base: &[i64], ops: &[Op], idle_refine: Option<Duration>) -> f64 {
     let col = CrackerColumn::from_base("a", base);
     let mut scratch = CrackScratch::new();
     let mut rng = SmallRng::seed_from_u64(16);
@@ -48,9 +44,7 @@ fn run_stream(
                     }
                 }
                 let (_, d) = time(|| {
-                    std::hint::black_box(
-                        col.select(Predicate::range(q.lo, q.hi), &mut scratch),
-                    );
+                    std::hint::black_box(col.select(Predicate::range(q.lo, q.hi), &mut scratch));
                 });
                 busy += d;
                 queries_done += 1;

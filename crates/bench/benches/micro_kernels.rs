@@ -65,7 +65,9 @@ fn bench_crack_kernels(c: &mut Criterion) {
 
 fn bench_cracker_index(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let keys: Vec<i64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+    let keys: Vec<i64> = (0..10_000)
+        .map(|_| rng.random_range(0..1_000_000))
+        .collect();
     let mut g = c.benchmark_group("cracker_index_lookup");
     g.sample_size(20);
 
@@ -75,7 +77,9 @@ fn bench_cracker_index(c: &mut Criterion) {
         avl.insert(k, i);
         btree.insert(k, i);
     }
-    let probes: Vec<i64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+    let probes: Vec<i64> = (0..10_000)
+        .map(|_| rng.random_range(0..1_000_000))
+        .collect();
 
     g.bench_function("avl_floor", |b| {
         b.iter(|| {

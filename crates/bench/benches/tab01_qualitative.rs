@@ -15,7 +15,11 @@ fn row(name: &str, c: Capabilities) {
         tick(c.workload_analysis),
         tick(c.idle_before_queries),
         tick(c.idle_during_queries),
-        if c.full_materialization { "full" } else { "partial" },
+        if c.full_materialization {
+            "full"
+        } else {
+            "partial"
+        },
         if c.high_update_cost { "high" } else { "low" },
         if c.dynamic { "dynamic" } else { "static" },
     );

@@ -76,8 +76,7 @@ impl BenchEnv {
         println!("# {figure}");
         println!(
             "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={}",
-            self.n, self.queries, self.attrs, self.threads, self.domain, self.tpch_sf,
-            self.idle_ms
+            self.n, self.queries, self.attrs, self.threads, self.domain, self.tpch_sf, self.idle_ms
         );
         if !notes.is_empty() {
             println!("# {notes}");

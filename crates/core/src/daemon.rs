@@ -60,7 +60,14 @@ impl HolisticDaemon {
         let thread = std::thread::Builder::new()
             .name("holistic-daemon".into())
             .spawn(move || {
-                daemon_loop(&space, monitor.as_ref(), &config, &t_stop, &t_cycles, &t_total);
+                daemon_loop(
+                    &space,
+                    monitor.as_ref(),
+                    &config,
+                    &t_stop,
+                    &t_cycles,
+                    &t_total,
+                );
             })
             .expect("failed to spawn holistic daemon");
 
@@ -206,11 +213,7 @@ mod tests {
     fn daemon_refines_until_stopped() {
         let space = space_with_columns(4, 200_000);
         let monitor = LoadAccountant::new(4);
-        let daemon = HolisticDaemon::spawn(
-            Arc::clone(&space),
-            monitor,
-            fast_config(),
-        );
+        let daemon = HolisticDaemon::spawn(Arc::clone(&space), monitor, fast_config());
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         while space.total_pieces() <= 4 {
             assert!(std::time::Instant::now() < deadline, "daemon never refined");

@@ -76,10 +76,7 @@ impl IndexSpace {
     /// Registers an index created by a user query (goes to `C_actual`).
     /// Returns the slot id and the shared statistics handle the select
     /// operator updates.
-    pub fn register_actual(
-        &self,
-        handle: Arc<dyn RefinableIndex>,
-    ) -> (IndexId, Arc<IndexStats>) {
+    pub fn register_actual(&self, handle: Arc<dyn RefinableIndex>) -> (IndexId, Arc<IndexStats>) {
         self.register(handle, Membership::Actual)
     }
 
@@ -101,7 +98,11 @@ impl IndexSpace {
         let stats = Arc::new(IndexStats::new());
         let id = inner.entries.len();
         let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
-        let membership = if d == 0 { Membership::Optimal } else { membership };
+        let membership = if d == 0 {
+            Membership::Optimal
+        } else {
+            membership
+        };
         inner.entries.push(Entry {
             handle,
             stats: Arc::clone(&stats),
@@ -234,7 +235,11 @@ impl IndexSpace {
         };
         let id = match self.config.strategy {
             Strategy::W4Random => pick_random(Membership::Actual),
-            _ => inner.heap.peek_max().filter(|&(_, w)| w > 0).map(|(k, _)| k),
+            _ => inner
+                .heap
+                .peek_max()
+                .filter(|&(_, w)| w > 0)
+                .map(|(k, _)| k),
         };
         let id = id.or_else(|| pick_random(Membership::Potential))?;
         Some((id, Arc::clone(&inner.entries[id].handle)))

@@ -185,6 +185,58 @@ mod tests {
         assert!(h.is_empty());
     }
 
+    /// Draining via `peek_max` + `remove` yields weights in non-increasing
+    /// order, including after a burst of in-place weight updates.
+    #[test]
+    fn drain_order_is_non_increasing() {
+        let mut h = WeightHeap::new();
+        for k in 0..64 {
+            h.upsert(k, ((k as u128 * 2_654_435_761) % 1_000) + 1);
+        }
+        // Perturb half the keys so sift-up and sift-down both run.
+        for k in (0..64).step_by(2) {
+            h.upsert(k, (k as u128 * 48_271) % 2_000);
+        }
+        let mut drained = Vec::new();
+        while let Some((k, w)) = h.peek_max() {
+            assert_eq!(h.remove(k), Some(w));
+            drained.push(w);
+            h.assert_heap_property();
+        }
+        assert_eq!(drained.len(), 64);
+        assert!(
+            drained.windows(2).all(|w| w[0] >= w[1]),
+            "drain order not sorted: {drained:?}"
+        );
+    }
+
+    /// §4.2: "one node per index" — re-upserting a key must update its
+    /// single node in place, never grow the heap or stale the position map.
+    #[test]
+    fn upsert_keeps_one_node_per_index() {
+        let mut h = WeightHeap::new();
+        h.upsert(7, 1);
+        for step in 0..100u128 {
+            // Alternate growing and shrinking weights.
+            let w = if step % 2 == 0 { step * 10 } else { step };
+            h.upsert(7, w);
+            assert_eq!(h.len(), 1, "duplicate node for key 7 at step {step}");
+            assert_eq!(h.weight(7), Some(w));
+            assert_eq!(h.peek_max(), Some((7, w)));
+        }
+        // Same invariant while other keys are present.
+        for k in 0..10 {
+            h.upsert(k, k as u128);
+        }
+        for step in 0..100u128 {
+            h.upsert(3, 500 + step);
+            assert_eq!(h.len(), 10);
+            assert_eq!(h.weight(3), Some(500 + step));
+            h.assert_heap_property();
+        }
+        assert_eq!(h.peek_max(), Some((3, 599)));
+    }
+
     proptest! {
         #[test]
         fn prop_matches_naive_argmax(ops in proptest::collection::vec(

@@ -464,6 +464,74 @@ mod tests {
     use proptest::prelude::*;
     use std::collections::BTreeMap;
 
+    /// The AVL as an actual cracker index: apply a random crack sequence to
+    /// a column and verify the cracker-index invariants after every crack —
+    /// bound positions are monotone in key order, every bound partitions the
+    /// column (`< key` strictly left of the bound, `>= key` at/right of it),
+    /// and cracking never loses or invents values.
+    #[test]
+    fn cracker_index_invariants_after_random_cracks() {
+        use crate::crack::crack_in_two;
+        use rand::prelude::*;
+
+        let mut rng = StdRng::seed_from_u64(0xC4AC);
+        let base: Vec<i64> = (0..4096).map(|_| rng.random_range(0..10_000)).collect();
+        let mut vals = base.clone();
+        let mut rows: Vec<u32> = (0..base.len() as u32).collect();
+        let mut index: Avl<i64, usize> = Avl::new();
+
+        for _ in 0..200 {
+            let pivot = rng.random_range(0..10_000);
+            if index.get(&pivot).is_some() {
+                continue;
+            }
+            // The piece holding `pivot` is delimited by the neighbouring
+            // bounds (floor gives its start, strict successor its end).
+            let start = index.floor(&pivot).map_or(0, |(_, &p)| p);
+            let end = index.succ_strict(&pivot).map_or(vals.len(), |(_, &p)| p);
+            let split = crack_in_two(&mut vals[start..end], &mut rows[start..end], pivot);
+            index.insert(pivot, start + split);
+
+            // Invariant 1: positions are non-decreasing in key order.
+            let bounds: Vec<(i64, usize)> = index.iter().map(|(k, &p)| (k, p)).collect();
+            for w in bounds.windows(2) {
+                assert!(w[0].0 < w[1].0, "iter must be key-ordered");
+                assert!(
+                    w[0].1 <= w[1].1,
+                    "positions regressed: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            // Invariant 2: every bound partitions the whole column.
+            for &(k, p) in &bounds {
+                assert!(
+                    vals[..p].iter().all(|&v| v < k),
+                    "values >= {k} left of {p}"
+                );
+                assert!(
+                    vals[p..].iter().all(|&v| v >= k),
+                    "values < {k} right of {p}"
+                );
+            }
+            // Invariant 3: rows stay aligned with their original values.
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(vals[i], base[r as usize], "row id misaligned at {i}");
+            }
+        }
+        assert!(
+            index.len() >= 100,
+            "crack sequence barely exercised the index"
+        );
+
+        // Multiset preserved end-to-end.
+        let mut sorted_in = base;
+        let mut sorted_out = vals;
+        sorted_in.sort_unstable();
+        sorted_out.sort_unstable();
+        assert_eq!(sorted_in, sorted_out);
+    }
+
     #[test]
     fn insert_get_basics() {
         let mut t = Avl::new();

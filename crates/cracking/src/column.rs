@@ -166,7 +166,13 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// variants (P-CCGI) crack per-chunk copies that must still report
     /// global base-table positions.
     pub fn from_base_offset(name: impl Into<String>, base: &[V], offset: RowId) -> Self {
-        Self::build(name, base, offset, KernelImpl::Vectorized, KernelImpl::Vectorized)
+        Self::build(
+            name,
+            base,
+            offset,
+            KernelImpl::Vectorized,
+            KernelImpl::Vectorized,
+        )
     }
 
     fn build(
@@ -346,7 +352,9 @@ impl<V: CrackValue> CrackerColumn<V> {
                         ..
                     },
                     BoundLookup::Piece {
-                        start: s2, latch: l2, ..
+                        start: s2,
+                        latch: l2,
+                        ..
                     },
                 ) if s1 == s2
                     && l1.same_as(&piece_latch)

@@ -79,9 +79,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn aligned(vals: &[i64], rows: &[RowId], base: &[i64]) -> bool {
-        vals.iter()
-            .zip(rows)
-            .all(|(&v, &r)| base[r as usize] == v)
+        vals.iter().zip(rows).all(|(&v, &r)| base[r as usize] == v)
     }
 
     #[test]

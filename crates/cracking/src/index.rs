@@ -278,7 +278,9 @@ mod tests {
         idx.insert_bound(50, 40);
         // Left piece [0,40) keeps the original latch.
         match idx.locate(20) {
-            BoundLookup::Piece { start, end, latch, .. } => {
+            BoundLookup::Piece {
+                start, end, latch, ..
+            } => {
                 assert_eq!((start, end), (0, 40));
                 assert!(latch.same_as(&left_latch));
             }
@@ -286,7 +288,9 @@ mod tests {
         }
         // Right piece [40,100) has a fresh latch.
         match idx.locate(80) {
-            BoundLookup::Piece { start, end, latch, .. } => {
+            BoundLookup::Piece {
+                start, end, latch, ..
+            } => {
                 assert_eq!((start, end), (40, 100));
                 assert!(!latch.same_as(&left_latch));
             }
@@ -312,10 +316,7 @@ mod tests {
             idx.pieces_in_order(),
             vec![(0, 25), (25, 60), (60, 80), (80, 100)]
         );
-        assert_eq!(
-            idx.bounds_in_order(),
-            vec![(30, 25), (50, 60), (70, 80)]
-        );
+        assert_eq!(idx.bounds_in_order(), vec![(30, 25), (50, 60), (70, 80)]);
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl<T> RangeCell<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for RangeCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RangeCell").field("len", &self.len()).finish()
+        f.debug_struct("RangeCell")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -177,10 +177,7 @@ mod tests {
 
     /// Builds a cracked column state by cracking `base` at `pivots`
     /// (sequentially, with the plain kernel applied to a plain Vec).
-    fn cracked_state(
-        base: &[i64],
-        pivots: &[i64],
-    ) -> (Vec<i64>, Vec<RowId>, CrackerIndex<i64>) {
+    fn cracked_state(base: &[i64], pivots: &[i64]) -> (Vec<i64>, Vec<RowId>, CrackerIndex<i64>) {
         let mut vals = base.to_vec();
         let mut rows: Vec<RowId> = (0..base.len() as u32).collect();
         let mut index = CrackerIndex::new(base.len());
@@ -190,8 +187,7 @@ mod tests {
                 continue;
             }
             let (_, s, e) = piece_of(&bounds, vals.len(), p);
-            let split =
-                crate::crack::crack_in_two(&mut vals[s..e], &mut rows[s..e], p);
+            let split = crate::crack::crack_in_two(&mut vals[s..e], &mut rows[s..e], p);
             index.insert_bound(p, s + split);
         }
         (vals, rows, index)

@@ -93,9 +93,9 @@ impl AdaptiveEngine {
             let scratch = &mut *s.borrow_mut();
             match self.mode {
                 CrackMode::Sequential | CrackMode::Pvdc { .. } => col.select(pred, scratch),
-                CrackMode::Pvsdc { .. } => RNG.with(|r| {
-                    select_pvsdc(&col, pred, &mut *r.borrow_mut(), scratch)
-                }),
+                CrackMode::Pvsdc { .. } => {
+                    RNG.with(|r| select_pvsdc(&col, pred, &mut *r.borrow_mut(), scratch))
+                }
             }
         })
     }

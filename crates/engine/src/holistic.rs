@@ -281,7 +281,15 @@ mod tests {
     fn potential_indices_refined_before_first_query() {
         let e = engine(4, 100_000);
         e.add_potential(&[0, 1, 2, 3]);
-        assert_eq!(e.space().membership_counts().1, 4);
+        // The daemon is already running and may graduate a potential index
+        // (to actual or optimal) before this thread gets scheduled again, so
+        // assert on the total tracked rather than racing it on `potential`.
+        let (actual, potential, optimal, dropped) = e.space().membership_counts();
+        assert_eq!(
+            actual + potential + optimal,
+            4,
+            "all four attrs tracked (a={actual} p={potential} o={optimal} d={dropped})"
+        );
         // Bounded wait: under test-runner contention the daemon thread may
         // be scheduled late, so poll instead of sleeping a fixed interval.
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
@@ -301,7 +309,10 @@ mod tests {
             hi: 500,
         });
         let (actual, potential, optimal, _) = e.space().membership_counts();
-        assert!(actual + optimal >= 1, "queried index neither actual nor optimal");
+        assert!(
+            actual + optimal >= 1,
+            "queried index neither actual nor optimal"
+        );
         assert!(potential <= 3, "queried index still potential");
         e.stop();
     }

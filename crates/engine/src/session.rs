@@ -31,12 +31,8 @@ pub fn run_clients(
     let reports = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let my_queries: Vec<QuerySpec> = queries
-                    .iter()
-                    .skip(c)
-                    .step_by(clients)
-                    .copied()
-                    .collect();
+                let my_queries: Vec<QuerySpec> =
+                    queries.iter().skip(c).step_by(clients).copied().collect();
                 s.spawn(move |_| {
                     let mut busy = Duration::ZERO;
                     for q in &my_queries {

@@ -13,9 +13,7 @@
 //! [`holix_workloads::tpch`], which the tests assert.
 
 use crate::sideways::CrackerMap;
-use holix_workloads::tpch::{
-    Lineitem, Orders, Q12Params, Q1Params, Q1Row, Q6Params, TpchData,
-};
+use holix_workloads::tpch::{Lineitem, Orders, Q12Params, Q1Params, Q1Row, Q6Params, TpchData};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -346,14 +344,7 @@ impl TpchEngine for SidewaysTpch {
                     (tails[0], tails[1], tails[2], tails[3], tails[4], tails[5]);
                 let mut groups = Q1Groups::default();
                 for i in 0..qty.len() {
-                    groups.add(
-                        rf[i] as i8,
-                        ls[i] as i8,
-                        qty[i],
-                        price[i],
-                        disc[i],
-                        tax[i],
-                    );
+                    groups.add(rf[i] as i8, ls[i] as i8, qty[i], price[i], disc[i], tax[i]);
                 }
                 groups.finish()
             })
@@ -496,8 +487,7 @@ impl TpchEngine for HolisticTpch {
 mod tests {
     use super::*;
     use holix_workloads::tpch::{
-        generate, q12_reference, q12_variants, q1_reference, q1_variants, q6_reference,
-        q6_variants,
+        generate, q12_reference, q12_variants, q1_reference, q1_variants, q6_reference, q6_variants,
     };
 
     fn db() -> Arc<TpchDb> {

@@ -159,11 +159,19 @@ impl RingCut {
     }
 
     fn low_segments(&self) -> Vec<(usize, usize)> {
-        self.segments().0.into_iter().filter(|&(a, b)| a < b).collect()
+        self.segments()
+            .0
+            .into_iter()
+            .filter(|&(a, b)| a < b)
+            .collect()
     }
 
     fn high_segments(&self) -> Vec<(usize, usize)> {
-        self.segments().1.into_iter().filter(|&(a, b)| a < b).collect()
+        self.segments()
+            .1
+            .into_iter()
+            .filter(|&(a, b)| a < b)
+            .collect()
     }
 }
 
@@ -227,10 +235,7 @@ unsafe fn partition_ring<V: CrackValue>(
             }
         }
     }
-    RingCut {
-        ring,
-        low_count: i,
-    }
+    RingCut { ring, low_count: i }
 }
 
 /// `Send`-asserting raw pointer for the disjoint-ring pattern. The accessor

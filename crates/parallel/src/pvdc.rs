@@ -24,7 +24,11 @@ pub fn parallel_partition_fn_with_threshold<V: CrackValue>(
     min_parallel: usize,
 ) -> PartitionFn<V> {
     Arc::new(move |vals: &mut [V], rows: &mut [RowId], pivot: V| {
-        let t = if vals.len() >= min_parallel { threads } else { 1 };
+        let t = if vals.len() >= min_parallel {
+            threads
+        } else {
+            1
+        };
         parallel_partition(vals, rows, pivot, t)
     })
 }

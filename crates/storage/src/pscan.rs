@@ -34,11 +34,7 @@ pub fn parallel_scan_stats<V: CrackValue>(
 
 /// Count-only parallel scan (the fair comparison point against indexed
 /// selects, which produce counts from contiguous ranges).
-pub fn parallel_scan_count<V: CrackValue>(
-    values: &[V],
-    pred: Predicate<V>,
-    threads: usize,
-) -> u64 {
+pub fn parallel_scan_count<V: CrackValue>(values: &[V], pred: Predicate<V>, threads: usize) -> u64 {
     const MIN_PARALLEL: usize = 1 << 14;
     let threads = threads.max(1);
     if threads == 1 || values.len() < MIN_PARALLEL {
@@ -79,10 +75,7 @@ mod tests {
     fn matches_sequential_on_small_input() {
         let vals: Vec<i64> = (0..100).collect();
         let pred = Predicate::range(10, 20);
-        assert_eq!(
-            parallel_scan_stats(&vals, pred, 4),
-            scan_stats(&vals, pred)
-        );
+        assert_eq!(parallel_scan_stats(&vals, pred, 4), scan_stats(&vals, pred));
     }
 
     #[test]

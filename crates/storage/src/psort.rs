@@ -108,7 +108,9 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_large_random() {
         let mut rng = StdRng::seed_from_u64(3);
-        let vals: Vec<i64> = (0..(1 << 16) + 117).map(|_| rng.random_range(0..10_000)).collect();
+        let vals: Vec<i64> = (0..(1 << 16) + 117)
+            .map(|_| rng.random_range(0..10_000))
+            .collect();
         for t in [2, 3, 8] {
             let p = parallel_sort(&vals, t);
             assert!(p.values().windows(2).all(|w| w[0] <= w[1]), "t={t}");
@@ -126,7 +128,9 @@ mod tests {
     #[test]
     fn rowid_permutation_is_complete() {
         let mut rng = StdRng::seed_from_u64(4);
-        let vals: Vec<i32> = (0..(1 << 15) + 13).map(|_| rng.random_range(0..100)).collect();
+        let vals: Vec<i32> = (0..(1 << 15) + 13)
+            .map(|_| rng.random_range(0..100))
+            .collect();
         let p = parallel_sort(&vals, 4);
         let mut seen = vec![false; vals.len()];
         for &r in p.rowids() {

@@ -202,8 +202,10 @@ mod tests {
 
     fn two_col_table() -> Table {
         let mut t = Table::new("r");
-        t.add_column(Column::from_vec("a", vec![1i64, 2, 3])).unwrap();
-        t.add_column(Column::from_vec("b", vec![10i32, 20, 30])).unwrap();
+        t.add_column(Column::from_vec("a", vec![1i64, 2, 3]))
+            .unwrap();
+        t.add_column(Column::from_vec("b", vec![10i32, 20, 30]))
+            .unwrap();
         t
     }
 
@@ -236,7 +238,14 @@ mod tests {
         let err = t
             .add_column(Column::from_vec("c", vec![1i64, 2]))
             .unwrap_err();
-        assert!(matches!(err, StorageError::LengthMismatch { expected: 3, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            StorageError::LengthMismatch {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -123,14 +123,14 @@ impl WorkloadSpec {
                     }
                     Pattern::Periodic => {
                         let frac = (i % period) as f64 / period as f64;
-                        let pos = (frac * domain as f64) as i64
-                            + rng.random_range(0..window.max(1));
+                        let pos =
+                            (frac * domain as f64) as i64 + rng.random_range(0..window.max(1));
                         clamp_window(pos, window, domain)
                     }
                     Pattern::Sequential => {
                         let frac = i as f64 / self.n_queries.max(1) as f64;
-                        let pos = (frac * domain as f64) as i64
-                            + rng.random_range(0..window.max(1));
+                        let pos =
+                            (frac * domain as f64) as i64 + rng.random_range(0..window.max(1));
                         clamp_window(pos, window, domain)
                     }
                 };
@@ -223,10 +223,7 @@ mod tests {
         let low_count = qs.iter().filter(|q| q.lo < (1 << 27)).count();
         // Each sweep restarts at the bottom: low values appear throughout.
         assert!(low_count > 50, "{low_count}");
-        let late_low = qs[800..]
-            .iter()
-            .filter(|q| q.lo < (1 << 27))
-            .count();
+        let late_low = qs[800..].iter().filter(|q| q.lo < (1 << 27)).count();
         assert!(late_low > 5, "no late sweep restart");
     }
 
@@ -254,6 +251,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(spec(Pattern::Random).generate(), spec(Pattern::Random).generate());
+        assert_eq!(
+            spec(Pattern::Random).generate(),
+            spec(Pattern::Random).generate()
+        );
     }
 }

@@ -407,7 +407,12 @@ mod tests {
         let rows = q12_reference(&d.lineitem, &d.orders, wide);
         let total: u64 = rows.iter().map(|&(_, h, l)| h + l).sum();
         let high: u64 = rows.iter().map(|&(_, h, _)| h).sum();
-        assert!(total > 200, "wide window too small: {total}");
+        // ~6000 lineitems × 2/7 modes × ~11% passing the three date
+        // predicates (spec offsets: ship +U[1,121], commit +U[30,90],
+        // receipt ship+U[1,30]) ≈ 190 rows; 150 keeps the fraction check
+        // statistically meaningful without assuming more than the generator
+        // provides.
+        assert!(total > 150, "wide window too small: {total}");
         let frac = high as f64 / total as f64;
         assert!((0.3..0.5).contains(&frac), "high fraction {frac}");
     }

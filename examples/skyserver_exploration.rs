@@ -49,12 +49,7 @@ fn main() {
         .unwrap_or(4)
         .max(4);
 
-    let adaptive = AdaptiveEngine::new(
-        data.clone(),
-        CrackMode::Pvdc {
-            threads: contexts,
-        },
-    );
+    let adaptive = AdaptiveEngine::new(data.clone(), CrackMode::Pvdc { threads: contexts });
     let (a_total, a_worst) = run(&adaptive, &trace);
     println!(
         "adaptive (PVDC):   total {:.2}s | worst query {:.1} ms | {} pieces",
@@ -79,7 +74,5 @@ fn main() {
         a_total / h_total.max(1e-9),
         a_worst / h_worst.max(1e-9)
     );
-    println!(
-        "jumps to unexplored sky regions are where background refinement pays off"
-    );
+    println!("jumps to unexplored sky regions are where background refinement pays off");
 }

@@ -13,7 +13,12 @@ use holix::workloads::tpch::{generate, q12_variants, q1_variants, q6_variants};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn bench<R>(label: &str, engines: &[&dyn TpchEngine], mut run: impl FnMut(&dyn TpchEngine, usize) -> R, n: usize) {
+fn bench<R>(
+    label: &str,
+    engines: &[&dyn TpchEngine],
+    mut run: impl FnMut(&dyn TpchEngine, usize) -> R,
+    n: usize,
+) {
     println!("{label}:");
     for e in engines {
         let t0 = Instant::now();
@@ -53,11 +58,26 @@ fn main() {
     let n = 30;
 
     let q1 = q1_variants(n, 11);
-    bench("TPC-H Q1 (pricing summary, 30 variants)", &engines, |e, v| e.q1(q1[v]), n);
+    bench(
+        "TPC-H Q1 (pricing summary, 30 variants)",
+        &engines,
+        |e, v| e.q1(q1[v]),
+        n,
+    );
     let q6 = q6_variants(n, 12);
-    bench("TPC-H Q6 (revenue forecast, 30 variants)", &engines, |e, v| e.q6(q6[v]), n);
+    bench(
+        "TPC-H Q6 (revenue forecast, 30 variants)",
+        &engines,
+        |e, v| e.q6(q6[v]),
+        n,
+    );
     let q12 = q12_variants(n, 13);
-    bench("TPC-H Q12 (shipping priority, 30 variants)", &engines, |e, v| e.q12(q12[v]), n);
+    bench(
+        "TPC-H Q12 (shipping priority, 30 variants)",
+        &engines,
+        |e, v| e.q12(q12[v]),
+        n,
+    );
 
     let refinements = holistic.stop();
     println!("---");

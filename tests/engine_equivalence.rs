@@ -86,12 +86,12 @@ fn engines_handle_degenerate_queries() {
     let data = Dataset::new(uniform_table(1, 10_000, 1_000, 23));
     let engines = engines(&data);
     let cases = [
-        (0i64, 1_000i64),   // whole domain
-        (0, 1),             // leftmost sliver
-        (999, 1_000),       // rightmost sliver
-        (500, 501),         // single value
-        (-100, 0),          // entirely below
-        (1_000, 2_000),     // entirely above
+        (0i64, 1_000i64), // whole domain
+        (0, 1),           // leftmost sliver
+        (999, 1_000),     // rightmost sliver
+        (500, 501),       // single value
+        (-100, 0),        // entirely below
+        (1_000, 2_000),   // entirely above
     ];
     for (lo, hi) in cases {
         let q = holix::workloads::QuerySpec { attr: 0, lo, hi };

@@ -1,0 +1,96 @@
+//! Fast smoke test: every engine kind answers a handful of range queries on
+//! a tiny dataset with exactly the counts a naive filter produces. This is
+//! the first suite to consult when a refactor breaks something — it runs in
+//! well under a second and points at the offending engine by name.
+
+use holix::engine::{
+    AdaptiveEngine, CrackMode, Dataset, HolisticEngine, HolisticEngineConfig, OfflineEngine,
+    OnlineEngine, QueryEngine, ScanEngine,
+};
+use holix::workloads::data::uniform_table;
+use holix::workloads::{QuerySpec, WorkloadSpec};
+
+const ATTRS: usize = 2;
+const ROWS: usize = 2_000;
+const DOMAIN: i64 = 5_000;
+
+/// The oracle: a plain iterator filter, independent of every library
+/// operator the engines themselves use.
+fn naive_count(data: &Dataset, q: &QuerySpec) -> u64 {
+    data.column(q.attr)
+        .iter()
+        .filter(|&&v| q.lo <= v && v < q.hi)
+        .count() as u64
+}
+
+fn smoke_queries() -> Vec<QuerySpec> {
+    let mut qs = WorkloadSpec::random(ATTRS, 20, DOMAIN, 17).generate();
+    // Edge windows the random generator is unlikely to produce.
+    qs.push(QuerySpec {
+        attr: 0,
+        lo: 0,
+        hi: DOMAIN + 1,
+    });
+    qs.push(QuerySpec {
+        attr: 1,
+        lo: 42,
+        hi: 43,
+    });
+    qs.push(QuerySpec {
+        attr: 1,
+        lo: DOMAIN + 10,
+        hi: DOMAIN + 20,
+    });
+    qs
+}
+
+fn check_engine(engine: &dyn QueryEngine, data: &Dataset) {
+    for (qi, q) in smoke_queries().iter().enumerate() {
+        assert_eq!(
+            engine.execute(q),
+            naive_count(data, q),
+            "{} disagrees with the naive filter on query {qi} ({q:?})",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn scan_engine_smoke() {
+    let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 11));
+    check_engine(&ScanEngine::new(data.clone(), 2), &data);
+}
+
+#[test]
+fn offline_engine_smoke() {
+    let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 12));
+    check_engine(&OfflineEngine::new(data.clone(), 2), &data);
+}
+
+#[test]
+fn online_engine_smoke() {
+    let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 13));
+    // Monitor window shorter than the query list so the sort kicks in
+    // mid-suite and both phases are exercised.
+    check_engine(&OnlineEngine::new(data.clone(), 2, 5), &data);
+}
+
+#[test]
+fn adaptive_engine_smoke() {
+    for mode in [
+        CrackMode::Sequential,
+        CrackMode::Pvdc { threads: 2 },
+        CrackMode::Pvsdc { threads: 2 },
+    ] {
+        let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 14));
+        check_engine(&AdaptiveEngine::new(data.clone(), mode), &data);
+    }
+}
+
+#[test]
+fn holistic_engine_smoke() {
+    let data = Dataset::new(uniform_table(ATTRS, ROWS, DOMAIN, 15));
+    let engine = HolisticEngine::new(data.clone(), HolisticEngineConfig::split_half(2));
+    check_engine(&engine, &data);
+    engine.stop();
+}

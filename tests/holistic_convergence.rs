@@ -2,9 +2,9 @@
 //! C_optimal, monotone piece growth, strategy behaviour, and the accounting
 //! loop between engine load and worker activation.
 
-use holix::core::{CpuMonitor, HolisticConfig, HolisticDaemon, LoadAccountant, Strategy};
 use holix::core::handle::CrackerHandle;
 use holix::core::index_space::{IndexSpace, Membership};
+use holix::core::{CpuMonitor, HolisticConfig, HolisticDaemon, LoadAccountant, Strategy};
 use holix::cracking::CrackerColumn;
 use holix::engine::{Dataset, HolisticEngine, HolisticEngineConfig, QueryEngine};
 use holix::workloads::data::uniform_table;
@@ -53,7 +53,11 @@ fn daemon_converges_every_strategy_to_optimal() {
         daemon.stop();
         // Optimal means avg piece ≤ |L1| for every index.
         for id in space.live_ids() {
-            assert_eq!(space.membership(id), Some(Membership::Optimal), "{strategy}");
+            assert_eq!(
+                space.membership(id),
+                Some(Membership::Optimal),
+                "{strategy}"
+            );
         }
     }
 }
@@ -152,11 +156,7 @@ fn cycle_records_capture_worker_activity() {
     let engine = HolisticEngine::new(data, cfg);
     // Create the indices, then idle so the daemon works alone.
     for attr in 0..4 {
-        engine.execute(&holix::workloads::QuerySpec {
-            attr,
-            lo: 0,
-            hi: 1,
-        });
+        engine.execute(&holix::workloads::QuerySpec { attr, lo: 0, hi: 1 });
     }
     std::thread::sleep(Duration::from_millis(300));
     let cycles = engine.stop();

@@ -1,10 +1,10 @@
 //! The multi-core baselines (PVDC, PVSDC, mP-CCGI) against oracles across
 //! thread counts and workload patterns.
 
+use holix::cracking::CrackScratch;
 use holix::parallel::ccgi::ChunkedCrackerColumn;
 use holix::parallel::pvdc::pvdc_column;
 use holix::parallel::pvsdc::{pvsdc_column, select_pvsdc};
-use holix::cracking::CrackScratch;
 use holix::storage::select::{scan_stats, Predicate};
 use holix::workloads::data::uniform_column;
 use holix::workloads::patterns::{AttrDist, Pattern, WorkloadSpec};

@@ -1,0 +1,88 @@
+//! Vendored minimal stand-in for `crossbeam` (no-network build).
+//!
+//! Only [`thread::scope`] is provided — a thin adapter over
+//! `std::thread::scope` that keeps crossbeam's call shape: the scope returns
+//! `Result` (always `Ok` here; panics propagate as panics, which every call
+//! site turns back into a panic via `.expect` anyway) and `spawn` closures
+//! receive the scope as an argument.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure and to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (crossbeam
+        /// shape), so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle with crossbeam's `Result`-returning `join`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing-threads can be spawned; all
+    /// threads are joined before this returns. Unlike crossbeam, a panicking
+    /// child that was never joined propagates its panic instead of producing
+    /// `Err`, which is strictly stricter.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 41u32).join().unwrap() + 1)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Vendored minimal stand-in for `parking_lot` (no-network build).
+//!
+//! Implements the slice of the `parking_lot` 0.12 API that holix uses:
+//! non-poisoning [`Mutex`] and [`RwLock`], plus the `arc_lock` owned guards
+//! ([`lock_api::ArcRwLockReadGuard`] / [`lock_api::ArcRwLockWriteGuard`])
+//! that the piece latches rely on. The rwlock is a classic
+//! mutex-plus-condvar state machine rather than a futex word: guards only
+//! record which lock to release, so owned (`Arc`) guards and borrowed guards
+//! share one code path, and releasing from a different thread than the one
+//! that acquired is sound (std's `RwLock` guards cannot be sent; these can).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+// ---------------------------------------------------------------------------
+// Raw rwlock
+// ---------------------------------------------------------------------------
+
+/// Reader/writer state. `held` is `-1` for a writer, `0` free, `n > 0` for
+/// `n` readers. `waiting_writers` makes the lock writer-preferring like real
+/// parking_lot: new *blocking* readers queue behind a waiting writer, so a
+/// stream of overlapping reads cannot starve a writer (the Ripple update
+/// path takes the cracker column's structure lock exclusively while selects
+/// hammer it shared). `try_*` callers never wait and so never consult the
+/// queue. Writer preference would deadlock on same-thread recursive reads;
+/// holix takes the structure lock once per entry point (audited, and the
+/// same rule real parking_lot imposes).
+#[derive(Clone, Copy)]
+struct RwState {
+    held: i64,
+    waiting_writers: u32,
+}
+
+/// The raw lock. Public only because the `ArcRwLock*Guard` aliases in
+/// downstream code name it as a type parameter.
+pub struct RawRwLock {
+    state: StdMutex<RwState>,
+    cv: Condvar,
+}
+
+impl RawRwLock {
+    pub const fn new() -> Self {
+        RawRwLock {
+            state: StdMutex::new(RwState {
+                held: 0,
+                waiting_writers: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn state(&self) -> StdMutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_shared(&self) {
+        let mut s = self.state();
+        while s.held < 0 || s.waiting_writers > 0 {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.held += 1;
+    }
+
+    fn try_lock_shared(&self) -> bool {
+        let mut s = self.state();
+        if s.held < 0 {
+            false
+        } else {
+            s.held += 1;
+            true
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.state();
+        s.waiting_writers += 1;
+        while s.held != 0 {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.waiting_writers -= 1;
+        s.held = -1;
+    }
+
+    fn try_lock_exclusive(&self) -> bool {
+        let mut s = self.state();
+        if s.held != 0 {
+            false
+        } else {
+            s.held = -1;
+            true
+        }
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = self.state();
+        debug_assert!(s.held > 0);
+        s.held -= 1;
+        if s.held == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut s = self.state();
+        debug_assert_eq!(s.held, -1);
+        s.held = 0;
+        self.cv.notify_all();
+    }
+}
+
+impl Default for RawRwLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Non-poisoning reader/writer lock with owned-guard (`*_arc`) support.
+pub struct RwLock<T: ?Sized> {
+    raw: RawRwLock,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            raw: RawRwLock::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.raw.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        self.raw
+            .try_lock_shared()
+            .then(|| RwLockReadGuard { lock: self })
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.raw.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        self.raw
+            .try_lock_exclusive()
+            .then(|| RwLockWriteGuard { lock: self })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T> RwLock<T> {
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        self.raw.lock_shared();
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+
+    pub fn try_read_arc(self: &Arc<Self>) -> Option<lock_api::ArcRwLockReadGuard<RawRwLock, T>> {
+        self.raw
+            .try_lock_shared()
+            .then(|| lock_api::ArcRwLockReadGuard {
+                lock: Arc::clone(self),
+                _raw: PhantomData,
+            })
+    }
+
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        self.raw.lock_exclusive();
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+
+    pub fn try_write_arc(self: &Arc<Self>) -> Option<lock_api::ArcRwLockWriteGuard<RawRwLock, T>> {
+        self.raw
+            .try_lock_exclusive()
+            .then(|| lock_api::ArcRwLockWriteGuard {
+                lock: Arc::clone(self),
+                _raw: PhantomData,
+            })
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+pub mod lock_api {
+    //! Owned (`Arc`-holding) guards, mirroring `lock_api` with the
+    //! `arc_lock` feature. The first type parameter exists only so that
+    //! downstream aliases like `ArcRwLockWriteGuard<RawRwLock, ()>` keep
+    //! their upstream shape.
+
+    use super::*;
+
+    pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_shared();
+        }
+    }
+
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_exclusive();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Non-poisoning mutex over `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn rwlock_excludes_writers() {
+        let l = Arc::new(RwLock::new(0u32));
+        let r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_write_arc().is_none());
+        drop(r);
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+    }
+
+    #[test]
+    fn arc_write_guard_can_cross_threads() {
+        let l = Arc::new(RwLock::new(0u32));
+        let mut g = l.write_arc();
+        *g = 7;
+        let h = thread::spawn(move || drop(g));
+        h.join().unwrap();
+        assert_eq!(*l.read(), 7);
+    }
+
+    /// Writer preference: a writer must get in even while readers arrive
+    /// continuously (the select-vs-Ripple-merge pattern on cracker columns).
+    #[test]
+    fn writer_not_starved_by_reader_stream() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        let lock = Arc::new(RwLock::new(0u32));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Four readers re-acquiring in a tight loop: with reader preference
+        // the read count never reaches zero and the writer below hangs.
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = lock.read();
+                        std::hint::black_box(*g);
+                    }
+                })
+            })
+            .collect();
+
+        let t = Instant::now();
+        *lock.write() = 7;
+        let waited = t.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 7);
+        assert!(
+            waited < Duration::from_secs(5),
+            "writer waited {waited:?} behind a reader stream"
+        );
+    }
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Vendored minimal stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of `rand` that holix actually uses:
+//!
+//! - [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! - [`rngs::SmallRng`] / [`rngs::StdRng`] (both xoshiro256++ here),
+//! - `Rng::random_range` over integer and float ranges,
+//! - `Rng::random_bool`,
+//! - [`seq::IndexedRandom::choose`] on slices.
+//!
+//! Generators are deterministic given a seed, which is all the test suites
+//! and benchmarks rely on; no claim of statistical quality beyond "good
+//! enough for uniform workload generation" (xoshiro256++ is, comfortably).
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level generator interface: a source of random words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types a range of which can be sampled uniformly — the `random_range`
+/// argument bound.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform sample from the half-open span `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from the closed span `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty => $uwide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range {lo}..{hi}");
+                // Two's-complement: reinterpreting the wrapping difference
+                // as unsigned gives the true span even when it exceeds the
+                // signed max (e.g. a nearly-full i64 range).
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as $uwide as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as $wide).wrapping_add(off as $wide) as $t
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+                let span = ((hi as $wide).wrapping_sub(lo as $wide) as $uwide as u128) + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as $wide).wrapping_add(off as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64 => u64, u16 => u64 => u64, u32 => u64 => u64, u64 => u64 => u64,
+    usize => u64 => u64,
+    i8 => i64 => u64, i16 => i64 => u64, i32 => i64 => u64, i64 => i64 => u64,
+    isize => i64 => u64,
+);
+
+macro_rules! impl_sample_uniform_int128 {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range {lo}..{hi}");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                lo.wrapping_add((wide % span) as $t)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+                match (hi as u128).wrapping_sub(lo as u128).checked_add(1) {
+                    None => {
+                        // Full domain: every 128-bit pattern is valid.
+                        ((((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)) as $t
+                    }
+                    Some(span) => {
+                        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                        lo.wrapping_add((wide % span) as $t)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int128!(u128, i128);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges acceptable to [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_closed(rng, lo, hi)
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "random_bool: p={p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with an obvious "uniform over the whole domain" distribution.
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::{IndexedRandom, IteratorRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = rng.random_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.random_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Spans wider than the signed max must not wrap (regression: the span
+    /// computation used to sign-extend through the wide signed type).
+    #[test]
+    fn huge_signed_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (lo, hi) = (-5_000_000_000_000_000_000i64, 5_000_000_000_000_000_000i64);
+        let mut below = 0usize;
+        for _ in 0..10_000 {
+            let v = rng.random_range(lo..hi);
+            assert!((lo..hi).contains(&v), "out of range: {v}");
+            if v < 0 {
+                below += 1;
+            }
+            let w = rng.random_range(i64::MIN..=i64::MAX);
+            std::hint::black_box(w); // full closed domain must not panic
+            let u = rng.random_range(0u64..=u64::MAX);
+            std::hint::black_box(u);
+        }
+        // Roughly half the samples land in each half of a symmetric range.
+        assert!(
+            (3_000..7_000).contains(&below),
+            "skewed: {below}/10000 below 0"
+        );
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits={hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_the_slice() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            let &v = items.choose(&mut rng).unwrap();
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

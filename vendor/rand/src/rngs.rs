@@ -1,0 +1,76 @@
+//! Concrete generators: xoshiro256++ behind both [`SmallRng`] and [`StdRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded through splitmix64 as its authors recommend.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! wrapper_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                $name(Xoshiro256::new(state))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+    };
+}
+
+wrapper_rng!(
+    /// The "small, fast" generator (`rand::rngs::SmallRng` stand-in).
+    SmallRng
+);
+wrapper_rng!(
+    /// The default generator (`rand::rngs::StdRng` stand-in). Same algorithm
+    /// as [`SmallRng`] here; the distinction only matters upstream.
+    StdRng
+);

@@ -1,0 +1,39 @@
+//! Sequence sampling helpers (`rand::seq` stand-in).
+
+use crate::{Rng, RngCore};
+
+/// Random element selection on indexable sequences.
+pub trait IndexedRandom {
+    type Output: ?Sized;
+
+    /// A uniformly random element, or `None` if the sequence is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// Random element selection on arbitrary iterators (reservoir sampling).
+pub trait IteratorRandom: Iterator + Sized {
+    /// A uniformly random element of the iterator, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut picked = None;
+        for (seen, item) in self.enumerate() {
+            if rng.random_range(0..seen + 1) == 0 {
+                picked = Some(item);
+            }
+        }
+        picked
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
