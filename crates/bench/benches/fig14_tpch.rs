@@ -15,7 +15,7 @@ use std::sync::Arc;
 fn run_series(
     label: &str,
     engines: &[&dyn TpchEngine],
-    run: impl Fn(&dyn TpchEngine, usize) -> (),
+    run: impl Fn(&dyn TpchEngine, usize),
     variants: usize,
 ) {
     for (e_idx, e) in engines.iter().enumerate() {

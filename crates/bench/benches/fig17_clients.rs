@@ -1,13 +1,18 @@
 //! Fig 17 — varying the number of concurrent clients (§5.8): holistic
 //! indexing helps most with few clients; as clients saturate the contexts,
 //! the load monitor scales workers down and holistic converges to PVDC.
+//!
+//! Clients are driven through the `holix-server` service layer (closed-loop
+//! sessions over a dispatcher pool); the engines stay the execution
+//! interface.
 
 use holix_bench::{secs, BenchEnv};
-use holix_engine::api::Dataset;
-use holix_engine::session::run_clients;
+use holix_engine::api::{Dataset, QueryEngine};
 use holix_engine::{AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig};
+use holix_server::run_clients;
 use holix_workloads::data::uniform_table;
 use holix_workloads::WorkloadSpec;
+use std::sync::Arc;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -32,13 +37,13 @@ fn main() {
     for &clients in &clients_list {
         // PVDC: each client's query cracks with its share of the contexts.
         let per_client = (t / clients).max(1);
-        let pvdc_engine = AdaptiveEngine::new(
+        let pvdc_engine: Arc<dyn QueryEngine> = Arc::new(AdaptiveEngine::new(
             data.clone(),
             CrackMode::Pvdc {
                 threads: per_client,
             },
-        );
-        let (pvdc_wall, _) = run_clients(&pvdc_engine, &queries, clients);
+        ));
+        let (pvdc_wall, _) = run_clients(pvdc_engine, &queries, clients);
 
         // Holistic: user queries take half the per-client share; the daemon
         // sees the remaining contexts through the accountant and scales
@@ -46,8 +51,12 @@ fn main() {
         let user = (t / (2 * clients)).max(1);
         let mut cfg = HolisticEngineConfig::split_half(t);
         cfg.user_threads = user;
-        let engine = HolisticEngine::new(data.clone(), cfg);
-        let (hi_wall, _) = run_clients(&engine, &queries, clients);
+        let engine = Arc::new(HolisticEngine::new(data.clone(), cfg));
+        let (hi_wall, _) = run_clients(
+            Arc::clone(&engine) as Arc<dyn QueryEngine>,
+            &queries,
+            clients,
+        );
         let cycles = engine.stop();
         let max_workers = cycles.iter().map(|c| c.workers).max().unwrap_or(0);
         println!(

@@ -1,0 +1,231 @@
+//! Fig 17 (service) — naive round-robin vs crack-aware scheduling under a
+//! saturated multi-client service (§5.8 grown into the service layer).
+//!
+//! `HOLIX_CLIENTS` closed-loop sessions hammer one holistic engine through
+//! the `holix-server` admission queue with a skewed hot-region workload
+//! (per-client Zipf rotation; mostly exact repeats plus jittered
+//! variants). The same traffic runs against two identical service beds —
+//! FIFO dispatch vs crack-aware batching — in three phases per bed:
+//! a pre-traffic idle phase (speculative indices, Fig 9 style: daemon at
+//! full worker strength), a saturated cold-start warmup (daemon cycles
+//! windowed per bed show the §5.8 worker scale-down), then — with both
+//! daemons stopped so refine workers cannot confound the comparison —
+//! measured repetitions *interleaved pairwise* so machine drift hits both
+//! schedulers equally. The harness prints sustained steady-state QPS plus
+//! p50/p95/p99 end-to-end latency per scheduler over the measured phase
+//! only; every answer is checked against a sorted-column oracle.
+
+use holix_bench::{secs, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{HolisticEngine, HolisticEngineConfig};
+use holix_server::{AdmissionPolicy, QueryService, Scheduling, ServiceConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::traffic::{ArrivalProcess, ClientFocus};
+use holix_workloads::{QuerySpec, TrafficSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Binary-search count oracle over pre-sorted columns.
+fn oracle(sorted: &[Vec<i64>], q: &QuerySpec) -> u64 {
+    let col = &sorted[q.attr];
+    (col.partition_point(|&v| v < q.hi) - col.partition_point(|&v| v < q.lo)) as u64
+}
+
+/// One scheduler's engine + service under test.
+struct Bed {
+    scheduling: Scheduling,
+    engine: Arc<HolisticEngine>,
+    service: QueryService,
+    idle_workers_max: usize,
+    /// Daemon workers per monitor tick, windowed to this bed's own
+    /// saturated warmup rep (cycles from other beds' windows excluded).
+    load_workers_avg: f64,
+    steady_wall: Duration,
+    /// Counters at the start of the measured phase (completed/executed
+    /// deltas are reported, excluding the warmup rep).
+    base_completed: u64,
+    base_executed: u64,
+}
+
+/// Drives one full traffic repetition through the bed's service, checking
+/// every answer against the oracle; returns the repetition's wall time.
+/// Closed-loop streams carry think times (relative sleeps); open-loop
+/// streams carry absolute arrival offsets from the repetition start.
+fn run_rep(bed: &Bed, traffic: &TrafficSpec, sorted: &[Vec<i64>]) -> Duration {
+    let open_loop = !matches!(traffic.arrival, ArrivalProcess::Closed { .. });
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..traffic.clients {
+            let stream = traffic.client_stream(c);
+            let session = bed.service.session();
+            s.spawn(move || {
+                for tq in &stream {
+                    if open_loop {
+                        let target = t0 + tq.at;
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                    } else if !tq.at.is_zero() {
+                        std::thread::sleep(tq.at);
+                    }
+                    let result = session.execute(tq.spec).expect("submit failed");
+                    assert_eq!(
+                        result.count,
+                        oracle(sorted, &tq.spec),
+                        "scheduler answer diverged from scan oracle on {:?}",
+                        tq.spec
+                    );
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "Fig 17 (service): naive round-robin vs crack-aware scheduling",
+        "csv: scheduler,clients,completed,executed,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg",
+    );
+    let clients = env.clients.max(2);
+    let queries_per_client = (env.queries * 8 / clients).max(128);
+    let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 1701));
+    let sorted: Vec<Vec<i64>> = (0..env.attrs)
+        .map(|a| {
+            let mut col = data.column(a).to_vec();
+            col.sort_unstable();
+            col
+        })
+        .collect();
+    let mut traffic = TrafficSpec::saturating(
+        clients,
+        queries_per_client,
+        env.attrs,
+        env.domain,
+        env.n as u64 ^ 0x17,
+    );
+    // Skewed serving mix: a fleet-wide hot set, three quarters exact
+    // repeats (cached dashboards), the rest jittered variants that keep
+    // fresh cracking work arriving.
+    traffic.focus = ClientFocus::HotRegions {
+        regions: 16,
+        exact_prob: 0.75,
+    };
+    traffic.arrival = ArrivalProcess::Closed {
+        think: Duration::ZERO,
+    };
+    let monitor_interval = Duration::from_millis(2);
+    // Repetition 0 cracks the hot regions (cold start, high variance); the
+    // remaining repetitions measure steady-state scheduling behaviour,
+    // alternating between the two beds so drift cancels.
+    let measured_reps = 6usize;
+
+    let mut beds: Vec<Bed> = [Scheduling::Fifo, Scheduling::CrackAware]
+        .into_iter()
+        .map(|scheduling| {
+            let mut cfg = HolisticEngineConfig::split_half(env.threads);
+            cfg.holistic.monitor_interval = monitor_interval;
+            let engine = Arc::new(HolisticEngine::new(data.clone(), cfg));
+
+            // Brief pre-traffic idle phase: register every attribute
+            // speculatively and let the daemon refine at full worker
+            // strength (the Fig 9 scenario) so the under-load scale-down is
+            // visible in the records. Kept short so the run still has
+            // cracking work left to schedule.
+            engine.add_potential(&(0..env.attrs).collect::<Vec<_>>());
+            std::thread::sleep(monitor_interval * 16);
+            let idle_cycles = engine.cycles();
+            let idle_workers_max = idle_cycles.iter().map(|c| c.workers).max().unwrap_or(0);
+
+            let service = QueryService::start(
+                Arc::clone(&engine) as Arc<dyn QueryEngine>,
+                Some(Arc::clone(engine.accountant())),
+                ServiceConfig {
+                    workers: (env.threads / 2).max(2),
+                    queue_capacity: clients * 4,
+                    admission: AdmissionPolicy::Block,
+                    scheduling,
+                    batch_max: (clients * 2).max(32),
+                    contexts_per_worker: 1,
+                },
+            );
+            Bed {
+                scheduling,
+                engine,
+                service,
+                idle_workers_max,
+                load_workers_avg: 0.0,
+                steady_wall: Duration::ZERO,
+                base_completed: 0,
+                base_executed: 0,
+            }
+        })
+        .collect();
+
+    // Cold-start warmup: the service saturates while the hot regions are
+    // still being cracked — the window where the daemon's scale-down must
+    // show. Worker cycles are attributed strictly to each bed's own rep.
+    for bed in &mut beds {
+        let cycles_before = bed.engine.cycles().len();
+        let wall = run_rep(bed, &traffic, &sorted);
+        let worker_sum: usize = bed
+            .engine
+            .cycles()
+            .iter()
+            .skip(cycles_before)
+            .map(|c| c.workers)
+            .sum();
+        let ticks = (secs(wall) / monitor_interval.as_secs_f64()).max(1.0);
+        bed.load_workers_avg = worker_sum as f64 / ticks;
+    }
+    // Stop both daemons before the measured phase so an idle bed's refine
+    // workers can neither steal CPU from the measured bed nor refine their
+    // own columns between reps — the steady-state comparison isolates the
+    // schedulers. Then start a fresh latency window past the cold start.
+    for bed in &mut beds {
+        bed.engine.stop();
+        bed.service.reset_latency_window();
+        let s = bed.service.stats();
+        bed.base_completed = s.completed;
+        bed.base_executed = s.executed;
+    }
+    // Interleaved measured repetitions: machine drift hits both schedulers
+    // equally.
+    for _ in 0..measured_reps {
+        for bed in &mut beds {
+            bed.steady_wall += run_rep(bed, &traffic, &sorted);
+        }
+    }
+
+    println!(
+        "scheduler,clients,completed,executed,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg"
+    );
+    let mut steady_qps = Vec::new();
+    for bed in beds {
+        let steady_completed = (measured_reps * clients * queries_per_client) as f64;
+        let qps = steady_completed / secs(bed.steady_wall).max(1e-9);
+        steady_qps.push(qps);
+
+        // All columns cover the measured phase only: completed/executed are
+        // deltas past the warmup baseline, percentiles come from the reset
+        // latency window.
+        let summary = bed.service.shutdown();
+        println!(
+            "{},{clients},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2}",
+            bed.scheduling.label(),
+            summary.completed - bed.base_completed,
+            summary.executed - bed.base_executed,
+            summary.p50.as_secs_f64() * 1e3,
+            summary.p95.as_secs_f64() * 1e3,
+            summary.p99.as_secs_f64() * 1e3,
+            bed.idle_workers_max,
+            bed.load_workers_avg,
+        );
+    }
+    println!(
+        "# crack_aware_speedup={:.3} (steady-state crack-aware QPS / fifo QPS, paired reps)",
+        steady_qps[1] / steady_qps[0].max(1e-9)
+    );
+}

@@ -12,9 +12,12 @@
 //! | `HOLIX_THREADS` | hardware contexts to model | machine |
 //! | `HOLIX_TPCH_SF` | TPC-H scale factor | `0.02` |
 //! | `HOLIX_IDLE_MS` | scaled idle period (Fig 9/16) | `500` |
+//! | `HOLIX_CLIENTS` | concurrent client sessions (service harness) | `16` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
-//! reachable by setting the variables accordingly.
+//! reachable by setting the variables accordingly. A knob that is set but
+//! does not parse is a hard error — silently benchmarking the default
+//! scale under `HOLIX_N=2^30` would produce misleading numbers.
 
 use holix_engine::api::QueryEngine;
 use holix_workloads::QuerySpec;
@@ -30,20 +33,38 @@ pub struct BenchEnv {
     pub domain: i64,
     pub tpch_sf: f64,
     pub idle_ms: u64,
+    pub clients: usize,
+}
+
+/// Resolves an integer knob; a set-but-unparsable value panics with the
+/// variable name and offending value (a typo like `HOLIX_N=2^30` must not
+/// silently benchmark the default scale). Pure core of [`env_usize`],
+/// separated so tests never have to mutate the process environment.
+fn parse_usize_knob(key: &str, value: Option<&str>, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{key}={v:?} is not a valid unsigned integer")),
+    }
+}
+
+/// Pure core of [`env_f64`]; same contract as [`parse_usize_knob`].
+fn parse_f64_knob(key: &str, value: Option<&str>, default: f64) -> f64 {
+    match value {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{key}={v:?} is not a valid float")),
+    }
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    parse_usize_knob(key, std::env::var(key).ok().as_deref(), default)
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    parse_f64_knob(key, std::env::var(key).ok().as_deref(), default)
 }
 
 impl BenchEnv {
@@ -68,6 +89,7 @@ impl BenchEnv {
             domain: (n as i64).max(1 << 20),
             tpch_sf: env_f64("HOLIX_TPCH_SF", 0.02),
             idle_ms: env_usize("HOLIX_IDLE_MS", 500) as u64,
+            clients: env_usize("HOLIX_CLIENTS", 16),
         }
     }
 
@@ -75,8 +97,15 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={}",
-            self.n, self.queries, self.attrs, self.threads, self.domain, self.tpch_sf, self.idle_ms
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={}",
+            self.n,
+            self.queries,
+            self.attrs,
+            self.threads,
+            self.domain,
+            self.tpch_sf,
+            self.idle_ms,
+            self.clients
         );
         if !notes.is_empty() {
             println!("# {notes}");
@@ -165,5 +194,31 @@ mod tests {
         let e = BenchEnv::from_env();
         assert!(e.threads >= 2);
         assert!(e.n > 0);
+        assert!(e.clients > 0);
+    }
+
+    // Knob parsing is tested through the pure cores: mutating the process
+    // environment from parallel test threads is UB on glibc (concurrent
+    // setenv/getenv), so no test calls std::env::set_var.
+
+    #[test]
+    fn env_knobs_parse_when_set() {
+        assert_eq!(parse_usize_knob("HOLIX_N", Some("4096"), 7), 4096);
+        assert_eq!(parse_f64_knob("HOLIX_TPCH_SF", Some("0.125"), 7.0), 0.125);
+        // Unset variables fall back to the default.
+        assert_eq!(parse_usize_knob("HOLIX_N", None, 7), 7);
+        assert_eq!(parse_f64_knob("HOLIX_TPCH_SF", None, 7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "HOLIX_N=\"2^30\" is not a valid unsigned integer")]
+    fn unparsable_usize_knob_panics_with_name_and_value() {
+        parse_usize_knob("HOLIX_N", Some("2^30"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "HOLIX_TPCH_SF=\"fast\" is not a valid float")]
+    fn unparsable_f64_knob_panics_with_name_and_value() {
+        parse_f64_knob("HOLIX_TPCH_SF", Some("fast"), 0.5);
     }
 }

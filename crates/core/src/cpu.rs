@@ -11,9 +11,8 @@
 //!   paper's MonetDB load-checker (Linux only; parsing is unit-tested on
 //!   fixtures).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Source of the "n idle hardware contexts" signal. Implementations block
 /// for approximately `window` so the daemon's cycle cadence matches the
@@ -29,10 +28,30 @@ pub trait CpuMonitor: Send + Sync {
 /// Deterministic logical load tracker.
 ///
 /// User-query execution paths hold a [`TaskGuard`] while running; the
-/// monitor reports `total − busy`.
+/// monitor reports `total − busy`, where busy is the *time-averaged* busy
+/// context count over the sampling window (like the paper's utilisation
+/// monitor), not an instantaneous snapshot — a microsecond lull between
+/// batches must not read as an idle machine.
 pub struct LoadAccountant {
     total: usize,
-    busy: AtomicUsize,
+    integral: Mutex<BusyIntegral>,
+}
+
+/// Busy-context-seconds accumulator: `acc` integrates the busy level over
+/// time so any two snapshots yield the exact average level in between.
+struct BusyIntegral {
+    acc: f64,
+    level: usize,
+    last: Instant,
+}
+
+impl BusyIntegral {
+    /// Advances the integral to `now` and returns the accumulated value.
+    fn advance(&mut self, now: Instant) -> f64 {
+        self.acc += self.level as f64 * now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.acc
+    }
 }
 
 impl LoadAccountant {
@@ -40,7 +59,11 @@ impl LoadAccountant {
     pub fn new(total: usize) -> Arc<Self> {
         Arc::new(LoadAccountant {
             total: total.max(1),
-            busy: AtomicUsize::new(0),
+            integral: Mutex::new(BusyIntegral {
+                acc: 0.0,
+                level: 0,
+                last: Instant::now(),
+            }),
         })
     }
 
@@ -55,16 +78,33 @@ impl LoadAccountant {
 
     /// Marks `contexts` hardware contexts busy until the guard drops.
     pub fn begin_task(self: &Arc<Self>, contexts: usize) -> TaskGuard {
-        self.busy.fetch_add(contexts, Ordering::Relaxed);
+        self.shift_level(contexts as i64);
         TaskGuard {
             acc: Arc::clone(self),
             contexts,
         }
     }
 
-    /// Currently busy contexts.
+    /// Currently busy contexts (instantaneous). Reads the integral's level
+    /// — the single source of truth the averaged monitor also uses.
     pub fn busy(&self) -> usize {
-        self.busy.load(Ordering::Relaxed)
+        self.integral
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .level
+    }
+
+    fn shift_level(&self, delta: i64) {
+        let mut i = self.integral.lock().unwrap_or_else(|e| e.into_inner());
+        i.advance(Instant::now());
+        i.level = (i.level as i64 + delta).max(0) as usize;
+    }
+
+    fn integral_at(&self, now: Instant) -> f64 {
+        self.integral
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .advance(now)
     }
 }
 
@@ -74,10 +114,21 @@ impl CpuMonitor for LoadAccountant {
     }
 
     fn idle_contexts(&self, window: Duration) -> usize {
-        if !window.is_zero() {
-            std::thread::sleep(window);
+        if window.is_zero() {
+            // Degenerate window: fall back to the instantaneous level.
+            return self.total.saturating_sub(self.busy());
         }
-        self.total.saturating_sub(self.busy())
+        let t0 = Instant::now();
+        let acc0 = self.integral_at(t0);
+        std::thread::sleep(window);
+        let t1 = Instant::now();
+        let acc1 = self.integral_at(t1);
+        let elapsed = t1.duration_since(t0).as_secs_f64();
+        if elapsed <= 0.0 {
+            return self.total.saturating_sub(self.busy());
+        }
+        let avg_busy = (acc1 - acc0) / elapsed;
+        self.total.saturating_sub(avg_busy.round() as usize)
     }
 }
 
@@ -89,7 +140,7 @@ pub struct TaskGuard {
 
 impl Drop for TaskGuard {
     fn drop(&mut self) {
-        self.acc.busy.fetch_sub(self.contexts, Ordering::Relaxed);
+        self.acc.shift_level(-(self.contexts as i64));
     }
 }
 
@@ -193,6 +244,26 @@ mod tests {
     }
 
     #[test]
+    fn accountant_averages_load_over_the_window() {
+        // 4 contexts busy for ~the first half of the window, idle after:
+        // the monitor must report the average (~2 idle), not the
+        // instantaneous level at the end of the window (4 idle). Generous
+        // durations keep the ratio stable under test-runner contention.
+        let acc = LoadAccountant::new(4);
+        let guard = acc.begin_task(4);
+        let dropper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            drop(guard);
+        });
+        let idle = acc.idle_contexts(Duration::from_millis(400));
+        dropper.join().unwrap();
+        assert!(
+            (1..=3).contains(&idle),
+            "expected ~2 idle from a half-busy window, got {idle}"
+        );
+    }
+
+    #[test]
     fn accountant_saturates_on_oversubscription() {
         let acc = LoadAccountant::new(2);
         let _g = acc.begin_task(5);
@@ -224,7 +295,7 @@ mod tests {
                        intr 12345\n";
         let t = parse_proc_stat(fixture).unwrap();
         assert_eq!(t.idle, 16_250_856 + 30);
-        assert_eq!(t.busy, 4705 + 150 + 1120 + 0 + 25 + 12);
+        assert_eq!(t.busy, (4705 + 150 + 1120) + 25 + 12);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub trait RefinableIndex: Send + Sync {
     fn name(&self) -> &str;
     /// Tuples in the cracker column.
     fn len(&self) -> usize;
+    /// `true` when the cracker column holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Current piece count `p`.
     fn piece_count(&self) -> usize;
     /// Value width in bytes (for the `L1s` term of Equation 1).

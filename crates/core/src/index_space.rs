@@ -38,7 +38,9 @@ pub enum Membership {
 }
 
 struct Entry {
-    handle: Arc<dyn RefinableIndex>,
+    /// `None` once evicted — a Dropped entry must not pin the column's
+    /// payload in memory (only the membership tombstone remains).
+    handle: Option<Arc<dyn RefinableIndex>>,
     stats: Arc<IndexStats>,
     membership: Membership,
 }
@@ -104,7 +106,7 @@ impl IndexSpace {
             membership
         };
         inner.entries.push(Entry {
-            handle,
+            handle: Some(handle),
             stats: Arc::clone(&stats),
             membership,
         });
@@ -128,7 +130,7 @@ impl IndexSpace {
                 .entries
                 .iter()
                 .filter(|e| e.membership != Membership::Dropped)
-                .map(|e| e.handle.payload_bytes())
+                .filter_map(|e| e.handle.as_ref().map(|h| h.payload_bytes()))
                 .sum();
             if used + incoming <= budget {
                 return;
@@ -143,6 +145,8 @@ impl IndexSpace {
                 .map(|(i, _)| i);
             let Some(v) = victim else { return };
             inner.entries[v].membership = Membership::Dropped;
+            // Release the column payload; the tombstone keeps only stats.
+            inner.entries[v].handle = None;
             inner.heap.remove(v);
         }
     }
@@ -154,7 +158,7 @@ impl IndexSpace {
         if e.membership == Membership::Dropped {
             return None;
         }
-        Some((Arc::clone(&e.handle), Arc::clone(&e.stats)))
+        Some((Arc::clone(e.handle.as_ref()?), Arc::clone(&e.stats)))
     }
 
     /// Current membership of a slot.
@@ -200,7 +204,10 @@ impl IndexSpace {
         if matches!(e.membership, Membership::Dropped | Membership::Optimal) {
             return;
         }
-        let d = distance_to_optimal(e.handle.as_ref(), self.config.l1_bytes);
+        let Some(handle) = e.handle.as_ref() else {
+            return;
+        };
+        let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
         if d == 0 {
             inner.entries[id].membership = Membership::Optimal;
             inner.heap.remove(id);
@@ -242,7 +249,8 @@ impl IndexSpace {
                 .map(|(k, _)| k),
         };
         let id = id.or_else(|| pick_random(Membership::Potential))?;
-        Some((id, Arc::clone(&inner.entries[id].handle)))
+        let handle = inner.entries[id].handle.as_ref()?;
+        Some((id, Arc::clone(handle)))
     }
 
     /// `(actual, potential, optimal, dropped)` counts.
@@ -267,7 +275,7 @@ impl IndexSpace {
             .entries
             .iter()
             .filter(|e| e.membership != Membership::Dropped)
-            .map(|e| e.handle.piece_count())
+            .filter_map(|e| e.handle.as_ref().map(|h| h.piece_count()))
             .sum()
     }
 
@@ -278,7 +286,7 @@ impl IndexSpace {
             .entries
             .iter()
             .filter(|e| e.membership != Membership::Dropped)
-            .map(|e| e.handle.payload_bytes())
+            .filter_map(|e| e.handle.as_ref().map(|h| h.payload_bytes()))
             .sum()
     }
 
@@ -418,6 +426,25 @@ mod tests {
         assert_eq!(space.membership(c), Some(Membership::Actual));
         assert!(space.get(b).is_none());
         assert!(space.bytes_used() <= 300 * 1024);
+    }
+
+    #[test]
+    fn eviction_releases_the_column_payload() {
+        let space = space_with(Strategy::W4Random, Some(300 * 1024));
+        let base: Vec<i64> = (0..10_000i64).rev().collect();
+        let victim: Arc<dyn RefinableIndex> = Arc::new(CrackerHandle::new(Arc::new(
+            CrackerColumn::from_base("victim", &base),
+        )));
+        let weak = Arc::downgrade(&victim);
+        let (v, _) = space.register_actual(victim);
+        // Two more registrations blow the budget; `v` is the LFU victim.
+        space.register_actual(make_handle(10_000, "b"));
+        space.register_actual(make_handle(10_000, "c"));
+        assert_eq!(space.membership(v), Some(Membership::Dropped));
+        assert!(
+            weak.upgrade().is_none(),
+            "dropped entry still pins the column payload"
+        );
     }
 
     #[test]

@@ -434,10 +434,7 @@ impl<V: CrackValue> CrackerColumn<V> {
             let guard = if blocking {
                 latch.lock_write()
             } else {
-                match latch.try_lock_write() {
-                    Some(g) => g,
-                    None => return None,
-                }
+                latch.try_lock_write()?
             };
             // Revalidate: the piece may have been split while we waited.
             let (start, end) = {

@@ -14,6 +14,9 @@
 use crate::index::CrackerIndex;
 use holix_storage::types::{CrackValue, RowId};
 
+/// A list of `(value, row-id)` update operations.
+pub type UpdateList<V> = Vec<(V, RowId)>;
+
 /// Queue of not-yet-merged updates for one column.
 #[derive(Debug, Default)]
 pub struct PendingUpdates<V> {
@@ -66,7 +69,7 @@ impl<V: CrackValue> PendingUpdates<V> {
     }
 
     /// Removes and returns `(inserts, deletes)` with values in `[lo, hi)`.
-    pub fn take_range(&mut self, lo: V, hi: V) -> (Vec<(V, RowId)>, Vec<(V, RowId)>) {
+    pub fn take_range(&mut self, lo: V, hi: V) -> (UpdateList<V>, UpdateList<V>) {
         let split = |q: &mut Vec<(V, RowId)>| {
             let mut taken = Vec::new();
             q.retain(|&(v, r)| {

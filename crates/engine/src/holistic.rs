@@ -125,11 +125,18 @@ impl HolisticEngine {
     /// Adds speculative indices to `C_potential` (the Fig 9 idle-time
     /// scenario: "holistic indexing chooses random indexes to insert in
     /// C_potential and refines them until the first query arrives").
+    ///
+    /// A slot whose index was evicted by the storage budget
+    /// ([`Membership::Dropped`]) is re-registered, mirroring
+    /// [`HolisticEngine::column`] — an occupied-but-dead slot must not
+    /// block re-speculation.
     pub fn add_potential(&self, attrs: &[usize]) {
         for &attr in attrs {
             let mut guard = self.cols[attr].write();
-            if guard.is_some() {
-                continue;
+            if let Some(slot) = guard.as_ref() {
+                if self.space.membership(slot.id) != Some(Membership::Dropped) {
+                    continue;
+                }
             }
             let col = self.build_column(attr);
             let handle = Arc::new(CrackerHandle::new(Arc::clone(&col)));
@@ -348,6 +355,44 @@ mod tests {
             assert_eq!(
                 e.execute(&q),
                 scan_stats(e.data.column(attr), Predicate::range(500_000, 600_000)).count
+            );
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn add_potential_reregisters_evicted_slots() {
+        let data = Dataset::new(uniform_table(3, 50_000, 1_000_000, 5));
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(1);
+        // Budget fits roughly one 50k-row column, forcing evictions.
+        cfg.holistic.storage_budget = Some(700 * 1024);
+        let e = HolisticEngine::new(data, cfg);
+        e.add_potential(&[0, 1, 2]);
+        let (a0, p0, o0, d0) = e.space().membership_counts();
+        assert!(d0 >= 2, "budget never evicted (dropped={d0})");
+        // The dropped slots are still `Some`, but add_potential must see
+        // through them and re-register instead of skipping. Entries are
+        // never removed from the space, so the total strictly grows iff
+        // re-registration happened (the daemon can only flip memberships).
+        e.add_potential(&[0, 1, 2]);
+        let (a1, p1, o1, d1) = e.space().membership_counts();
+        assert!(
+            a1 + p1 + o1 + d1 > a0 + p0 + o0 + d0,
+            "dropped slots were not re-registered \
+             (before: {a0}+{p0}+{o0}+{d0}, after: {a1}+{p1}+{o1}+{d1})"
+        );
+        assert!(a1 + p1 + o1 >= 1, "no live index after re-registration");
+        // And every attribute still answers queries correctly.
+        for attr in 0..3 {
+            let q = QuerySpec {
+                attr,
+                lo: 0,
+                hi: 1_000,
+            };
+            assert_eq!(
+                e.execute(&q),
+                scan_stats(e.data.column(attr), Predicate::range(0, 1_000)).count
             );
         }
         e.stop();

@@ -12,11 +12,12 @@
 //!   `holix-core`,
 //! - [`sideways`] — cracker maps (selection attribute permuted together with
 //!   projection attributes, after [29]) for the TPC-H comparison,
-//! - [`tpch`] — physical plans for TPC-H Q1/Q6/Q12 over four engine kinds,
-//! - [`session`] — multi-client drivers (§5.8).
+//! - [`tpch`] — physical plans for TPC-H Q1/Q6/Q12 over four engine kinds.
 //!
 //! All engines answer the same [`api::QueryEngine`] interface and are
-//! verified against scan oracles in the integration tests.
+//! verified against scan oracles in the integration tests. Multi-client
+//! serving (§5.8) lives in `holix-server`: the engines stay the execution
+//! interface, the service layer owns sessions, admission and scheduling.
 
 pub mod adaptive;
 pub mod api;
@@ -24,7 +25,6 @@ pub mod holistic;
 pub mod offline;
 pub mod online;
 pub mod scan;
-pub mod session;
 pub mod sideways;
 pub mod tpch;
 

@@ -47,8 +47,6 @@ pub fn concentric_partition<V: CrackValue>(
             .iter()
             .map(|ring| {
                 let ring = *ring;
-                let vp = vp;
-                let rp = rp;
                 // SAFETY: rings are pairwise disjoint by construction, so
                 // each thread owns its index ranges exclusively.
                 s.spawn(move |_| unsafe { partition_ring(vp.get(), rp.get(), ring, pivot) })
@@ -136,9 +134,13 @@ struct RingCut {
     low_count: usize,
 }
 
+/// Up to two `(start, end)` half-open index ranges; `(0, 0)` entries are
+/// empty placeholders.
+type SegmentPair = [(usize, usize); 2];
+
 impl RingCut {
     /// Global index where the ring's lows end, in its logical order.
-    fn segments(&self) -> ([(usize, usize); 2], [(usize, usize); 2]) {
+    fn segments(&self) -> (SegmentPair, SegmentPair) {
         let r = self.ring;
         let left_len = r.left_end - r.left_start;
         if self.low_count <= left_len {

@@ -157,8 +157,6 @@ pub(crate) fn execute_swaps<V: CrackValue>(
     let per = jobs.len().div_ceil(threads);
     crossbeam::thread::scope(|s| {
         for batch in jobs.chunks(per) {
-            let vp = vp;
-            let rp = rp;
             s.spawn(move |_| {
                 for &(a, b, len) in batch {
                     // SAFETY: (a..a+len) and (b..b+len) are disjoint from

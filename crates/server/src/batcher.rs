@@ -1,0 +1,123 @@
+//! Crack-aware batch ordering.
+//!
+//! A drained batch of randomly arrived queries is reordered so the engine
+//! sees *piece-friendly bursts*: queries are grouped per column (no cache
+//! thrash between cracker columns) and sorted by predicate bounds inside
+//! each group, so consecutive predicates land in already-cracked or
+//! adjacent pieces of the same column. Exact-duplicate predicates end up
+//! adjacent, which lets the dispatcher execute them once and fan the count
+//! out to every waiting ticket.
+
+use holix_workloads::QuerySpec;
+
+/// How the dispatcher orders a drained batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Arrival (FIFO) order — the naive round-robin baseline.
+    #[default]
+    Fifo,
+    /// Group per column, sort by bounds, coalesce duplicate predicates.
+    CrackAware,
+}
+
+impl Scheduling {
+    /// CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheduling::Fifo => "fifo",
+            Scheduling::CrackAware => "crack_aware",
+        }
+    }
+}
+
+/// Reorders `batch` in place according to the scheduling policy. `spec`
+/// projects each item onto its query. FIFO leaves arrival order untouched;
+/// crack-aware performs a stable sort by `(attr, lo, hi)` so ties keep
+/// their arrival order.
+pub fn order_batch<T>(batch: &mut [T], scheduling: Scheduling, spec: impl Fn(&T) -> QuerySpec) {
+    match scheduling {
+        Scheduling::Fifo => {}
+        Scheduling::CrackAware => {
+            batch.sort_by_key(|item| {
+                let q = spec(item);
+                (q.attr, q.lo, q.hi)
+            });
+        }
+    }
+}
+
+/// Length of the run of items at the front of `batch` sharing the first
+/// item's exact predicate (1 when `batch` is non-empty but unsorted order
+/// puts no duplicate first). The dispatcher executes each run once.
+pub fn duplicate_run_len<T>(batch: &[T], spec: impl Fn(&T) -> QuerySpec) -> usize {
+    let Some(first) = batch.first().map(&spec) else {
+        return 0;
+    };
+    batch
+        .iter()
+        .take_while(|item| {
+            let q = spec(item);
+            q.attr == first.attr && q.lo == first.lo && q.hi == first.hi
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(attr: usize, lo: i64, hi: i64) -> QuerySpec {
+        QuerySpec { attr, lo, hi }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut batch = vec![q(1, 5, 9), q(0, 3, 4), q(1, 1, 2)];
+        let orig = batch.clone();
+        order_batch(&mut batch, Scheduling::Fifo, |x| *x);
+        assert_eq!(batch, orig);
+    }
+
+    #[test]
+    fn crack_aware_groups_by_attr_then_bounds() {
+        let mut batch = vec![
+            q(1, 500, 600),
+            q(0, 300, 400),
+            q(1, 100, 200),
+            q(0, 100, 150),
+            q(1, 100, 120),
+        ];
+        order_batch(&mut batch, Scheduling::CrackAware, |x| *x);
+        assert_eq!(
+            batch,
+            vec![
+                q(0, 100, 150),
+                q(0, 300, 400),
+                q(1, 100, 120),
+                q(1, 100, 200),
+                q(1, 500, 600),
+            ]
+        );
+    }
+
+    #[test]
+    fn crack_aware_sort_is_stable_for_duplicates() {
+        // Items carry a payload so we can observe tie order.
+        let mut batch = vec![(q(0, 1, 2), 'a'), (q(0, 1, 2), 'b'), (q(0, 1, 2), 'c')];
+        order_batch(&mut batch, Scheduling::CrackAware, |x| x.0);
+        assert_eq!(
+            batch.iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec!['a', 'b', 'c']
+        );
+    }
+
+    #[test]
+    fn duplicate_runs_detected_after_sort() {
+        let mut batch = vec![q(0, 1, 2), q(1, 1, 2), q(0, 1, 2), q(0, 5, 6)];
+        order_batch(&mut batch, Scheduling::CrackAware, |x| *x);
+        assert_eq!(duplicate_run_len(&batch, |x| *x), 2); // two copies of (0,1,2)
+        assert_eq!(duplicate_run_len(&batch[2..], |x| *x), 1);
+        assert_eq!(duplicate_run_len(&batch[3..], |x| *x), 1);
+        assert_eq!(duplicate_run_len::<QuerySpec>(&[], |x| *x), 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! The query service: admission queue + dispatcher worker pool.
+//!
+//! [`QueryService`] accepts queries from any number of concurrent
+//! [`Session`]s, applies admission control at the bounded queue, and runs a
+//! small pool of dispatcher threads. Each dispatcher drains a batch,
+//! reorders it per the configured [`Scheduling`], and executes it against
+//! the shared [`QueryEngine`]. While a dispatcher is busy it holds a
+//! [`LoadAccountant`] task guard, so the holistic daemon sees the service's
+//! true load and yields hardware contexts under pressure (§5.8: workers
+//! scale down as client load rises). Engine-internal guards (the holistic
+//! engine registers each query's crack gang) stack on top — over-counting
+//! saturates toward "no idle contexts", which is exactly the conservative
+//! signal wanted while the service is loaded.
+
+use crate::batcher::{duplicate_run_len, order_batch, Scheduling};
+use crate::queue::{AdmissionPolicy, BoundedQueue, SubmitError};
+use crate::session::{QueryResult, SessionHandle, SessionRegistry, Ticket};
+use crate::stats::{ServiceStats, StatsSummary};
+use holix_core::cpu::LoadAccountant;
+use holix_engine::api::QueryEngine;
+use holix_workloads::QuerySpec;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Dispatcher threads executing queries.
+    pub workers: usize,
+    /// Admission-queue depth.
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// Batch ordering policy.
+    pub scheduling: Scheduling,
+    /// Most queries one dispatcher drains per batch.
+    pub batch_max: usize,
+    /// Hardware contexts each busy dispatcher registers with the load
+    /// accountant.
+    pub contexts_per_worker: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            admission: AdmissionPolicy::Block,
+            scheduling: Scheduling::CrackAware,
+            batch_max: 64,
+            contexts_per_worker: 1,
+        }
+    }
+}
+
+/// One queued query: spec, completion ticket, submission timestamp.
+struct QueuedQuery {
+    spec: QuerySpec,
+    ticket: Ticket,
+    enqueued: Instant,
+}
+
+/// A running query service over one engine.
+pub struct QueryService {
+    queue: Arc<BoundedQueue<QueuedQuery>>,
+    stats: Arc<ServiceStats>,
+    registry: Arc<SessionRegistry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    started: Instant,
+}
+
+impl QueryService {
+    /// Starts the dispatcher pool. When `accountant` is given, busy
+    /// dispatchers register their thread usage so a holistic daemon
+    /// watching the same accountant scales its workers down under load.
+    pub fn start(
+        engine: Arc<dyn QueryEngine>,
+        accountant: Option<Arc<LoadAccountant>>,
+        config: ServiceConfig,
+    ) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.admission));
+        let stats = Arc::new(ServiceStats::new());
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let engine = Arc::clone(&engine);
+                let accountant = accountant.clone();
+                let scheduling = config.scheduling;
+                let batch_max = config.batch_max.max(1);
+                let contexts = config.contexts_per_worker;
+                std::thread::Builder::new()
+                    .name(format!("holix-dispatch-{w}"))
+                    .spawn(move || {
+                        dispatch_loop(
+                            &queue,
+                            &stats,
+                            engine.as_ref(),
+                            accountant.as_ref(),
+                            scheduling,
+                            batch_max,
+                            contexts,
+                        )
+                    })
+                    .expect("failed to spawn dispatcher")
+            })
+            .collect();
+        QueryService {
+            queue,
+            stats,
+            registry: Arc::new(SessionRegistry::new()),
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// Opens a client session.
+    pub fn session(&self) -> Session {
+        Session {
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+            handle: self.registry.open(),
+        }
+    }
+
+    /// The session registry (connection accounting).
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Queries currently waiting for a dispatcher.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Metrics snapshot over the service's lifetime so far.
+    pub fn stats(&self) -> StatsSummary {
+        self.stats.summary(self.started.elapsed())
+    }
+
+    /// Starts a fresh latency-percentile window (the monotonic counters
+    /// keep running) — e.g. after a cold-start warmup.
+    pub fn reset_latency_window(&self) {
+        self.stats.reset_latencies();
+    }
+
+    /// Stops admission, drains every queued query, joins the dispatchers
+    /// and returns the final metrics. Every ticket issued before shutdown
+    /// is completed.
+    pub fn shutdown(mut self) -> StatsSummary {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().expect("dispatcher panicked");
+        }
+        self.stats.summary(self.started.elapsed())
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A client's connection to the service. Cheap to create, `Send`, and safe
+/// to use from its own thread.
+pub struct Session {
+    queue: Arc<BoundedQueue<QueuedQuery>>,
+    stats: Arc<ServiceStats>,
+    handle: SessionHandle,
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.handle.id()
+    }
+
+    /// Submits a query; returns a ticket to wait on. Fails when admission
+    /// control sheds the query or the service is shutting down.
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, SubmitError> {
+        let ticket = Ticket::new();
+        let queued = QueuedQuery {
+            spec,
+            ticket: ticket.clone(),
+            enqueued: Instant::now(),
+        };
+        match self.queue.push(queued) {
+            Ok(()) => {
+                self.stats.record_submitted();
+                Ok(ticket)
+            }
+            Err(e) => {
+                if e == SubmitError::Rejected {
+                    self.stats.record_rejected();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit and block for the answer (closed-loop convenience).
+    pub fn execute(&self, spec: QuerySpec) -> Result<QueryResult, SubmitError> {
+        Ok(self.submit(spec)?.wait())
+    }
+}
+
+fn dispatch_loop(
+    queue: &BoundedQueue<QueuedQuery>,
+    stats: &ServiceStats,
+    engine: &dyn QueryEngine,
+    accountant: Option<&Arc<LoadAccountant>>,
+    scheduling: Scheduling,
+    batch_max: usize,
+    contexts: usize,
+) {
+    while let Some(mut batch) = queue.drain_up_to(batch_max) {
+        // Busy from drain to last completion; dropped while blocked on an
+        // empty queue so an idle service leaves its contexts to the daemon.
+        let _busy = accountant.map(|a| a.begin_task(contexts));
+        order_batch(&mut batch, scheduling, |q| q.spec);
+        let mut rest = batch.as_slice();
+        while !rest.is_empty() {
+            // Under crack-aware ordering duplicates are adjacent; FIFO keeps
+            // run length 1 unless clients happened to align.
+            let run = match scheduling {
+                Scheduling::Fifo => 1,
+                Scheduling::CrackAware => duplicate_run_len(rest, |q| q.spec),
+            };
+            let t0 = Instant::now();
+            let count = engine.execute(&rest[0].spec);
+            let service_time = t0.elapsed();
+            stats.record_executed();
+            for q in &rest[..run] {
+                let latency = q.enqueued.elapsed();
+                q.ticket.state.complete(QueryResult {
+                    count,
+                    latency,
+                    service_time,
+                });
+                stats.record_completed(latency);
+            }
+            rest = &rest[run..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_engine::api::Dataset;
+    use holix_engine::{AdaptiveEngine, CrackMode};
+    use holix_workloads::data::uniform_table;
+    use holix_workloads::WorkloadSpec;
+
+    fn engine(rows: usize, domain: i64) -> (Dataset, Arc<dyn QueryEngine>) {
+        let data = Dataset::new(uniform_table(2, rows, domain, 5));
+        let engine = AdaptiveEngine::new(data.clone(), CrackMode::Sequential);
+        (data, Arc::new(engine))
+    }
+
+    fn oracle(data: &Dataset, q: &QuerySpec) -> u64 {
+        data.column(q.attr)
+            .iter()
+            .filter(|&&v| q.lo <= v && v < q.hi)
+            .count() as u64
+    }
+
+    #[test]
+    fn service_answers_match_oracle_under_both_schedulings() {
+        for scheduling in [Scheduling::Fifo, Scheduling::CrackAware] {
+            let (data, eng) = engine(30_000, 10_000);
+            let service = QueryService::start(
+                eng,
+                None,
+                ServiceConfig {
+                    workers: 2,
+                    scheduling,
+                    ..ServiceConfig::default()
+                },
+            );
+            let queries = WorkloadSpec::random(2, 64, 10_000, 6).generate();
+            let session = service.session();
+            let tickets: Vec<(QuerySpec, Ticket)> = queries
+                .iter()
+                .map(|&q| (q, session.submit(q).unwrap()))
+                .collect();
+            for (q, t) in &tickets {
+                assert_eq!(t.wait().count, oracle(&data, q), "{scheduling:?} {q:?}");
+            }
+            let summary = service.shutdown();
+            assert_eq!(summary.completed, 64);
+            assert_eq!(summary.rejected, 0);
+            assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        }
+    }
+
+    #[test]
+    fn crack_aware_coalesces_duplicate_predicates() {
+        let (data, eng) = engine(20_000, 1_000);
+        let service = QueryService::start(
+            eng,
+            None,
+            ServiceConfig {
+                workers: 1,
+                scheduling: Scheduling::CrackAware,
+                batch_max: 128,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        let q = QuerySpec {
+            attr: 0,
+            lo: 100,
+            hi: 300,
+        };
+        // Submit 32 identical queries before any dispatcher can finish the
+        // first: they land in one batch and execute once or a few times.
+        let tickets: Vec<Ticket> = (0..32).map(|_| session.submit(q).unwrap()).collect();
+        let expect = oracle(&data, &q);
+        for t in &tickets {
+            assert_eq!(t.wait().count, expect);
+        }
+        let summary = service.shutdown();
+        assert_eq!(summary.completed, 32);
+        assert!(
+            summary.executed < 32,
+            "no coalescing happened (executed={})",
+            summary.executed
+        );
+    }
+
+    #[test]
+    fn reject_admission_sheds_load_but_answers_accepted_queries() {
+        let (data, eng) = engine(50_000, 1_000);
+        let service = QueryService::start(
+            eng,
+            None,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                admission: AdmissionPolicy::Reject,
+                scheduling: Scheduling::Fifo,
+                batch_max: 2,
+                contexts_per_worker: 1,
+            },
+        );
+        let session = service.session();
+        let q = QuerySpec {
+            attr: 1,
+            lo: 0,
+            hi: 500,
+        };
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        for _ in 0..256 {
+            match session.submit(q) {
+                Ok(t) => accepted.push(t),
+                Err(SubmitError::Rejected) => rejected += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        let expect = oracle(&data, &q);
+        for t in &accepted {
+            assert_eq!(t.wait().count, expect);
+        }
+        let summary = service.shutdown();
+        assert_eq!(summary.completed as usize, accepted.len());
+        assert_eq!(summary.rejected, rejected);
+    }
+
+    #[test]
+    fn busy_dispatchers_register_with_the_accountant() {
+        let (_, eng) = engine(200_000, 1 << 20);
+        let accountant = LoadAccountant::new(4);
+        let service = QueryService::start(
+            eng,
+            Some(Arc::clone(&accountant)),
+            ServiceConfig {
+                workers: 2,
+                scheduling: Scheduling::Fifo,
+                batch_max: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        // Keep the service busy and watch the accountant go non-idle.
+        let tickets: Vec<Ticket> = WorkloadSpec::random(2, 128, 1 << 20, 7)
+            .generate()
+            .into_iter()
+            .map(|q| session.submit(q).unwrap())
+            .collect();
+        let mut saw_busy = false;
+        for t in &tickets {
+            saw_busy |= accountant.busy() > 0;
+            t.wait();
+        }
+        assert!(saw_busy, "dispatchers never registered load");
+        service.shutdown();
+        assert_eq!(accountant.busy(), 0, "task guards leaked");
+    }
+
+    #[test]
+    fn sessions_are_registered_and_counted() {
+        let (_, eng) = engine(1_000, 100);
+        let service = QueryService::start(eng, None, ServiceConfig::default());
+        {
+            let a = service.session();
+            let b = service.session();
+            assert_eq!(service.registry().active(), 2);
+            let _ = (a, b);
+        }
+        assert_eq!(service.registry().active(), 0);
+        assert_eq!(service.registry().total_opened(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_closed() {
+        let (_, eng) = engine(1_000, 100);
+        let service = QueryService::start(eng, None, ServiceConfig::default());
+        let session = service.session();
+        service.shutdown();
+        assert_eq!(
+            session
+                .submit(QuerySpec {
+                    attr: 0,
+                    lo: 0,
+                    hi: 10
+                })
+                .err(),
+            Some(SubmitError::Closed)
+        );
+    }
+}

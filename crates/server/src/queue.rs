@@ -1,0 +1,225 @@
+//! Bounded submission queue with admission control.
+//!
+//! The queue is the backpressure point between client sessions and the
+//! dispatcher: when it is full, admission control either blocks the
+//! producer (closed-loop clients slow down) or rejects the query outright
+//! (open-loop load shedding). Built on `std::sync::{Mutex, Condvar}` — the
+//! vendored `parking_lot` shim has no condition variables.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What to do with a submission that finds the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until space frees up (closed-loop
+    /// backpressure).
+    #[default]
+    Block,
+    /// Fail the submission immediately with [`SubmitError::Rejected`]
+    /// (open-loop load shedding).
+    Reject,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue was full and the policy is [`AdmissionPolicy::Reject`].
+    Rejected,
+    /// The service is shutting down; no further queries are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected => write!(f, "queue full: query rejected by admission control"),
+            SubmitError::Closed => write!(f, "service closed: query not accepted"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// MPMC bounded FIFO with close semantics.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits one item under the admission policy.
+    pub fn push(&self, item: T) -> Result<(), SubmitError> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(SubmitError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            match self.policy {
+                AdmissionPolicy::Reject => return Err(SubmitError::Rejected),
+                AdmissionPolicy::Block => {
+                    inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one item is available, then takes up to `max`
+    /// items in FIFO order. Returns `None` once the queue is closed *and*
+    /// drained — the consumer's signal to exit.
+    pub fn drain_up_to(&self, max: usize) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = self.lock();
+        loop {
+            if !inner.items.is_empty() {
+                let take = inner.items.len().min(max);
+                let batch: Vec<T> = inner.items.drain(..take).collect();
+                // Space freed: wake every blocked producer (batch drains can
+                // free more than one slot).
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the queue closed: submissions fail from now on, consumers keep
+    /// draining until empty, blocked producers and consumers wake up.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_batch_drain() {
+        let q = BoundedQueue::new(8, AdmissionPolicy::Reject);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.drain_up_to(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.drain_up_to(10), Some(vec![3, 4]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reject_policy_sheds_overflow() {
+        let q = BoundedQueue::new(2, AdmissionPolicy::Reject);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(SubmitError::Rejected));
+        q.drain_up_to(1);
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let q = BoundedQueue::new(4, AdmissionPolicy::Block);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(SubmitError::Closed));
+        assert_eq!(q.drain_up_to(4), Some(vec![1]));
+        assert_eq!(q.drain_up_to(4), None);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1, AdmissionPolicy::Block));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        // The producer is blocked on the full queue; free a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.drain_up_to(1), Some(vec![0]));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.drain_up_to(1), Some(vec![1]));
+    }
+
+    #[test]
+    fn consumer_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1, AdmissionPolicy::Block));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.drain_up_to(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1, AdmissionPolicy::Block));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(SubmitError::Closed));
+    }
+}

@@ -1,0 +1,175 @@
+//! Client sessions and completion tickets.
+//!
+//! Every connected client holds a [`SessionHandle`] from the shared
+//! [`SessionRegistry`]; each accepted query yields a [`Ticket`] the client
+//! blocks on (or polls) for the answer. Tickets decouple submission from
+//! execution so the dispatcher can reorder and coalesce queries without the
+//! client noticing anything but lower latency.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Monotonic id of a client session.
+pub type SessionId = u64;
+
+/// Tracks connected sessions: live count, peak concurrency, total opened.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next_id: AtomicU64,
+    active: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl SessionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a session; the handle deregisters on drop.
+    pub fn open(self: &Arc<Self>) -> SessionHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        SessionHandle {
+            registry: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Currently connected sessions.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Highest concurrent session count observed.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Sessions opened over the registry's lifetime.
+    pub fn total_opened(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII registration of one connected client.
+#[derive(Debug)]
+pub struct SessionHandle {
+    registry: Arc<SessionRegistry>,
+    id: SessionId,
+}
+
+impl SessionHandle {
+    /// This session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.registry.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The answer to one query, as seen by the submitting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Qualifying-tuple count.
+    pub count: u64,
+    /// End-to-end latency: submission to completion (queueing + service).
+    pub latency: Duration,
+    /// Engine execution time alone (shared across coalesced duplicates).
+    pub service_time: Duration,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TicketState {
+    slot: Mutex<Option<QueryResult>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn complete(&self, result: QueryResult) {
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Completion handle for one submitted query. Only the service constructs
+/// tickets — a ticket no dispatcher knows about could never complete, so
+/// there is deliberately no public constructor.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// New unfulfilled ticket (dispatcher side).
+    pub(crate) fn new() -> Ticket {
+        Ticket {
+            state: Arc::new(TicketState::default()),
+        }
+    }
+
+    /// Blocks until the dispatcher answers this query.
+    pub fn wait(&self) -> QueryResult {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = *slot {
+                return r;
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking probe for the result.
+    pub fn try_result(&self) -> Option<QueryResult> {
+        *self.state.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counts_sessions() {
+        let reg = Arc::new(SessionRegistry::new());
+        let a = reg.open();
+        let b = reg.open();
+        assert_eq!((a.id(), b.id()), (0, 1));
+        assert_eq!(reg.active(), 2);
+        assert_eq!(reg.peak(), 2);
+        drop(a);
+        assert_eq!(reg.active(), 1);
+        let _c = reg.open();
+        assert_eq!(reg.active(), 2);
+        assert_eq!(reg.peak(), 2);
+        assert_eq!(reg.total_opened(), 3);
+    }
+
+    #[test]
+    fn ticket_roundtrip_across_threads() {
+        let t = Ticket::new();
+        assert_eq!(t.try_result(), None);
+        let waiter = {
+            let t = t.clone();
+            std::thread::spawn(move || t.wait())
+        };
+        let result = QueryResult {
+            count: 42,
+            latency: Duration::from_millis(3),
+            service_time: Duration::from_millis(1),
+        };
+        t.state.complete(result);
+        assert_eq!(waiter.join().unwrap(), result);
+        assert_eq!(t.try_result(), Some(result));
+    }
+}

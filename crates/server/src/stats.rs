@@ -1,0 +1,243 @@
+//! Service-level latency and throughput accounting.
+//!
+//! The dispatcher records one end-to-end latency sample (enqueue →
+//! completion) per query plus counters for admission decisions and engine
+//! executions; [`StatsSummary`] condenses them into the sustained-QPS and
+//! tail-latency numbers the `fig17_service` harness prints.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency samples kept for percentile estimation. Beyond this, reservoir
+/// sampling (Vitter's algorithm R) keeps a uniform sample of the whole
+/// history so a long-lived service's memory stays bounded.
+const MAX_SAMPLES: usize = 1 << 16;
+
+/// Shared counters + latency samples for one service instance.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    /// Engine executions performed. Crack-aware batching coalesces duplicate
+    /// predicates inside a batch, so this can be below `completed`.
+    executed: AtomicU64,
+    latencies: Mutex<Reservoir>,
+}
+
+/// Bounded uniform sample over an unbounded stream.
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<Duration>,
+    /// Stream length so far.
+    seen: u64,
+    /// xorshift64* state for replacement indices (seeded on first overflow;
+    /// statistical sampling only, determinism not required).
+    rng: u64,
+}
+
+impl Reservoir {
+    fn push(&mut self, d: Duration) {
+        self.seen += 1;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(d);
+            return;
+        }
+        if self.rng == 0 {
+            self.rng = 0x9E37_79B9_7F4A_7C15 ^ self.seen;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let r = self.rng % self.seen;
+        if (r as usize) < MAX_SAMPLES {
+            self.samples[r as usize] = d;
+        }
+    }
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a query accepted into the queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query turned away by admission control.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one engine execution (which may answer several queries).
+    pub fn record_executed(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a fresh percentile window: clears the latency reservoir (the
+    /// monotonic counters keep running). Harnesses call this after a
+    /// cold-start warmup so the reported percentiles cover steady state.
+    pub fn reset_latencies(&self) {
+        let mut r = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        r.samples.clear();
+        r.seen = 0;
+    }
+
+    /// Records a completed query with its enqueue-to-completion latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(latency);
+    }
+
+    /// Queries accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queries completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Summarises everything recorded so far over `wall` elapsed time.
+    pub fn summary(&self, wall: Duration) -> StatsSummary {
+        let mut lat = self
+            .latencies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .samples
+            .clone();
+        lat.sort_unstable();
+        let completed = self.completed.load(Ordering::Relaxed);
+        StatsSummary {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            wall,
+            qps: if wall.is_zero() {
+                0.0
+            } else {
+                completed as f64 / wall.as_secs_f64()
+            },
+            p50: percentile(&lat, 0.50),
+            p95: percentile(&lat, 0.95),
+            p99: percentile(&lat, 0.99),
+            max: lat.last().copied().unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+/// Condensed service metrics (one row of the Fig 17 service CSV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSummary {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries answered.
+    pub completed: u64,
+    /// Queries turned away by admission control.
+    pub rejected: u64,
+    /// Engine executions (≤ completed when batching coalesces duplicates).
+    pub executed: u64,
+    /// Wall time the summary covers.
+    pub wall: Duration,
+    /// Sustained completions per second over `wall`.
+    pub qps: f64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+    /// Worst observed end-to-end latency.
+    pub max: Duration,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set; zero when
+/// empty. `q` is a fraction in `[0, 1]`.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&s, 0.50), ms(50));
+        assert_eq!(percentile(&s, 0.95), ms(95));
+        assert_eq!(percentile(&s, 0.99), ms(99));
+        assert_eq!(percentile(&s, 1.0), ms(100));
+        assert_eq!(percentile(&s, 0.0), ms(1)); // clamps to the first rank
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 0.99), ms(7));
+    }
+
+    #[test]
+    fn summary_counts_and_qps() {
+        let stats = ServiceStats::new();
+        for i in 1..=10 {
+            stats.record_submitted();
+            stats.record_executed();
+            stats.record_completed(ms(i));
+        }
+        stats.record_rejected();
+        let s = stats.summary(Duration::from_secs(2));
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.executed, 10);
+        assert!((s.qps - 5.0).abs() < 1e-9);
+        assert_eq!(s.p50, ms(5));
+        assert_eq!(s.max, ms(10));
+    }
+
+    #[test]
+    fn summary_on_empty_stats() {
+        let s = ServiceStats::new().summary(Duration::ZERO);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.qps, 0.0);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_and_stays_representative() {
+        let mut r = Reservoir::default();
+        // 4x the capacity of identical samples: size stays capped and every
+        // retained sample is from the stream.
+        for _ in 0..(MAX_SAMPLES * 4) {
+            r.push(ms(5));
+        }
+        assert_eq!(r.samples.len(), MAX_SAMPLES);
+        assert_eq!(r.seen, (MAX_SAMPLES * 4) as u64);
+        assert!(r.samples.iter().all(|&d| d == ms(5)));
+        // A second value fed after overflow must be able to displace old
+        // samples (replacement actually happens).
+        for _ in 0..(MAX_SAMPLES * 4) {
+            r.push(ms(9));
+        }
+        assert!(r.samples.iter().any(|&d| d == ms(9)));
+    }
+}

@@ -1,8 +1,38 @@
 //! Parallel range scan — the paper's "plain scans" baseline, where every
 //! query scans the entire column with all available threads.
 
-use crate::select::{scan_stats, Predicate, RangeStats};
+use crate::select::{scan_count, scan_stats, Predicate, RangeStats};
 use crate::types::CrackValue;
+
+/// Inputs below this size are scanned sequentially: the fork/join overhead
+/// outweighs the scan itself.
+const MIN_PARALLEL: usize = 1 << 14;
+
+/// Shared fan-out scaffolding: chunks `values` across `threads` scoped
+/// workers, maps each chunk with `scan`, and folds the partial results
+/// with `merge`. Callers have already ruled out the sequential fast path.
+fn scan_chunks<V, R, S, M>(values: &[V], threads: usize, scan: S, mut merge: M) -> R
+where
+    V: CrackValue,
+    R: Default + Send,
+    S: Fn(&[V]) -> R + Sync,
+    M: FnMut(&mut R, R),
+{
+    let chunk = values.len().div_ceil(threads);
+    let mut total = R::default();
+    crossbeam::thread::scope(|s| {
+        let scan = &scan;
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|part| s.spawn(move |_| scan(part)))
+            .collect();
+        for h in handles {
+            merge(&mut total, h.join().expect("scan worker panicked"));
+        }
+    })
+    .expect("scan scope panicked");
+    total
+}
 
 /// Scans `values` with `threads` worker threads, merging per-chunk
 /// [`RangeStats`]. Falls back to the sequential scan for small inputs or a
@@ -12,47 +42,31 @@ pub fn parallel_scan_stats<V: CrackValue>(
     pred: Predicate<V>,
     threads: usize,
 ) -> RangeStats {
-    const MIN_PARALLEL: usize = 1 << 14;
     let threads = threads.max(1);
     if threads == 1 || values.len() < MIN_PARALLEL {
         return scan_stats(values, pred);
     }
-    let chunk = values.len().div_ceil(threads);
-    let mut total = RangeStats::default();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = values
-            .chunks(chunk)
-            .map(|part| s.spawn(move |_| scan_stats(part, pred)))
-            .collect();
-        for h in handles {
-            total.merge(h.join().expect("scan worker panicked"));
-        }
-    })
-    .expect("scan scope panicked");
-    total
+    scan_chunks(
+        values,
+        threads,
+        |part| scan_stats(part, pred),
+        |total, part| total.merge(part),
+    )
 }
 
 /// Count-only parallel scan (the fair comparison point against indexed
 /// selects, which produce counts from contiguous ranges).
 pub fn parallel_scan_count<V: CrackValue>(values: &[V], pred: Predicate<V>, threads: usize) -> u64 {
-    const MIN_PARALLEL: usize = 1 << 14;
     let threads = threads.max(1);
     if threads == 1 || values.len() < MIN_PARALLEL {
-        return crate::select::scan_count(values, pred);
+        return scan_count(values, pred);
     }
-    let chunk = values.len().div_ceil(threads);
-    let mut total = 0u64;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = values
-            .chunks(chunk)
-            .map(|part| s.spawn(move |_| crate::select::scan_count(part, pred)))
-            .collect();
-        for h in handles {
-            total += h.join().expect("scan worker panicked");
-        }
-    })
-    .expect("scan scope panicked");
-    total
+    scan_chunks(
+        values,
+        threads,
+        |part| scan_count(part, pred),
+        |total, part| *total += part,
+    )
 }
 
 #[cfg(test)]
@@ -76,6 +90,7 @@ mod tests {
         let vals: Vec<i64> = (0..100).collect();
         let pred = Predicate::range(10, 20);
         assert_eq!(parallel_scan_stats(&vals, pred, 4), scan_stats(&vals, pred));
+        assert_eq!(parallel_scan_count(&vals, pred, 4), scan_count(&vals, pred));
     }
 
     #[test]
@@ -89,6 +104,11 @@ mod tests {
                 scan_stats(&vals, pred),
                 "range {lo}..{hi}"
             );
+            assert_eq!(
+                parallel_scan_count(&vals, pred, 8),
+                scan_count(&vals, pred),
+                "range {lo}..{hi}"
+            );
         }
     }
 
@@ -99,6 +119,11 @@ mod tests {
         let base = scan_stats(&vals, pred);
         for t in [1, 2, 3, 5, 16] {
             assert_eq!(parallel_scan_stats(&vals, pred, t), base, "threads={t}");
+            assert_eq!(
+                parallel_scan_count(&vals, pred, t),
+                base.count,
+                "threads={t}"
+            );
         }
     }
 
@@ -109,5 +134,6 @@ mod tests {
             parallel_scan_stats(&vals, Predicate::less_than(5), 4),
             RangeStats::default()
         );
+        assert_eq!(parallel_scan_count(&vals, Predicate::less_than(5), 4), 0);
     }
 }

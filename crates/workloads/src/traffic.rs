@@ -1,0 +1,458 @@
+//! Multi-client traffic generators for the service layer (§5.8 scaled to
+//! "heavy traffic": many sessions, arrival distributions, per-client skew).
+//!
+//! A [`TrafficSpec`] describes a fleet of client sessions. Each client gets
+//! its own deterministic query stream ([`TrafficSpec::client_stream`]):
+//! open-loop streams carry absolute arrival offsets (the client fires at
+//! those times regardless of completions), closed-loop streams carry think
+//! times (the client waits that long after each answer). Per-client skew
+//! models real fleets where every client hammers its own slice of the data
+//! — the regime where crack-aware batching pays off.
+
+use crate::patterns::QuerySpec;
+use rand::prelude::*;
+use std::time::Duration;
+
+/// How a client paces its submissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: wait for the answer, think, submit the next query.
+    Closed {
+        /// Think time between completion and next submission.
+        think: Duration,
+    },
+    /// Open loop, deterministic spacing at `qps` per client.
+    OpenUniform {
+        /// Offered queries per second, per client.
+        qps: f64,
+    },
+    /// Open loop, Poisson process: exponential inter-arrivals at `qps`.
+    OpenPoisson {
+        /// Mean offered queries per second, per client.
+        qps: f64,
+    },
+    /// Open loop, bursty: `burst` back-to-back queries, then a gap sized so
+    /// the long-run rate is `qps`.
+    OpenBursty {
+        /// Mean offered queries per second, per client.
+        qps: f64,
+        /// Queries per burst.
+        burst: usize,
+    },
+}
+
+/// Which slice of the data each client focuses on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientFocus {
+    /// All clients draw uniformly over all attributes and the full domain.
+    Shared,
+    /// Client `c` only queries attribute `c % n_attrs` (per-client column
+    /// affinity).
+    PerClientAttr,
+    /// Clients draw from a fixed set of hot predicate windows with a
+    /// Zipf-like preference rotated per client, so every client has its own
+    /// favourite windows but the fleet shares the hot set. Produces many
+    /// repeated predicates — the skewed regime of the service experiments.
+    HotWindows {
+        /// Number of distinct hot windows in the fleet-wide set.
+        windows: usize,
+    },
+    /// Like [`ClientFocus::HotWindows`], but each hot entry is a *region*:
+    /// with probability `exact_prob` a query repeats the region's canonical
+    /// window verbatim (a cached dashboard query), otherwise its bounds are
+    /// jittered inside the region (a parameterised variant). Sustains fresh
+    /// cracking work concentrated on the hot regions.
+    HotRegions {
+        /// Number of distinct hot regions in the fleet-wide set.
+        regions: usize,
+        /// Probability of an exact repeat of the canonical window.
+        exact_prob: f64,
+    },
+}
+
+/// One entry of a client's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedQuery {
+    /// Open loop: offset of the arrival from stream start. Closed loop:
+    /// think time to wait before submitting this query.
+    pub at: Duration,
+    /// The query itself.
+    pub spec: QuerySpec,
+}
+
+/// Description of a multi-client traffic mix.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Queries each client submits.
+    pub queries_per_client: usize,
+    /// Attributes in the schema.
+    pub n_attrs: usize,
+    /// Value domain `[0, domain)`.
+    pub domain: i64,
+    /// Pacing model.
+    pub arrival: ArrivalProcess,
+    /// Data skew model.
+    pub focus: ClientFocus,
+    /// Window width for focused queries, as a fraction denominator of the
+    /// domain (width = `domain / window_denom`).
+    pub window_denom: i64,
+    /// RNG seed; streams are deterministic per `(seed, client)`.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// A zero-think closed-loop spec — maximum sustained pressure, the
+    /// saturation scenario of the service harness.
+    pub fn saturating(
+        clients: usize,
+        queries_per_client: usize,
+        n_attrs: usize,
+        domain: i64,
+        seed: u64,
+    ) -> Self {
+        TrafficSpec {
+            clients,
+            queries_per_client,
+            n_attrs,
+            domain,
+            arrival: ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            focus: ClientFocus::HotRegions {
+                regions: 24,
+                exact_prob: 0.5,
+            },
+            window_denom: 100,
+            seed,
+        }
+    }
+
+    /// The fleet-wide hot-window (or hot-region canonical-window) set for
+    /// [`ClientFocus::HotWindows`] / [`ClientFocus::HotRegions`] — shared by
+    /// all clients; depends only on the spec's seed and shape.
+    pub fn hot_windows(&self) -> Vec<QuerySpec> {
+        let n = match self.focus {
+            ClientFocus::HotWindows { windows } => windows,
+            ClientFocus::HotRegions { regions, .. } => regions,
+            _ => return Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9077_F00D);
+        let domain = self.domain.max(2);
+        let width = (domain / self.window_denom.max(1)).max(1);
+        (0..n.max(1))
+            .map(|_| {
+                let attr = rng.random_range(0..self.n_attrs.max(1));
+                let lo = rng.random_range(0..(domain - width).max(1));
+                QuerySpec {
+                    attr,
+                    lo,
+                    hi: (lo + width).min(domain),
+                }
+            })
+            .collect()
+    }
+
+    /// Client `c`'s deterministic stream.
+    pub fn client_stream(&self, client: usize) -> Vec<TimedQuery> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(client as u64),
+        );
+        let hot = self.hot_windows();
+        // Harmonic normaliser for the Zipf draws, hoisted out of the
+        // per-query loop (it only depends on the hot-set size).
+        let harmonic = |n: usize| -> f64 { (1..=n.max(1)).map(|k| 1.0 / k as f64).sum() };
+        let hot_h = match self.focus {
+            ClientFocus::HotWindows { windows } => harmonic(windows),
+            ClientFocus::HotRegions { regions, .. } => harmonic(regions),
+            _ => 0.0,
+        };
+        let domain = self.domain.max(2);
+        let width = (domain / self.window_denom.max(1)).max(1);
+        let mut clock = Duration::ZERO;
+        (0..self.queries_per_client)
+            .map(|i| {
+                let spec = match self.focus {
+                    ClientFocus::Shared => {
+                        let attr = rng.random_range(0..self.n_attrs.max(1));
+                        let a = rng.random_range(0..domain);
+                        let b = rng.random_range(0..domain);
+                        QuerySpec {
+                            attr,
+                            lo: a.min(b),
+                            hi: a.max(b).max(a.min(b) + 1),
+                        }
+                    }
+                    ClientFocus::PerClientAttr => {
+                        let attr = client % self.n_attrs.max(1);
+                        let lo = rng.random_range(0..(domain - width).max(1));
+                        QuerySpec {
+                            attr,
+                            lo,
+                            hi: (lo + width).min(domain),
+                        }
+                    }
+                    ClientFocus::HotWindows { windows } => {
+                        // Zipf-like rank preference, rotated so client c's
+                        // hottest window is window c mod |set|.
+                        let n = windows.max(1);
+                        let rank = zipf_rank(&mut rng, n, hot_h);
+                        hot[(rank + client) % n]
+                    }
+                    ClientFocus::HotRegions {
+                        regions,
+                        exact_prob,
+                    } => {
+                        let n = regions.max(1);
+                        let rank = zipf_rank(&mut rng, n, hot_h);
+                        let canonical = hot[(rank + client) % n];
+                        if rng.random_range(0.0..1.0) < exact_prob {
+                            canonical
+                        } else {
+                            // Jitter both bounds inside a region spanning a
+                            // few window widths around the canonical window.
+                            let span = (canonical.hi - canonical.lo).max(1);
+                            let base = (canonical.lo - span).max(0);
+                            let ceil = (canonical.hi + span).min(domain);
+                            let lo = rng.random_range(base..ceil.max(base + 1));
+                            let hi = rng.random_range(lo..ceil.max(lo + 1)).max(lo + 1);
+                            QuerySpec {
+                                attr: canonical.attr,
+                                lo,
+                                hi,
+                            }
+                        }
+                    }
+                };
+                let at = match self.arrival {
+                    ArrivalProcess::Closed { think } => think,
+                    ArrivalProcess::OpenUniform { qps } => {
+                        clock += secs_f64(1.0 / qps.max(f64::MIN_POSITIVE));
+                        clock
+                    }
+                    ArrivalProcess::OpenPoisson { qps } => {
+                        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                        clock += secs_f64(-u.ln() / qps.max(f64::MIN_POSITIVE));
+                        clock
+                    }
+                    ArrivalProcess::OpenBursty { qps, burst } => {
+                        let burst = burst.max(1);
+                        if i % burst == 0 && i > 0 {
+                            clock += secs_f64(burst as f64 / qps.max(f64::MIN_POSITIVE));
+                        }
+                        clock
+                    }
+                };
+                TimedQuery { at, spec }
+            })
+            .collect()
+    }
+
+    /// Every client's queries flattened (oracle precomputation).
+    pub fn all_queries(&self) -> Vec<QuerySpec> {
+        (0..self.clients)
+            .flat_map(|c| self.client_stream(c).into_iter().map(|t| t.spec))
+            .collect()
+    }
+}
+
+/// Draws a rank in `[0, n)` with probability ∝ `1/(rank+1)` (Zipf(1));
+/// `h` is the precomputed harmonic sum `H(n)`.
+fn zipf_rank(rng: &mut StdRng, n: usize, h: f64) -> usize {
+    let target = rng.random_range(0.0..h);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += 1.0 / (k + 1) as f64;
+        if target < acc {
+            return k;
+        }
+    }
+    n - 1
+}
+
+fn secs_f64(s: f64) -> Duration {
+    Duration::from_secs_f64(s.clamp(0.0, 3600.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrival: ArrivalProcess, focus: ClientFocus) -> TrafficSpec {
+        TrafficSpec {
+            clients: 4,
+            queries_per_client: 200,
+            n_attrs: 3,
+            domain: 1 << 20,
+            arrival,
+            focus,
+            window_denom: 100,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_valid() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::Shared,
+        );
+        assert_eq!(s.client_stream(2), s.client_stream(2));
+        for c in 0..s.clients {
+            let stream = s.client_stream(c);
+            assert_eq!(stream.len(), 200);
+            for t in &stream {
+                assert!(t.spec.lo < t.spec.hi);
+                assert!(t.spec.lo >= 0 && t.spec.hi <= 1 << 20);
+                assert!(t.spec.attr < 3);
+            }
+        }
+        assert_eq!(s.all_queries().len(), 800);
+    }
+
+    #[test]
+    fn per_client_attr_pins_each_client_to_one_column() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::PerClientAttr,
+        );
+        for c in 0..s.clients {
+            let stream = s.client_stream(c);
+            assert!(stream.iter().all(|t| t.spec.attr == c % 3), "client {c}");
+        }
+    }
+
+    #[test]
+    fn hot_windows_repeat_predicates_and_skew_per_client() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::HotWindows { windows: 8 },
+        );
+        let hot = s.hot_windows();
+        assert_eq!(hot.len(), 8);
+        let stream = s.client_stream(0);
+        // Every query is one of the hot windows.
+        assert!(stream.iter().all(|t| hot.contains(&t.spec)));
+        // With 200 draws over 8 windows, duplicates are guaranteed.
+        let mut uniq: Vec<QuerySpec> = stream.iter().map(|t| t.spec).collect();
+        uniq.sort_by_key(|q| (q.attr, q.lo, q.hi));
+        uniq.dedup();
+        assert!(uniq.len() <= 8);
+        // Zipf rotation: client 0's modal window differs from client 1's.
+        let modal = |c: usize| -> QuerySpec {
+            let stream = s.client_stream(c);
+            let mut best = (0usize, stream[0].spec);
+            for w in &hot {
+                let n = stream.iter().filter(|t| t.spec == *w).count();
+                if n > best.0 {
+                    best = (n, *w);
+                }
+            }
+            best.1
+        };
+        assert_ne!(modal(0), modal(1));
+    }
+
+    #[test]
+    fn hot_regions_mix_exact_repeats_and_jittered_variants() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::HotRegions {
+                regions: 8,
+                exact_prob: 0.5,
+            },
+        );
+        let hot = s.hot_windows();
+        assert_eq!(hot.len(), 8);
+        let stream = s.client_stream(0);
+        let exact = stream.iter().filter(|t| hot.contains(&t.spec)).count();
+        // ~half exact repeats (loose band over 200 draws).
+        assert!((60..=140).contains(&exact), "exact repeats: {exact}");
+        // Jittered variants stay inside their region's attr set and domain.
+        for t in &stream {
+            assert!(t.spec.lo < t.spec.hi);
+            assert!(t.spec.lo >= 0 && t.spec.hi <= s.domain);
+            assert!(hot.iter().any(|w| w.attr == t.spec.attr));
+        }
+        // Jitter keeps queries near some canonical region.
+        let span = (s.domain / s.window_denom).max(1) * 3;
+        for t in &stream {
+            assert!(
+                hot.iter()
+                    .any(|w| w.attr == t.spec.attr && (t.spec.lo - w.lo).abs() <= span),
+                "{:?} far from every region",
+                t.spec
+            );
+        }
+    }
+
+    #[test]
+    fn open_uniform_spacing_is_monotone_and_even() {
+        let s = spec(
+            ArrivalProcess::OpenUniform { qps: 100.0 },
+            ClientFocus::Shared,
+        );
+        let stream = s.client_stream(0);
+        for w in stream.windows(2) {
+            let gap = w[1].at - w[0].at;
+            assert_eq!(gap, Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn open_poisson_arrivals_are_monotone_with_right_mean() {
+        let s = spec(
+            ArrivalProcess::OpenPoisson { qps: 1000.0 },
+            ClientFocus::Shared,
+        );
+        let stream = s.client_stream(1);
+        for w in stream.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        let total = stream.last().unwrap().at.as_secs_f64();
+        let mean_gap = total / stream.len() as f64;
+        // 200 exponential draws at 1 ms mean: loose 3x band.
+        assert!((0.0003..0.003).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn open_bursty_groups_arrivals() {
+        let s = spec(
+            ArrivalProcess::OpenBursty {
+                qps: 100.0,
+                burst: 10,
+            },
+            ClientFocus::Shared,
+        );
+        let stream = s.client_stream(0);
+        // Queries inside one burst share a timestamp; bursts are spaced.
+        assert_eq!(stream[0].at, stream[9].at);
+        assert!(stream[10].at > stream[9].at);
+        assert_eq!(stream[10].at, stream[19].at);
+    }
+
+    #[test]
+    fn closed_loop_carries_think_time() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::from_millis(5),
+            },
+            ClientFocus::Shared,
+        );
+        assert!(s
+            .client_stream(0)
+            .iter()
+            .all(|t| t.at == Duration::from_millis(5)));
+    }
+}

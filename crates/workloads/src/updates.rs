@@ -57,11 +57,7 @@ pub fn update_stream(
     let domain = domain.max(2);
     let batch = scenario.batch();
     let n_batches = n_queries / batch;
-    let per_batch = if n_batches == 0 {
-        n_inserts
-    } else {
-        n_inserts / n_batches
-    };
+    let per_batch = n_inserts.checked_div(n_batches).unwrap_or(n_inserts);
 
     let mut out = Vec::with_capacity(n_queries + n_batches + 1);
     let mut inserted = 0usize;

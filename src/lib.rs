@@ -32,12 +32,14 @@
 //! | [`cracking`] | adaptive indexing: cracker columns/index, kernels, latches, Ripple updates |
 //! | [`parallel`] | multi-core cracking: PVDC, PVSDC, mP-CCGI |
 //! | [`core`] | **holistic indexing**: index space, strategies W1–W4, CPU monitors, daemon |
-//! | [`engine`] | the five query engines + TPC-H plans + sessions |
-//! | [`workloads`] | data/query generators incl. synthetic SkyServer and TPC-H |
+//! | [`engine`] | the five query engines + TPC-H plans |
+//! | [`server`] | the query service layer: sessions, admission control, crack-aware scheduling |
+//! | [`workloads`] | data/query/traffic generators incl. synthetic SkyServer and TPC-H |
 
 pub use holix_core as core;
 pub use holix_cracking as cracking;
 pub use holix_engine as engine;
 pub use holix_parallel as parallel;
+pub use holix_server as server;
 pub use holix_storage as storage;
 pub use holix_workloads as workloads;

@@ -3,11 +3,12 @@
 //! invariant must hold afterwards. Debug builds additionally run the
 //! `RangeCell` overlap detector through all of this.
 
-use holix::engine::session::run_clients;
 use holix::engine::{Dataset, HolisticEngine, HolisticEngineConfig, QueryEngine};
+use holix::server::run_clients;
 use holix::storage::select::{scan_stats, Predicate};
 use holix::workloads::data::uniform_table;
 use holix::workloads::{QuerySpec, WorkloadSpec};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[test]
@@ -54,10 +55,10 @@ fn session_driver_with_many_clients_and_verification_queries() {
     let data = Dataset::new(uniform_table(2, 60_000, 100_000, 42));
     let mut cfg = HolisticEngineConfig::split_half(6);
     cfg.holistic.monitor_interval = Duration::from_millis(1);
-    let engine = HolisticEngine::new(data.clone(), cfg);
+    let engine = Arc::new(HolisticEngine::new(data.clone(), cfg));
     let queries = WorkloadSpec::random(2, 120, 100_000, 420).generate();
 
-    let (wall, reports) = run_clients(&engine, &queries, 6);
+    let (wall, reports) = run_clients(Arc::clone(&engine) as Arc<dyn QueryEngine>, &queries, 6);
     assert!(wall > Duration::ZERO);
     assert_eq!(reports.iter().map(|r| r.queries).sum::<usize>(), 120);
 

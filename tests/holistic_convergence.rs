@@ -81,7 +81,7 @@ fn holistic_creates_more_pieces_than_adaptive_for_same_queries() {
     for q in &queries {
         holistic.execute(q);
         // Give the daemon room to interleave, as real queries would.
-        if holistic.total_pieces() % 7 == 0 {
+        if holistic.total_pieces().is_multiple_of(7) {
             std::thread::sleep(Duration::from_micros(200));
         }
     }

@@ -57,10 +57,9 @@ fn background_refinement_merges_pending_updates() {
 
     // Crack a little so pieces exist, then queue inserts everywhere.
     col.select(Predicate::range(10_000, 50_000), &mut scratch);
-    let mut next_row = base.len() as u32;
-    for _ in 0..500 {
+    let first_row = base.len() as u32;
+    for next_row in first_row..first_row + 500 {
         col.queue_insert(rng.random_range(0..1 << 16), next_row);
-        next_row += 1;
     }
     assert_eq!(col.pending_len(), 500);
 

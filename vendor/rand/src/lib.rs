@@ -95,7 +95,7 @@ macro_rules! impl_sample_uniform_int128 {
                 match (hi as u128).wrapping_sub(lo as u128).checked_add(1) {
                     None => {
                         // Full domain: every 128-bit pattern is valid.
-                        ((((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)) as $t
+                        (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t
                     }
                     Some(span) => {
                         let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
