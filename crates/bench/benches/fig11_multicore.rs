@@ -39,7 +39,7 @@ fn main() {
     let env = BenchEnv::from_env();
     env.banner(
         "Fig 11: holistic vs multi-core adaptive indexing, varying cores",
-        "csv: cores,mp_ccgi,pvdc,pvsdc,holistic (total seconds; cores modelled logically)",
+        "csv: cores,mp_ccgi,pvdc,pvsdc,holistic,holistic_sharded (total seconds; cores modelled logically; sharded = HOLIX_SHARDS range shards per attribute)",
     );
     let data = Dataset::new(uniform_table(env.attrs, env.n, env.domain, 11));
     let queries = WorkloadSpec::random(env.attrs, env.queries, env.domain, 110).generate();
@@ -55,7 +55,7 @@ fn main() {
         cores.push(32);
     }
 
-    println!("cores,mp_ccgi,pvdc,pvsdc,holistic,hi_label");
+    println!("cores,mp_ccgi,pvdc,pvsdc,holistic,holistic_sharded,hi_label");
     for &c in &cores {
         let ccgi = run_ccgi(&data, &queries, c);
         let pvdc = run_engine(
@@ -73,9 +73,21 @@ fn main() {
         let mut cfg = HolisticEngineConfig::split_half(c);
         cfg.user_threads = user;
         cfg.holistic.max_workers = Some(workers);
-        let engine = HolisticEngine::new(data.clone(), cfg);
+        let engine = HolisticEngine::new(data.clone(), cfg.clone());
         let hi = run_engine(&engine, &queries);
         engine.stop();
-        println!("{c},{ccgi:.6},{pvdc:.6},{pvsdc:.6},{hi:.6},u{user}w{workers}x1");
+        drop(engine);
+        // Shard-count sweep point: the same split over S range shards per
+        // attribute — per-shard structure locks and latches, so concurrent
+        // cracks on one attribute stop serialising on one column.
+        let mut sharded_cfg = cfg;
+        sharded_cfg.shards = env.shards;
+        let engine = HolisticEngine::new(data.clone(), sharded_cfg);
+        let hi_sharded = run_engine(&engine, &queries);
+        engine.stop();
+        println!(
+            "{c},{ccgi:.6},{pvdc:.6},{pvsdc:.6},{hi:.6},{hi_sharded:.6},u{user}w{workers}s{}",
+            env.shards
+        );
     }
 }

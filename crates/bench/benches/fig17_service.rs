@@ -1,19 +1,25 @@
-//! Fig 17 (service) — naive round-robin vs crack-aware scheduling under a
-//! saturated multi-client service (§5.8 grown into the service layer).
+//! Fig 17 (service) — naive round-robin vs crack-aware scheduling vs
+//! sharded + shard-affine dispatch under a saturated multi-client service
+//! (§5.8 grown into the service layer).
 //!
 //! `HOLIX_CLIENTS` closed-loop sessions hammer one holistic engine through
 //! the `holix-server` admission queue with a skewed hot-region workload
 //! (per-client Zipf rotation; mostly exact repeats plus jittered
-//! variants). The same traffic runs against two identical service beds —
-//! FIFO dispatch vs crack-aware batching — in three phases per bed:
-//! a pre-traffic idle phase (speculative indices, Fig 9 style: daemon at
-//! full worker strength), a saturated cold-start warmup (daemon cycles
-//! windowed per bed show the §5.8 worker scale-down), then — with both
-//! daemons stopped so refine workers cannot confound the comparison —
-//! measured repetitions *interleaved pairwise* so machine drift hits both
-//! schedulers equally. The harness prints sustained steady-state QPS plus
-//! p50/p95/p99 end-to-end latency per scheduler over the measured phase
-//! only; every answer is checked against a sorted-column oracle.
+//! variants). The same traffic runs against identical service beds —
+//! FIFO dispatch, single-shard crack-aware batching (the PR 2
+//! configuration), and a `HOLIX_SHARDS` sweep of sharded engines with
+//! shard-affine dispatch (per-worker queues routed by the engine's
+//! `(attr, shard)` key, so two workers never latch the same shard) — in
+//! three phases per bed: a pre-traffic idle phase (speculative indices,
+//! Fig 9 style: daemon at full worker strength), a saturated cold-start
+//! warmup (daemon cycles windowed per bed show the §5.8 worker
+//! scale-down), then — with all daemons stopped so refine workers cannot
+//! confound the comparison — `HOLIX_REPS` measured repetitions
+//! *interleaved round-robin* so machine drift hits every bed equally. The
+//! harness prints sustained steady-state QPS plus p50/p95/p99 end-to-end
+//! latency per bed over the measured phase only, with executed /
+//! containment-coalesced counts; every answer is checked against a
+//! sorted-column oracle.
 
 use holix_bench::{secs, BenchEnv};
 use holix_engine::api::{Dataset, QueryEngine};
@@ -31,9 +37,10 @@ fn oracle(sorted: &[Vec<i64>], q: &QuerySpec) -> u64 {
     (col.partition_point(|&v| v < q.hi) - col.partition_point(|&v| v < q.lo)) as u64
 }
 
-/// One scheduler's engine + service under test.
+/// One configuration's engine + service under test.
 struct Bed {
-    scheduling: Scheduling,
+    label: String,
+    shards: usize,
     engine: Arc<HolisticEngine>,
     service: QueryService,
     idle_workers_max: usize,
@@ -45,6 +52,7 @@ struct Bed {
     /// deltas are reported, excluding the warmup rep).
     base_completed: u64,
     base_executed: u64,
+    base_containment: u64,
 }
 
 /// Drives one full traffic repetition through the bed's service, checking
@@ -86,8 +94,8 @@ fn run_rep(bed: &Bed, traffic: &TrafficSpec, sorted: &[Vec<i64>]) -> Duration {
 fn main() {
     let env = BenchEnv::from_env();
     env.banner(
-        "Fig 17 (service): naive round-robin vs crack-aware scheduling",
-        "csv: scheduler,clients,completed,executed,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg",
+        "Fig 17 (service): fifo vs crack-aware vs sharded shard-affine dispatch",
+        "csv: scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg",
     );
     let clients = env.clients.max(2);
     let queries_per_client = (env.queries * 8 / clients).max(128);
@@ -119,13 +127,29 @@ fn main() {
     let monitor_interval = Duration::from_millis(2);
     // Repetition 0 cracks the hot regions (cold start, high variance); the
     // remaining repetitions measure steady-state scheduling behaviour,
-    // alternating between the two beds so drift cancels.
-    let measured_reps = 6usize;
+    // rotating across the beds so drift cancels.
+    let measured_reps = env.reps;
 
-    let mut beds: Vec<Bed> = [Scheduling::Fifo, Scheduling::CrackAware]
+    // Bed sweep: the two single-shard baselines plus a shard-count sweep
+    // with shard-affine dispatch (half the sweep value and the value
+    // itself, deduplicated).
+    let mut bed_specs: Vec<(Scheduling, usize, bool)> = vec![
+        (Scheduling::Fifo, 1, false),
+        (Scheduling::CrackAware, 1, false),
+    ];
+    // HOLIX_SHARDS=1 runs the baselines only.
+    if env.shards >= 2 {
+        let mut sweep: Vec<usize> = vec![(env.shards / 2).max(2), env.shards];
+        sweep.dedup();
+        for s in sweep {
+            bed_specs.push((Scheduling::CrackAware, s, true));
+        }
+    }
+
+    let mut beds: Vec<Bed> = bed_specs
         .into_iter()
-        .map(|scheduling| {
-            let mut cfg = HolisticEngineConfig::split_half(env.threads);
+        .map(|(scheduling, shards, affinity)| {
+            let mut cfg = HolisticEngineConfig::split_half_sharded(env.threads, shards);
             cfg.holistic.monitor_interval = monitor_interval;
             let engine = Arc::new(HolisticEngine::new(data.clone(), cfg));
 
@@ -139,20 +163,28 @@ fn main() {
             let idle_cycles = engine.cycles();
             let idle_workers_max = idle_cycles.iter().map(|c| c.workers).max().unwrap_or(0);
 
+            let workers = (env.threads / 2).max(2);
             let service = QueryService::start(
                 Arc::clone(&engine) as Arc<dyn QueryEngine>,
                 Some(Arc::clone(engine.accountant())),
                 ServiceConfig {
-                    workers: (env.threads / 2).max(2),
-                    queue_capacity: clients * 4,
+                    workers,
+                    queue_capacity: (clients * 4 / if affinity { workers } else { 1 }).max(4),
                     admission: AdmissionPolicy::Block,
                     scheduling,
                     batch_max: (clients * 2).max(32),
                     contexts_per_worker: 1,
+                    affinity,
                 },
             );
+            let label = if affinity {
+                format!("shard_affine_s{shards}")
+            } else {
+                scheduling.label().to_string()
+            };
             Bed {
-                scheduling,
+                label,
+                shards,
                 engine,
                 service,
                 idle_workers_max,
@@ -160,6 +192,7 @@ fn main() {
                 steady_wall: Duration::ZERO,
                 base_completed: 0,
                 base_executed: 0,
+                base_containment: 0,
             }
         })
         .collect();
@@ -180,18 +213,20 @@ fn main() {
         let ticks = (secs(wall) / monitor_interval.as_secs_f64()).max(1.0);
         bed.load_workers_avg = worker_sum as f64 / ticks;
     }
-    // Stop both daemons before the measured phase so an idle bed's refine
+    // Stop all daemons before the measured phase so an idle bed's refine
     // workers can neither steal CPU from the measured bed nor refine their
     // own columns between reps — the steady-state comparison isolates the
-    // schedulers. Then start a fresh latency window past the cold start.
+    // dispatch configurations. Then start a fresh latency window past the
+    // cold start.
     for bed in &mut beds {
         bed.engine.stop();
         bed.service.reset_latency_window();
         let s = bed.service.stats();
         bed.base_completed = s.completed;
         bed.base_executed = s.executed;
+        bed.base_containment = s.containment;
     }
-    // Interleaved measured repetitions: machine drift hits both schedulers
+    // Interleaved measured repetitions: machine drift hits every bed
     // equally.
     for _ in 0..measured_reps {
         for bed in &mut beds {
@@ -200,23 +235,33 @@ fn main() {
     }
 
     println!(
-        "scheduler,clients,completed,executed,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg"
+        "scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg"
     );
-    let mut steady_qps = Vec::new();
+    let mut crack_aware_s1_qps = 0.0f64;
+    let mut best_affine: Option<(String, f64)> = None;
     for bed in beds {
         let steady_completed = (measured_reps * clients * queries_per_client) as f64;
         let qps = steady_completed / secs(bed.steady_wall).max(1e-9);
-        steady_qps.push(qps);
+        if bed.label == "crack_aware" {
+            crack_aware_s1_qps = qps;
+        }
+        if bed.label.starts_with("shard_affine")
+            && best_affine.as_ref().is_none_or(|(_, q)| qps > *q)
+        {
+            best_affine = Some((bed.label.clone(), qps));
+        }
 
         // All columns cover the measured phase only: completed/executed are
         // deltas past the warmup baseline, percentiles come from the reset
         // latency window.
         let summary = bed.service.shutdown();
         println!(
-            "{},{clients},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2}",
-            bed.scheduling.label(),
+            "{},{},{clients},{},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2}",
+            bed.label,
+            bed.shards,
             summary.completed - bed.base_completed,
             summary.executed - bed.base_executed,
+            summary.containment - bed.base_containment,
             summary.p50.as_secs_f64() * 1e3,
             summary.p95.as_secs_f64() * 1e3,
             summary.p99.as_secs_f64() * 1e3,
@@ -224,8 +269,10 @@ fn main() {
             bed.load_workers_avg,
         );
     }
-    println!(
-        "# crack_aware_speedup={:.3} (steady-state crack-aware QPS / fifo QPS, paired reps)",
-        steady_qps[1] / steady_qps[0].max(1e-9)
-    );
+    if let Some((label, qps)) = best_affine {
+        println!(
+            "# sharded_speedup={:.3} ({label} steady-state QPS / single-shard crack_aware QPS, paired reps)",
+            qps / crack_aware_s1_qps.max(1e-9)
+        );
+    }
 }

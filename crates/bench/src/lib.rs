@@ -13,6 +13,8 @@
 //! | `HOLIX_TPCH_SF` | TPC-H scale factor | `0.02` |
 //! | `HOLIX_IDLE_MS` | scaled idle period (Fig 9/16) | `500` |
 //! | `HOLIX_CLIENTS` | concurrent client sessions (service harness) | `16` |
+//! | `HOLIX_SHARDS` | horizontal shards per attribute (shard sweeps) | `4` |
+//! | `HOLIX_REPS` | measured repetitions (service harness; CI smoke uses 1) | `6` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but
@@ -34,6 +36,8 @@ pub struct BenchEnv {
     pub tpch_sf: f64,
     pub idle_ms: u64,
     pub clients: usize,
+    pub shards: usize,
+    pub reps: usize,
 }
 
 /// Resolves an integer knob; a set-but-unparsable value panics with the
@@ -90,6 +94,8 @@ impl BenchEnv {
             tpch_sf: env_f64("HOLIX_TPCH_SF", 0.02),
             idle_ms: env_usize("HOLIX_IDLE_MS", 500) as u64,
             clients: env_usize("HOLIX_CLIENTS", 16),
+            shards: env_usize("HOLIX_SHARDS", 4).max(1),
+            reps: env_usize("HOLIX_REPS", 6).max(1),
         }
     }
 
@@ -97,7 +103,7 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={}",
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={}",
             self.n,
             self.queries,
             self.attrs,
@@ -105,7 +111,9 @@ impl BenchEnv {
             self.domain,
             self.tpch_sf,
             self.idle_ms,
-            self.clients
+            self.clients,
+            self.shards,
+            self.reps
         );
         if !notes.is_empty() {
             println!("# {notes}");
@@ -195,6 +203,8 @@ mod tests {
         assert!(e.threads >= 2);
         assert!(e.n > 0);
         assert!(e.clients > 0);
+        assert!(e.shards >= 1);
+        assert!(e.reps >= 1);
     }
 
     // Knob parsing is tested through the pure cores: mutating the process

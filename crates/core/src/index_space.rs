@@ -9,15 +9,34 @@
 //!
 //! A storage budget bounds the materialised index bytes; exceeding it evicts
 //! least-frequently-used indices (§4.2 "Storage Constraints").
+//!
+//! ## Query-side vs maintenance-side API
+//!
+//! The registry is split so the **per-query path never takes a write lock**
+//! (the multi-core experiments of Fig 11/Fig 17 serialize on exactly that
+//! lock otherwise):
+//!
+//! - *Query side* — [`IndexSpace::get`], [`IndexSpace::membership`] and
+//!   [`IndexSpace::record_user_query`] only take the entry table's **read**
+//!   lock; statistics are atomics, membership promotion is a CAS on an
+//!   atomic tag, and a weight refresh is merely *requested* by setting the
+//!   entry's dirty flag.
+//! - *Maintenance side* — [`IndexSpace::pick`] (the daemon, once per tuning
+//!   cycle) folds the dirty flags into the weight heap before choosing;
+//!   [`IndexSpace::register_actual`] / [`IndexSpace::register_potential`]
+//!   (first touch of an attribute shard) and eviction are the only writers
+//!   of the entry table. The weight heap itself lives behind a separate
+//!   maintenance mutex that no query-side method ever touches.
 
 use crate::config::HolisticConfig;
 use crate::handle::{distance_to_optimal, RefinableIndex, RefineResult};
 use crate::stats::IndexStats;
 use crate::strategy::Strategy;
 use crate::weight_heap::WeightHeap;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::seq::IndexedRandom;
 use rand::RngCore;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Slot id of an index inside the space (stable for the space's lifetime).
@@ -37,24 +56,63 @@ pub enum Membership {
     Dropped,
 }
 
+const TAG_ACTUAL: u8 = 0;
+const TAG_POTENTIAL: u8 = 1;
+const TAG_OPTIMAL: u8 = 2;
+const TAG_DROPPED: u8 = 3;
+
+impl Membership {
+    fn tag(self) -> u8 {
+        match self {
+            Membership::Actual => TAG_ACTUAL,
+            Membership::Potential => TAG_POTENTIAL,
+            Membership::Optimal => TAG_OPTIMAL,
+            Membership::Dropped => TAG_DROPPED,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Membership {
+        match tag {
+            TAG_ACTUAL => Membership::Actual,
+            TAG_POTENTIAL => Membership::Potential,
+            TAG_OPTIMAL => Membership::Optimal,
+            _ => Membership::Dropped,
+        }
+    }
+}
+
 struct Entry {
     /// `None` once evicted — a Dropped entry must not pin the column's
     /// payload in memory (only the membership tombstone remains).
-    handle: Option<Arc<dyn RefinableIndex>>,
+    handle: RwLock<Option<Arc<dyn RefinableIndex>>>,
     stats: Arc<IndexStats>,
-    membership: Membership,
+    membership: AtomicU8,
+    /// Set by the query path when this entry's weight went stale; folded
+    /// into the heap by the maintenance side at `pick` time.
+    dirty: AtomicBool,
 }
 
-struct Inner {
-    entries: Vec<Entry>,
-    /// Heap over `C_actual` entries with non-zero weight (strategies W1–W3;
-    /// maintained under W4 too so optimality transitions are uniform).
-    heap: WeightHeap,
+impl Entry {
+    fn membership(&self) -> Membership {
+        Membership::from_tag(self.membership.load(Ordering::Acquire))
+    }
+
+    fn live_handle(&self) -> Option<Arc<dyn RefinableIndex>> {
+        self.handle.read().clone()
+    }
 }
 
 /// Registry of adaptive indices with weights, memberships and budget.
+///
+/// Lock order (outermost first): `entries` → per-entry `handle` → `heap`.
+/// The heap guard is never held while acquiring either of the others.
 pub struct IndexSpace {
-    inner: RwLock<Inner>,
+    /// Append-only table of index slots; write-locked only by registration.
+    entries: RwLock<Vec<Arc<Entry>>>,
+    /// Heap over `C_actual` entries with non-zero weight (strategies W1–W3;
+    /// maintained under W4 too so optimality transitions are uniform).
+    /// Maintenance-side only: query-side methods never lock it.
+    heap: Mutex<WeightHeap>,
     config: HolisticConfig,
 }
 
@@ -62,10 +120,8 @@ impl IndexSpace {
     /// Empty space.
     pub fn new(config: HolisticConfig) -> Self {
         IndexSpace {
-            inner: RwLock::new(Inner {
-                entries: Vec::new(),
-                heap: WeightHeap::new(),
-            }),
+            entries: RwLock::new(Vec::new()),
+            heap: Mutex::new(WeightHeap::new()),
             config,
         }
     }
@@ -79,7 +135,9 @@ impl IndexSpace {
     /// Returns the slot id and the shared statistics handle the select
     /// operator updates.
     pub fn register_actual(&self, handle: Arc<dyn RefinableIndex>) -> (IndexId, Arc<IndexStats>) {
-        self.register(handle, Membership::Actual)
+        self.register_batch(vec![handle], Membership::Actual)
+            .pop()
+            .expect("batch of one")
     }
 
     /// Registers a speculative index (goes to `C_potential`).
@@ -87,106 +145,170 @@ impl IndexSpace {
         &self,
         handle: Arc<dyn RefinableIndex>,
     ) -> (IndexId, Arc<IndexStats>) {
-        self.register(handle, Membership::Potential)
+        self.register_batch(vec![handle], Membership::Potential)
+            .pop()
+            .expect("batch of one")
     }
 
-    fn register(
+    /// Registers several indices as one admission unit in `C_actual` — the
+    /// shards of one attribute. The storage budget is sized once for the
+    /// batch's total bytes and eviction only considers *pre-existing*
+    /// entries, so the budget can never evict one sibling shard while its
+    /// brothers register (which would leave the owner's slot born-dead and
+    /// rebuilt on every query).
+    pub fn register_actual_batch(
         &self,
-        handle: Arc<dyn RefinableIndex>,
+        handles: Vec<Arc<dyn RefinableIndex>>,
+    ) -> Vec<(IndexId, Arc<IndexStats>)> {
+        self.register_batch(handles, Membership::Actual)
+    }
+
+    /// [`IndexSpace::register_actual_batch`] into `C_potential`.
+    pub fn register_potential_batch(
+        &self,
+        handles: Vec<Arc<dyn RefinableIndex>>,
+    ) -> Vec<(IndexId, Arc<IndexStats>)> {
+        self.register_batch(handles, Membership::Potential)
+    }
+
+    fn register_batch(
+        &self,
+        handles: Vec<Arc<dyn RefinableIndex>>,
         membership: Membership,
-    ) -> (IndexId, Arc<IndexStats>) {
-        let mut inner = self.inner.write();
-        self.make_room(&mut inner, handle.payload_bytes());
-        let stats = Arc::new(IndexStats::new());
-        let id = inner.entries.len();
-        let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
-        let membership = if d == 0 {
-            Membership::Optimal
-        } else {
-            membership
-        };
-        inner.entries.push(Entry {
-            handle: Some(handle),
-            stats: Arc::clone(&stats),
-            membership,
-        });
-        if membership == Membership::Actual {
-            let w = self.config.strategy.weight(d, 0, 0);
-            inner.heap.upsert(id, w);
-        }
-        (id, stats)
+    ) -> Vec<(IndexId, Arc<IndexStats>)> {
+        let mut entries = self.entries.write();
+        let incoming: usize = handles.iter().map(|h| h.payload_bytes()).sum();
+        // Victims are chosen before the batch is appended, so a batch can
+        // evict anything pre-existing but never its own members; like a
+        // single oversized index, a batch larger than the whole budget is
+        // still admitted (the alternative leaves the query unanswerable).
+        self.make_room(&mut entries, incoming);
+        handles
+            .into_iter()
+            .map(|handle| {
+                let stats = Arc::new(IndexStats::new());
+                let id = entries.len();
+                let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
+                let membership = if d == 0 {
+                    Membership::Optimal
+                } else {
+                    membership
+                };
+                entries.push(Arc::new(Entry {
+                    handle: RwLock::new(Some(handle)),
+                    stats: Arc::clone(&stats),
+                    membership: AtomicU8::new(membership.tag()),
+                    dirty: AtomicBool::new(false),
+                }));
+                if membership == Membership::Actual {
+                    let w = self.config.strategy.weight(d, 0, 0);
+                    self.heap.lock().upsert(id, w);
+                }
+                (id, stats)
+            })
+            .collect()
     }
 
     /// Evicts least-frequently-used indices until `incoming` bytes fit in
     /// the budget (no-op when unlimited). The incoming index is always
     /// admitted even if it alone exceeds the budget — dropping the index a
     /// query needs right now would leave the query unanswerable.
-    fn make_room(&self, inner: &mut Inner, incoming: usize) {
+    fn make_room(&self, entries: &mut [Arc<Entry>], incoming: usize) {
         let Some(budget) = self.config.storage_budget else {
             return;
         };
         loop {
-            let used: usize = inner
-                .entries
+            let used: usize = entries
                 .iter()
-                .filter(|e| e.membership != Membership::Dropped)
-                .filter_map(|e| e.handle.as_ref().map(|h| h.payload_bytes()))
+                .filter(|e| e.membership() != Membership::Dropped)
+                .filter_map(|e| e.handle.read().as_ref().map(|h| h.payload_bytes()))
                 .sum();
             if used + incoming <= budget {
                 return;
             }
             // LFU victim among all live entries.
-            let victim = inner
-                .entries
+            let victim = entries
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.membership != Membership::Dropped)
+                .filter(|(_, e)| e.membership() != Membership::Dropped)
                 .min_by_key(|(_, e)| e.stats.queries())
                 .map(|(i, _)| i);
             let Some(v) = victim else { return };
-            inner.entries[v].membership = Membership::Dropped;
+            entries[v]
+                .membership
+                .store(Membership::Dropped.tag(), Ordering::Release);
             // Release the column payload; the tombstone keeps only stats.
-            inner.entries[v].handle = None;
-            inner.heap.remove(v);
+            *entries[v].handle.write() = None;
+            self.heap.lock().remove(v);
         }
+    }
+
+    fn entry(&self, id: IndexId) -> Option<Arc<Entry>> {
+        self.entries.read().get(id).cloned()
+    }
+
+    /// Tombstones a slot the owner no longer references — e.g. an engine
+    /// retiring the *surviving* shards of a partially evicted attribute
+    /// before re-registering the whole attribute, so live entries never
+    /// become unreachable orphans that pin payload bytes against the
+    /// budget and feed the daemon dead columns. Maintenance side; same
+    /// effect as a budget eviction.
+    pub fn retire(&self, id: IndexId) {
+        let Some(e) = self.entry(id) else {
+            return;
+        };
+        e.membership
+            .store(Membership::Dropped.tag(), Ordering::Release);
+        *e.handle.write() = None;
+        self.heap.lock().remove(id);
     }
 
     /// Handle and stats for a slot (`None` when dropped/unknown).
+    /// Query-side: read locks only.
     pub fn get(&self, id: IndexId) -> Option<(Arc<dyn RefinableIndex>, Arc<IndexStats>)> {
-        let inner = self.inner.read();
-        let e = inner.entries.get(id)?;
-        if e.membership == Membership::Dropped {
+        let e = self.entry(id)?;
+        if e.membership() == Membership::Dropped {
             return None;
         }
-        Some((Arc::clone(e.handle.as_ref()?), Arc::clone(&e.stats)))
+        Some((e.live_handle()?, Arc::clone(&e.stats)))
     }
 
-    /// Current membership of a slot.
+    /// Current membership of a slot. Query-side: read locks only.
     pub fn membership(&self, id: IndexId) -> Option<Membership> {
-        self.inner.read().entries.get(id).map(|e| e.membership)
+        Some(self.entry(id)?.membership())
     }
 
     /// Records a user query on an index: updates `f_I` / `f_Ih`, promotes a
-    /// potential index to `C_actual`, refreshes the weight.
+    /// potential index to `C_actual` and requests a weight refresh.
+    ///
+    /// Query-side hot path: entry-table **read** lock, atomic counters, one
+    /// CAS for the promotion and a dirty-flag store — no write lock, no heap
+    /// lock. The weight heap catches up when the daemon next calls
+    /// [`IndexSpace::pick`].
     pub fn record_user_query(&self, id: IndexId, exact_hit: bool, bounds_cracked: u64) {
-        let mut inner = self.inner.write();
-        let Some(e) = inner.entries.get_mut(id) else {
+        let Some(e) = self.entry(id) else {
             return;
         };
-        if e.membership == Membership::Dropped {
+        if e.membership() == Membership::Dropped {
             return;
         }
         e.stats.record_query(exact_hit, bounds_cracked);
-        if e.membership == Membership::Potential {
-            e.membership = Membership::Actual;
-        }
-        self.refresh_weight(&mut inner, id);
+        // Promote `C_potential` → `C_actual` on first user query. A lost CAS
+        // means a racing query (or the maintenance side) already moved the
+        // entry on — never overwrite Optimal or Dropped.
+        let _ = e.membership.compare_exchange(
+            TAG_POTENTIAL,
+            TAG_ACTUAL,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        e.dirty.store(true, Ordering::Release);
     }
 
-    /// Records a worker refinement outcome and refreshes the weight.
+    /// Records a worker refinement outcome and refreshes the weight
+    /// (maintenance side: called by holistic workers, not user queries).
     pub fn record_worker_outcome(&self, id: IndexId, result: RefineResult) {
-        let mut inner = self.inner.write();
-        let Some(e) = inner.entries.get_mut(id) else {
+        let Some(e) = self.entry(id) else {
             return;
         };
         match result {
@@ -194,47 +316,67 @@ impl IndexSpace {
             RefineResult::Busy => e.stats.record_worker_busy(),
             RefineResult::AlreadyBound => {}
         }
-        self.refresh_weight(&mut inner, id);
+        self.refresh_weight(id, &e);
     }
 
     /// Recomputes `W_I`; moves the index to `C_optimal` when `d = 0`
-    /// ("Remove I from IS if d(I, I_opt) = 0", Fig 2).
-    fn refresh_weight(&self, inner: &mut Inner, id: IndexId) {
-        let e = &inner.entries[id];
-        if matches!(e.membership, Membership::Dropped | Membership::Optimal) {
+    /// ("Remove I from IS if d(I, I_opt) = 0", Fig 2). Maintenance side.
+    fn refresh_weight(&self, id: IndexId, e: &Entry) {
+        if matches!(e.membership(), Membership::Dropped | Membership::Optimal) {
             return;
         }
-        let Some(handle) = e.handle.as_ref() else {
+        let Some(handle) = e.live_handle() else {
             return;
         };
         let d = distance_to_optimal(handle.as_ref(), self.config.l1_bytes);
         if d == 0 {
-            inner.entries[id].membership = Membership::Optimal;
-            inner.heap.remove(id);
+            e.membership
+                .store(Membership::Optimal.tag(), Ordering::Release);
+            self.heap.lock().remove(id);
             return;
         }
-        if inner.entries[id].membership == Membership::Actual {
-            let stats = &inner.entries[id].stats;
+        if e.membership() == Membership::Actual {
             let w = self
                 .config
                 .strategy
-                .weight(d, stats.queries(), stats.exact_hits());
-            inner.heap.upsert(id, w);
+                .weight(d, e.stats.queries(), e.stats.exact_hits());
+            let mut heap = self.heap.lock();
+            heap.upsert(id, w);
+            // Eviction can race between the membership check above and the
+            // upsert (it tombstones the entry, then removes it from the
+            // heap — possibly before our upsert landed). Dropped is final,
+            // so a re-check under the heap lock makes the pair safe in
+            // either interleaving: a Dropped id never lingers in the heap.
+            if e.membership() == Membership::Dropped {
+                heap.remove(id);
+            }
+        }
+    }
+
+    /// Folds query-side dirty flags into the weight heap (one pass over the
+    /// entry table; only dirty entries pay the weight recomputation).
+    fn fold_dirty(&self) {
+        let entries = self.entries.read();
+        for (id, e) in entries.iter().enumerate() {
+            if e.dirty.swap(false, Ordering::AcqRel) {
+                self.refresh_weight(id, e);
+            }
         }
     }
 
     /// Picks the next index to refine per the configured strategy:
     /// highest weight in `C_actual` (W1–W3) or a uniformly random member
     /// (W4); falls back to a random `C_potential` entry when `C_actual` has
-    /// no candidates.
+    /// no candidates. Maintenance side — folds pending query-side weight
+    /// refreshes first.
     pub fn pick(&self, rng: &mut dyn RngCore) -> Option<(IndexId, Arc<dyn RefinableIndex>)> {
-        let inner = self.inner.read();
+        self.fold_dirty();
+        let entries = self.entries.read();
         let mut pick_random = |members: Membership| -> Option<IndexId> {
-            let ids: Vec<IndexId> = inner
-                .entries
+            let ids: Vec<IndexId> = entries
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.membership == members)
+                .filter(|(_, e)| e.membership() == members)
                 .map(|(i, _)| i)
                 .collect();
             let mut rng = rng_compat(rng);
@@ -242,23 +384,39 @@ impl IndexSpace {
         };
         let id = match self.config.strategy {
             Strategy::W4Random => pick_random(Membership::Actual),
-            _ => inner
-                .heap
-                .peek_max()
-                .filter(|&(_, w)| w > 0)
-                .map(|(k, _)| k),
+            // Skip-and-heal: a stale heap top (an id evicted between a
+            // refresh's membership check and its upsert) must not make the
+            // whole space unpickable — drop it from the heap and retry.
+            // The heap lock is released while probing liveness so the
+            // entries → handle → heap order is never inverted.
+            _ => loop {
+                let top = self
+                    .heap
+                    .lock()
+                    .peek_max()
+                    .filter(|&(_, w)| w > 0)
+                    .map(|(k, _)| k);
+                let Some(k) = top else { break None };
+                let live = entries.get(k).is_some_and(|e| {
+                    e.membership() != Membership::Dropped && e.handle.read().is_some()
+                });
+                if live {
+                    break Some(k);
+                }
+                self.heap.lock().remove(k);
+            },
         };
         let id = id.or_else(|| pick_random(Membership::Potential))?;
-        let handle = inner.entries[id].handle.as_ref()?;
-        Some((id, Arc::clone(handle)))
+        let handle = entries.get(id)?.live_handle()?;
+        Some((id, handle))
     }
 
     /// `(actual, potential, optimal, dropped)` counts.
     pub fn membership_counts(&self) -> (usize, usize, usize, usize) {
-        let inner = self.inner.read();
+        let entries = self.entries.read();
         let mut c = (0, 0, 0, 0);
-        for e in &inner.entries {
-            match e.membership {
+        for e in entries.iter() {
+            match e.membership() {
                 Membership::Actual => c.0 += 1,
                 Membership::Potential => c.1 += 1,
                 Membership::Optimal => c.2 += 1,
@@ -270,34 +428,31 @@ impl IndexSpace {
 
     /// Total pieces across live indices (the Fig 6(c) series).
     pub fn total_pieces(&self) -> usize {
-        let inner = self.inner.read();
-        inner
-            .entries
+        let entries = self.entries.read();
+        entries
             .iter()
-            .filter(|e| e.membership != Membership::Dropped)
-            .filter_map(|e| e.handle.as_ref().map(|h| h.piece_count()))
+            .filter(|e| e.membership() != Membership::Dropped)
+            .filter_map(|e| e.handle.read().as_ref().map(|h| h.piece_count()))
             .sum()
     }
 
     /// Materialised bytes across live indices.
     pub fn bytes_used(&self) -> usize {
-        let inner = self.inner.read();
-        inner
-            .entries
+        let entries = self.entries.read();
+        entries
             .iter()
-            .filter(|e| e.membership != Membership::Dropped)
-            .filter_map(|e| e.handle.as_ref().map(|h| h.payload_bytes()))
+            .filter(|e| e.membership() != Membership::Dropped)
+            .filter_map(|e| e.handle.read().as_ref().map(|h| h.payload_bytes()))
             .sum()
     }
 
     /// Ids of all live indices.
     pub fn live_ids(&self) -> Vec<IndexId> {
-        let inner = self.inner.read();
-        inner
-            .entries
+        let entries = self.entries.read();
+        entries
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.membership != Membership::Dropped)
+            .filter(|(_, e)| e.membership() != Membership::Dropped)
             .map(|(i, _)| i)
             .collect()
     }
@@ -314,6 +469,7 @@ mod tests {
     use crate::handle::CrackerHandle;
     use holix_cracking::CrackerColumn;
     use rand::prelude::*;
+    use std::time::Duration;
 
     fn space_with(strategy: Strategy, budget: Option<usize>) -> IndexSpace {
         IndexSpace::new(HolisticConfig {
@@ -457,5 +613,144 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         h.refine_random(&mut rng, 8);
         assert_eq!(space.total_pieces(), 3);
+    }
+
+    /// The acceptance check for the sharded service layer: the query-side
+    /// methods must complete while the maintenance heap mutex is held by
+    /// another thread — i.e. the per-query path takes no maintenance lock
+    /// and no registry write lock.
+    #[test]
+    fn query_side_needs_no_maintenance_or_write_lock() {
+        let space = Arc::new(space_with(Strategy::W2FrequencyDistance, None));
+        let (id, _) = space.register_actual(make_handle(100_000, "a"));
+        // Hold the maintenance heap lock for the whole probe.
+        let _heap_guard = space.heap.lock();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let probe = {
+            let space = Arc::clone(&space);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    space.record_user_query(id, false, 1);
+                }
+                assert!(space.get(id).is_some());
+                assert_eq!(space.membership(id), Some(Membership::Actual));
+                assert_eq!(space.membership_counts().0, 1);
+                tx.send(()).unwrap();
+            })
+        };
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("query-side method blocked on the maintenance heap lock");
+        probe.join().unwrap();
+        drop(_heap_guard);
+        // The deferred weight refresh lands at pick time.
+        let mut rng = StdRng::seed_from_u64(8);
+        let (picked, _) = space.pick(&mut rng).unwrap();
+        assert_eq!(picked, id);
+        let (_, stats) = space.get(id).unwrap();
+        assert_eq!(stats.queries(), 100);
+    }
+
+    /// A batch registration (one attribute's shards) may evict anything
+    /// pre-existing but never its own members — otherwise a sharded
+    /// attribute's slot could be born with Dropped siblings and rebuilt on
+    /// every query.
+    #[test]
+    fn batch_registration_never_evicts_its_own_members() {
+        // Budget fits ~2 of the 10k-value indices.
+        let space = space_with(Strategy::W1Distance, Some(300 * 1024));
+        let (old, _) = space.register_actual(make_handle(10_000, "old"));
+        // A 3-shard batch alone exceeds the budget: the old entry goes,
+        // the batch is admitted whole.
+        let batch: Vec<Arc<dyn RefinableIndex>> = (0..3)
+            .map(|k| make_handle(10_000, &format!("s{k}")))
+            .collect();
+        let ids: Vec<IndexId> = space
+            .register_actual_batch(batch)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(space.membership(old), Some(Membership::Dropped));
+        for &id in &ids {
+            assert_eq!(
+                space.membership(id),
+                Some(Membership::Actual),
+                "batch member {id} evicted by its own registration"
+            );
+        }
+    }
+
+    /// Regression: a stale heap entry for an evicted (Dropped) id — the
+    /// residue of a refresh racing eviction — must not wedge `pick`. The
+    /// stale top is skipped, healed out of the heap, and the next live
+    /// candidate returned.
+    #[test]
+    fn pick_heals_stale_heap_entries_for_dropped_ids() {
+        let space = space_with(Strategy::W1Distance, Some(300 * 1024));
+        let (victim, _) = space.register_actual(make_handle(10_000, "victim"));
+        // Heat the survivor so the victim is the LFU target, then evict it.
+        let (survivor, _) = space.register_actual(make_handle(10_000, "survivor"));
+        for _ in 0..5 {
+            space.record_user_query(survivor, false, 1);
+        }
+        space.register_actual(make_handle(10_000, "filler"));
+        assert_eq!(space.membership(victim), Some(Membership::Dropped));
+        // Manufacture the race residue: the dropped id back in the heap
+        // with the maximum weight, exactly as a lost refresh would leave it.
+        space.heap.lock().upsert(victim, u128::MAX);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (picked, _) = space
+            .pick(&mut rng)
+            .expect("stale tombstone wedged the space");
+        assert_ne!(picked, victim, "picked an evicted index");
+        // And the tombstone is gone for good.
+        assert!(space
+            .heap
+            .lock()
+            .peek_max()
+            .is_none_or(|(k, _)| k != victim));
+    }
+
+    /// Query threads hammering `record_user_query` while the maintenance
+    /// side registers, picks and refines concurrently — memberships must
+    /// stay consistent (no query resurrects a Dropped entry, every
+    /// promotion lands).
+    #[test]
+    fn concurrent_query_and_maintenance_paths() {
+        let space = Arc::new(space_with(Strategy::W2FrequencyDistance, None));
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let (id, _) = space.register_potential(make_handle(50_000, &format!("c{i}")));
+            ids.push(id);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let space = Arc::clone(&space);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        space.record_user_query(ids[(t + i) % ids.len()], i % 3 == 0, 1);
+                    }
+                });
+            }
+            let space = Arc::clone(&space);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9);
+                for _ in 0..200 {
+                    if let Some((id, h)) = space.pick(&mut rng) {
+                        let res = h.refine_random(&mut rng, 4);
+                        space.record_worker_outcome(id, res);
+                    }
+                }
+            });
+        });
+        let (actual, potential, optimal, dropped) = space.membership_counts();
+        assert_eq!(actual + potential + optimal + dropped, 4);
+        assert_eq!(dropped, 0);
+        // Every index saw queries, so none may still be Potential.
+        assert_eq!(potential, 0, "user queries did not promote");
+        for &id in &ids {
+            let (_, stats) = space.get(id).unwrap();
+            assert_eq!(stats.queries(), 500);
+        }
     }
 }

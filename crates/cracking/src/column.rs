@@ -124,7 +124,8 @@ impl<V: CrackValue> CrackerColumn<V> {
             KernelImpl::Branchy => KernelImpl::Branchy,
             _ => KernelImpl::Vectorized,
         };
-        Self::build(name, base, 0, kernel, refine)
+        let rows = (0..base.len() as RowId).collect();
+        Self::build(name, base.to_vec(), rows, kernel, refine)
     }
 
     /// Builds a cracker column with a custom partition kernel for
@@ -137,8 +138,8 @@ impl<V: CrackValue> CrackerColumn<V> {
     ) -> Self {
         Self::build(
             name,
-            base,
-            0,
+            base.to_vec(),
+            (0..base.len() as RowId).collect(),
             KernelImpl::Custom(partition),
             KernelImpl::Vectorized,
         )
@@ -155,8 +156,8 @@ impl<V: CrackValue> CrackerColumn<V> {
     ) -> Self {
         Self::build(
             name,
-            base,
-            0,
+            base.to_vec(),
+            (0..base.len() as RowId).collect(),
             KernelImpl::Custom(select_partition),
             KernelImpl::Custom(refine_partition),
         )
@@ -166,35 +167,71 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// variants (P-CCGI) crack per-chunk copies that must still report
     /// global base-table positions.
     pub fn from_base_offset(name: impl Into<String>, base: &[V], offset: RowId) -> Self {
+        let rows = (offset..offset + base.len() as RowId).collect();
         Self::build(
             name,
-            base,
-            offset,
+            base.to_vec(),
+            rows,
             KernelImpl::Vectorized,
             KernelImpl::Vectorized,
         )
     }
 
+    /// Builds a cracker column from pre-partitioned values with explicit
+    /// (non-contiguous) row ids — horizontal shards hand each shard the
+    /// subset of base tuples whose values fall in its range while keeping
+    /// global base-table positions.
+    pub fn from_parts(name: impl Into<String>, vals: Vec<V>, rows: Vec<RowId>) -> Self {
+        Self::build(
+            name,
+            vals,
+            rows,
+            KernelImpl::Vectorized,
+            KernelImpl::Vectorized,
+        )
+    }
+
+    /// [`CrackerColumn::from_parts`] with distinct query-path and
+    /// worker-path partition kernels (mirrors
+    /// [`CrackerColumn::with_partition_fns`] for sharded columns).
+    pub fn from_parts_with_partition_fns(
+        name: impl Into<String>,
+        vals: Vec<V>,
+        rows: Vec<RowId>,
+        select_partition: PartitionFn<V>,
+        refine_partition: PartitionFn<V>,
+    ) -> Self {
+        Self::build(
+            name,
+            vals,
+            rows,
+            KernelImpl::Custom(select_partition),
+            KernelImpl::Custom(refine_partition),
+        )
+    }
+
     fn build(
         name: impl Into<String>,
-        base: &[V],
-        offset: RowId,
+        vals: Vec<V>,
+        rows: Vec<RowId>,
         select_kernel: KernelImpl<V>,
         refine_kernel: KernelImpl<V>,
     ) -> Self {
+        assert_eq!(vals.len(), rows.len(), "values/row-ids length mismatch");
         let mut lo_hi = None;
-        for &v in base {
+        for &v in &vals {
             lo_hi = Some(match lo_hi {
                 None => (v, v),
                 Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
             });
         }
+        let n = vals.len();
         CrackerColumn {
             name: name.into(),
-            vals: RangeCell::new(base.to_vec()),
-            rows: RangeCell::new((offset..offset + base.len() as RowId).collect()),
+            vals: RangeCell::new(vals),
+            rows: RangeCell::new(rows),
             structure: RwLock::new(()),
-            index: RwLock::new(CrackerIndex::new(base.len())),
+            index: RwLock::new(CrackerIndex::new(n)),
             pending: Mutex::new(PendingUpdates::new()),
             domain: Mutex::new(lo_hi),
             select_kernel,
@@ -623,6 +660,39 @@ impl<V: CrackValue> CrackerColumn<V> {
         let _exclusive = self.structure.write();
         // SAFETY: exclusive structure lock — no live mutators.
         unsafe { self.vals.read_range(start, end) }.to_vec()
+    }
+
+    /// Atomically copies the values currently in `[pred.lo, pred.hi)`.
+    /// Both bounds must already be boundaries (run `select` first to crack
+    /// them); the bounds are re-located *under the exclusive structure
+    /// lock*, so the copy is a consistent snapshot of the merged state at
+    /// one instant even when Ripple merges shifted positions since the
+    /// select. `None` when a non-sentinel bound is not an exact boundary —
+    /// callers fall back to per-query execution.
+    pub fn collect_range(&self, pred: Predicate<V>) -> Option<Vec<V>> {
+        if pred.is_empty() {
+            return Some(Vec::new());
+        }
+        let _exclusive = self.structure.write();
+        let idx = self.index.read();
+        let start = if pred.lo == V::MIN_VALUE {
+            0
+        } else {
+            match idx.locate(pred.lo) {
+                BoundLookup::Exact(p) => p,
+                BoundLookup::Piece { .. } => return None,
+            }
+        };
+        let end = if pred.hi == V::MAX_VALUE {
+            idx.len()
+        } else {
+            match idx.locate(pred.hi) {
+                BoundLookup::Exact(p) => p,
+                BoundLookup::Piece { .. } => return None,
+            }
+        };
+        // SAFETY: exclusive structure lock — no live mutators.
+        Some(unsafe { self.vals.read_range(start, end.max(start)) }.to_vec())
     }
 
     /// Panics unless every cracking invariant holds. When `base` is given

@@ -18,7 +18,10 @@
 //! - [`stochastic`] — stochastic cracking (auxiliary random crack inside the
 //!   piece a query is about to crack, [21]),
 //! - [`updates`] — pending insertions/deletions merged on-the-fly with the
-//!   Ripple algorithm ([28]).
+//!   Ripple algorithm ([28]),
+//! - [`sharding`] — horizontal range shards: one attribute split into S
+//!   independently crackable [`CrackerColumn`]s with per-shard Ripple
+//!   buffers, predicate fan-out and value-routed updates.
 
 pub mod avl;
 pub mod column;
@@ -26,6 +29,7 @@ pub mod crack;
 pub mod index;
 pub mod latch;
 pub mod range_cell;
+pub mod sharding;
 pub mod stochastic;
 pub mod updates;
 pub mod vectorized;
@@ -34,4 +38,5 @@ pub use column::{CrackerColumn, PartitionFn, RefineOutcome, Selection};
 pub use crack::CrackKernel;
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
+pub use sharding::{ShardPlan, ShardedColumn};
 pub use vectorized::CrackScratch;

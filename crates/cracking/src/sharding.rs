@@ -1,0 +1,428 @@
+//! Horizontal shards over one attribute: S value-range partitions, each
+//! with its own [`CrackerColumn`] (and therefore its own cracker index,
+//! piece latches and Ripple pending-update buffer).
+//!
+//! Sharding attacks the two serialisation points the multi-core
+//! experiments (Fig 11 / Fig 17) expose on a single cracker column per
+//! attribute: the per-attribute structure lock (Ripple merges block every
+//! reader of the attribute) and piece-latch contention when concurrent
+//! queries crack the same region. With range shards, a predicate fans out
+//! to only the shards its value range intersects, interior shards answer
+//! with *no crack at all* (their whole value range qualifies), and
+//! updates route to exactly one shard's pending buffer.
+//!
+//! The shard plan is chosen once from the base data: cut values at
+//! equi-depth quantiles of a sorted sample, so skewed bases still get
+//! balanced shards. The plan is immutable for the column's lifetime —
+//! routing keys derived from it (shard-affine dispatch in `holix-server`)
+//! stay stable across index eviction and re-creation.
+
+use crate::column::{CrackerColumn, PartitionFn, Selection};
+use crate::vectorized::CrackScratch;
+use holix_storage::select::{Predicate, RangeStats};
+use holix_storage::types::{CrackValue, RowId};
+use std::sync::Arc;
+
+/// Maximum base values sampled for the quantile cuts.
+const PLAN_SAMPLE: usize = 1 << 16;
+
+/// Immutable range-partitioning plan: `cuts` are the S−1 interior
+/// boundaries, ascending and strictly increasing. Shard `k` holds values
+/// `v` with `cuts[k-1] <= v < cuts[k]` (first shard unbounded below, last
+/// unbounded above).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan<V> {
+    cuts: Vec<V>,
+}
+
+impl<V: CrackValue> ShardPlan<V> {
+    /// Single-shard plan (no cuts) — the unsharded degenerate case.
+    pub fn single() -> Self {
+        ShardPlan { cuts: Vec::new() }
+    }
+
+    /// Equi-depth plan with up to `shards` shards, from a sorted sample of
+    /// `values`. Duplicate quantiles collapse (a domain with fewer distinct
+    /// values than shards yields fewer shards), so the cuts are always
+    /// strictly increasing.
+    pub fn from_values(values: &[V], shards: usize) -> Self {
+        let shards = shards.max(1);
+        if shards == 1 || values.is_empty() {
+            return Self::single();
+        }
+        let stride = (values.len() / PLAN_SAMPLE).max(1);
+        let mut sample: Vec<V> = values.iter().step_by(stride).copied().collect();
+        sample.sort_unstable();
+        let min = sample[0];
+        let mut cuts = Vec::with_capacity(shards - 1);
+        for k in 1..shards {
+            let cut = sample[(k * sample.len() / shards).min(sample.len() - 1)];
+            // Strictly increasing and above the minimum, so no shard is
+            // empty by construction.
+            if cut > min && cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        ShardPlan { cuts }
+    }
+
+    /// Number of shards this plan produces.
+    pub fn shards(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The interior cut values.
+    pub fn cuts(&self) -> &[V] {
+        &self.cuts
+    }
+
+    /// Index of the shard holding value `v`.
+    pub fn shard_of(&self, v: V) -> usize {
+        self.cuts.partition_point(|&c| c <= v)
+    }
+
+    /// Inclusive range `(first, last)` of shards intersecting `[lo, hi)`.
+    /// Returns `None` for an empty predicate.
+    pub fn shard_range(&self, lo: V, hi: V) -> Option<(usize, usize)> {
+        if lo >= hi {
+            return None;
+        }
+        let first = self.cuts.partition_point(|&c| c <= lo);
+        let last = self.cuts.partition_point(|&c| c < hi);
+        Some((first, last))
+    }
+
+    /// Clamps a predicate to shard `k`'s value range: a bound at or beyond
+    /// the shard edge widens to the sentinel, so fully-covered interior
+    /// shards answer without cracking anything.
+    pub fn clamp(&self, k: usize, pred: Predicate<V>) -> Predicate<V> {
+        // The bound only widens to a sentinel when the predicate covers the
+        // shard's whole side: `pred.lo` at or below the shard's lower cut
+        // (first shard has none — its values extend to the column minimum),
+        // symmetrically for `hi`.
+        let lo = if k > 0 && pred.lo <= self.cuts[k - 1] {
+            V::MIN_VALUE
+        } else {
+            pred.lo
+        };
+        let hi = if k < self.cuts.len() && pred.hi >= self.cuts[k] {
+            V::MAX_VALUE
+        } else {
+            pred.hi
+        };
+        Predicate { lo, hi }
+    }
+}
+
+/// One attribute split into S range shards, each an independent
+/// [`CrackerColumn`] with its own index, latches and pending updates.
+pub struct ShardedColumn<V> {
+    plan: ShardPlan<V>,
+    shards: Vec<Arc<CrackerColumn<V>>>,
+}
+
+impl<V: CrackValue> ShardedColumn<V> {
+    /// Builds shards from a base column with a precomputed plan. Each base
+    /// tuple lands in exactly one shard, keeping its global row id.
+    pub fn from_base_with_plan(name: &str, base: &[V], plan: ShardPlan<V>) -> Self {
+        Self::build(name, base, plan, None)
+    }
+
+    /// [`ShardedColumn::from_base_with_plan`] with distinct query-path and
+    /// worker-path partition kernels installed on every shard.
+    pub fn with_partition_fns(
+        name: &str,
+        base: &[V],
+        plan: ShardPlan<V>,
+        select_partition: PartitionFn<V>,
+        refine_partition: PartitionFn<V>,
+    ) -> Self {
+        Self::build(name, base, plan, Some((select_partition, refine_partition)))
+    }
+
+    fn build(
+        name: &str,
+        base: &[V],
+        plan: ShardPlan<V>,
+        kernels: Option<(PartitionFn<V>, PartitionFn<V>)>,
+    ) -> Self {
+        let s = plan.shards();
+        // Single shard (the default): straight memcpy, no per-tuple
+        // routing — this path sits on first-touch column construction.
+        let (vals, rows): (Vec<Vec<V>>, Vec<Vec<RowId>>) = if s == 1 {
+            (
+                vec![base.to_vec()],
+                vec![(0..base.len() as RowId).collect()],
+            )
+        } else {
+            let cap = base.len() / s + base.len() / (s * 4) + 1;
+            let mut vals: Vec<Vec<V>> = (0..s).map(|_| Vec::with_capacity(cap)).collect();
+            let mut rows: Vec<Vec<RowId>> = (0..s).map(|_| Vec::with_capacity(cap)).collect();
+            for (r, &v) in base.iter().enumerate() {
+                let k = plan.shard_of(v);
+                vals[k].push(v);
+                rows[k].push(r as RowId);
+            }
+            (vals, rows)
+        };
+        let shards = vals
+            .into_iter()
+            .zip(rows)
+            .enumerate()
+            .map(|(k, (v, r))| {
+                let shard_name = format!("{name}/s{k}");
+                Arc::new(match &kernels {
+                    Some((sel, refi)) => CrackerColumn::from_parts_with_partition_fns(
+                        shard_name,
+                        v,
+                        r,
+                        Arc::clone(sel),
+                        Arc::clone(refi),
+                    ),
+                    None => CrackerColumn::from_parts(shard_name, v, r),
+                })
+            })
+            .collect();
+        ShardedColumn { plan, shards }
+    }
+
+    /// The partitioning plan.
+    pub fn plan(&self) -> &ShardPlan<V> {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's cracker column.
+    pub fn shard(&self, k: usize) -> &Arc<CrackerColumn<V>> {
+        &self.shards[k]
+    }
+
+    /// Shard indices intersecting `pred`, each with the predicate clamped
+    /// to the shard's value range.
+    pub fn intersecting(&self, pred: Predicate<V>) -> Vec<(usize, Predicate<V>)> {
+        let Some((first, last)) = self.plan.shard_range(pred.lo, pred.hi) else {
+            return Vec::new();
+        };
+        (first..=last)
+            .map(|k| (k, self.plan.clamp(k, pred)))
+            .collect()
+    }
+
+    /// Fan-out verified select: counts plus checksums across shards.
+    /// Production query paths live in `holix_engine::HolisticEngine`
+    /// (which fans out inline to record per-shard index statistics); this
+    /// wrapper is the crate-level correctness surface for standalone use
+    /// and the sharding tests. Concurrent updates between per-shard select
+    /// and checksum are the caller's responsibility, exactly as for
+    /// [`CrackerColumn::select_verified`].
+    pub fn select_verified(
+        &self,
+        pred: Predicate<V>,
+        scratch: &mut CrackScratch<V>,
+    ) -> (Vec<(usize, Selection)>, RangeStats) {
+        let mut sels = Vec::new();
+        let mut stats = RangeStats::default();
+        for (k, p) in self.intersecting(pred) {
+            let (sel, s) = self.shards[k].select_verified(p, scratch);
+            stats.merge(s);
+            sels.push((k, sel));
+        }
+        (sels, stats)
+    }
+
+    /// Routes an insertion to the shard owning `v`'s value range.
+    pub fn queue_insert(&self, v: V, row: RowId) {
+        self.shards[self.plan.shard_of(v)].queue_insert(v, row);
+    }
+
+    /// Routes a deletion to the shard owning `v`'s value range.
+    pub fn queue_delete(&self, v: V, row: RowId) {
+        self.shards[self.plan.shard_of(v)].queue_delete(v, row);
+    }
+
+    /// Merged tuples across shards (excludes pending inserts).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when no merged tuples exist in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pieces across shards.
+    pub fn piece_count(&self) -> usize {
+        self.shards.iter().map(|s| s.piece_count()).sum()
+    }
+
+    /// Unmerged pending operations across shards.
+    pub fn pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_len()).sum()
+    }
+}
+
+impl<V: CrackValue> std::fmt::Debug for ShardedColumn<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedColumn")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("pieces", &self.piece_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_storage::select::scan_stats;
+    use rand::prelude::*;
+
+    fn base(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..domain)).collect()
+    }
+
+    #[test]
+    fn plan_produces_balanced_shards() {
+        let b = base(100_000, 1_000_000, 1);
+        let plan = ShardPlan::from_values(&b, 4);
+        assert_eq!(plan.shards(), 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        let sizes: Vec<usize> = (0..4).map(|k| col.shard(k).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 100_000);
+        for &s in &sizes {
+            assert!(
+                (20_000..=30_000).contains(&s),
+                "unbalanced shards {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_collapses_on_tiny_domains() {
+        // Two distinct values cannot support four shards.
+        let b: Vec<i64> = (0..1_000).map(|i| i % 2).collect();
+        let plan = ShardPlan::from_values(&b, 4);
+        assert!(plan.shards() <= 2, "plan {plan:?}");
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        assert_eq!(col.len(), 1_000);
+    }
+
+    #[test]
+    fn shard_of_and_range_agree_with_cuts() {
+        let plan = ShardPlan {
+            cuts: vec![100i64, 200, 300],
+        };
+        assert_eq!(plan.shard_of(0), 0);
+        assert_eq!(plan.shard_of(99), 0);
+        assert_eq!(plan.shard_of(100), 1);
+        assert_eq!(plan.shard_of(299), 2);
+        assert_eq!(plan.shard_of(300), 3);
+        assert_eq!(plan.shard_range(0, 100), Some((0, 0)));
+        assert_eq!(plan.shard_range(0, 101), Some((0, 1)));
+        assert_eq!(plan.shard_range(150, 250), Some((1, 2)));
+        assert_eq!(plan.shard_range(300, 999), Some((3, 3)));
+        assert_eq!(plan.shard_range(50, 50), None);
+    }
+
+    #[test]
+    fn clamp_widens_covered_bounds_to_sentinels() {
+        let plan = ShardPlan {
+            cuts: vec![100i64, 200],
+        };
+        let pred = Predicate::range(50, 250);
+        // Shard 0 [MIN,100): lower bound inside, upper covered.
+        assert_eq!(plan.clamp(0, pred), Predicate::range(50, i64::MAX));
+        // Shard 1 [100,200): fully covered — no crack at either end.
+        assert_eq!(plan.clamp(1, pred), Predicate::range(i64::MIN, i64::MAX));
+        // Shard 2 [200,MAX): upper bound inside.
+        assert_eq!(plan.clamp(2, pred), Predicate::range(i64::MIN, 250));
+    }
+
+    #[test]
+    fn sharded_select_matches_scan_oracle() {
+        let b = base(50_000, 10_000, 2);
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        let mut scratch = CrackScratch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let x = rng.random_range(0..10_000);
+            let y = rng.random_range(0..10_000);
+            let pred = Predicate::range(x.min(y), x.max(y).max(x.min(y) + 1));
+            let (sels, stats) = col.select_verified(pred, &mut scratch);
+            let oracle = scan_stats(&b, pred);
+            assert_eq!(stats, oracle);
+            let count: u64 = sels.iter().map(|(_, s)| s.count()).sum();
+            assert_eq!(count, oracle.count);
+        }
+        for k in 0..col.shard_count() {
+            col.shard(k).check_invariants(None);
+        }
+    }
+
+    #[test]
+    fn interior_shards_answer_without_cracking() {
+        let b = base(40_000, 1_000, 4);
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan.clone());
+        let mut scratch = CrackScratch::new();
+        // A range spanning all shards: interior shards must be exact hits
+        // with zero touched tuples (whole shard qualifies, no crack).
+        let parts = col.intersecting(Predicate::range(1, 999));
+        assert_eq!(parts.len(), plan.shards());
+        let sels: Vec<(usize, Selection)> = parts
+            .into_iter()
+            .map(|(k, p)| (k, col.shard(k).select(p, &mut scratch)))
+            .collect();
+        for (k, sel) in &sels[1..sels.len() - 1] {
+            assert!(sel.exact_hit(), "interior shard {k} cracked");
+            assert_eq!(sel.touched, 0);
+            assert_eq!(sel.count(), col.shard(*k).len() as u64);
+        }
+    }
+
+    #[test]
+    fn updates_route_to_owning_shard_only() {
+        let mut b = base(20_000, 1_000, 5);
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan.clone());
+        let n = b.len() as RowId;
+        // One insert per shard region.
+        let probes: Vec<i64> = (0..4)
+            .map(|k| match k {
+                0 => 0,
+                k => plan.cuts()[k - 1],
+            })
+            .collect();
+        for (i, &v) in probes.iter().enumerate() {
+            col.queue_insert(v, n + i as RowId);
+            b.push(v);
+        }
+        for (k, &v) in probes.iter().enumerate() {
+            assert_eq!(col.shard(k).pending_len(), 1, "value {v} routed wrongly");
+        }
+        // Merge everything through a full-domain select and re-check counts.
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(0, 1_000);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&b, pred));
+        assert_eq!(col.pending_len(), 0);
+    }
+
+    #[test]
+    fn single_shard_plan_degenerates_cleanly() {
+        let b = base(5_000, 1_000, 7);
+        let col = ShardedColumn::from_base_with_plan("a", &b, ShardPlan::single());
+        assert_eq!(col.shard_count(), 1);
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(100, 900);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&b, pred));
+        col.shard(0).check_invariants(Some(&b));
+    }
+}

@@ -67,6 +67,27 @@ pub trait QueryEngine: Send + Sync {
 
     /// Count plus checksum for verification (may be slower; tests only).
     fn execute_verified(&self, q: &QuerySpec) -> (u64, i128);
+
+    /// Stable dispatch-affinity key: queries sharing a key touch the same
+    /// underlying index structure (for a sharded engine, one attribute
+    /// shard), so a service can pin each key to one dispatcher worker and
+    /// keep two workers from latching the same structure. Engines without
+    /// sharding group per attribute.
+    fn routing_key(&self, q: &QuerySpec) -> u64 {
+        q.attr as u64
+    }
+
+    /// Executes the query and returns the qualifying *values* when the
+    /// engine can produce them without a full rescan (`None` otherwise).
+    /// The service layer uses this for containment coalescing: a batched
+    /// superset query executes once and contained predicates are answered
+    /// by post-filtering its values. Callers own the same consistency
+    /// caveat as `execute_verified`: concurrent updates between crack and
+    /// copy are not serialised.
+    fn execute_collect(&self, q: &QuerySpec) -> Option<Vec<i64>> {
+        let _ = q;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -4,9 +4,11 @@
 //! sees *piece-friendly bursts*: queries are grouped per column (no cache
 //! thrash between cracker columns) and sorted by predicate bounds inside
 //! each group, so consecutive predicates land in already-cracked or
-//! adjacent pieces of the same column. Exact-duplicate predicates end up
-//! adjacent, which lets the dispatcher execute them once and fan the count
-//! out to every waiting ticket.
+//! adjacent pieces of the same column. Among queries sharing a lower bound
+//! the *widest* range sorts first, which lines every contained predicate up
+//! directly behind its superset: the dispatcher executes the superset once
+//! and answers exact duplicates by fan-out and strict subsets by
+//! post-filtering the superset's values (containment coalescing).
 
 use holix_workloads::QuerySpec;
 
@@ -16,7 +18,8 @@ pub enum Scheduling {
     /// Arrival (FIFO) order — the naive round-robin baseline.
     #[default]
     Fifo,
-    /// Group per column, sort by bounds, coalesce duplicate predicates.
+    /// Group per column, sort by bounds (widest-first on ties), coalesce
+    /// duplicate and contained predicates.
     CrackAware,
 }
 
@@ -32,15 +35,16 @@ impl Scheduling {
 
 /// Reorders `batch` in place according to the scheduling policy. `spec`
 /// projects each item onto its query. FIFO leaves arrival order untouched;
-/// crack-aware performs a stable sort by `(attr, lo, hi)` so ties keep
-/// their arrival order.
+/// crack-aware performs a stable sort by `(attr, lo, descending hi)` so
+/// ties keep their arrival order and a superset precedes the predicates it
+/// contains.
 pub fn order_batch<T>(batch: &mut [T], scheduling: Scheduling, spec: impl Fn(&T) -> QuerySpec) {
     match scheduling {
         Scheduling::Fifo => {}
         Scheduling::CrackAware => {
             batch.sort_by_key(|item| {
                 let q = spec(item);
-                (q.attr, q.lo, q.hi)
+                (q.attr, q.lo, std::cmp::Reverse(q.hi))
             });
         }
     }
@@ -62,6 +66,24 @@ pub fn duplicate_run_len<T>(batch: &[T], spec: impl Fn(&T) -> QuerySpec) -> usiz
         .count()
 }
 
+/// Length of the run of items at the front of `batch` whose predicates are
+/// *contained* in the first item's range (same attribute, `lo >= first.lo`,
+/// `hi <= first.hi`); exact duplicates count as contained. After the
+/// crack-aware sort the superset of a group comes first, so every member of
+/// the run can be answered from the superset's result.
+pub fn containment_run_len<T>(batch: &[T], spec: impl Fn(&T) -> QuerySpec) -> usize {
+    let Some(first) = batch.first().map(&spec) else {
+        return 0;
+    };
+    batch
+        .iter()
+        .take_while(|item| {
+            let q = spec(item);
+            q.attr == first.attr && q.lo >= first.lo && q.hi <= first.hi
+        })
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,7 +101,7 @@ mod tests {
     }
 
     #[test]
-    fn crack_aware_groups_by_attr_then_bounds() {
+    fn crack_aware_groups_by_attr_then_bounds_widest_first() {
         let mut batch = vec![
             q(1, 500, 600),
             q(0, 300, 400),
@@ -93,8 +115,10 @@ mod tests {
             vec![
                 q(0, 100, 150),
                 q(0, 300, 400),
-                q(1, 100, 120),
+                // Same lower bound: the wider range leads so the narrower
+                // one can be answered from its result.
                 q(1, 100, 200),
+                q(1, 100, 120),
                 q(1, 500, 600),
             ]
         );
@@ -119,5 +143,39 @@ mod tests {
         assert_eq!(duplicate_run_len(&batch[2..], |x| *x), 1);
         assert_eq!(duplicate_run_len(&batch[3..], |x| *x), 1);
         assert_eq!(duplicate_run_len::<QuerySpec>(&[], |x| *x), 0);
+    }
+
+    #[test]
+    fn containment_runs_cover_subsets_and_duplicates() {
+        let mut batch = vec![
+            q(0, 10, 20),
+            q(0, 10, 50), // superset of the group
+            q(0, 12, 40),
+            q(0, 10, 50), // exact duplicate of the superset
+            q(0, 60, 70), // disjoint — ends the run
+            q(1, 10, 50), // other attribute — never in the run
+        ];
+        order_batch(&mut batch, Scheduling::CrackAware, |x| *x);
+        assert_eq!(batch[0], q(0, 10, 50));
+        let run = containment_run_len(&batch, |x| *x);
+        assert_eq!(run, 4, "{batch:?}");
+        // Everything in the run is answerable from the superset.
+        for item in &batch[1..run] {
+            assert!(item.lo >= 10 && item.hi <= 50);
+        }
+        // The next run starts at the disjoint predicate.
+        assert_eq!(containment_run_len(&batch[run..], |x| *x), 1);
+        assert_eq!(containment_run_len::<QuerySpec>(&[], |x| *x), 0);
+    }
+
+    #[test]
+    fn containment_run_is_at_least_the_duplicate_run() {
+        let mut batch = vec![q(0, 1, 9), q(0, 1, 9), q(0, 2, 5), q(0, 1, 9)];
+        order_batch(&mut batch, Scheduling::CrackAware, |x| *x);
+        let dup = duplicate_run_len(&batch, |x| *x);
+        let cont = containment_run_len(&batch, |x| *x);
+        assert_eq!(dup, 3);
+        assert_eq!(cont, 4);
+        assert!(cont >= dup);
     }
 }

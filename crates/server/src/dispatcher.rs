@@ -1,4 +1,4 @@
-//! The query service: admission queue + dispatcher worker pool.
+//! The query service: admission queue(s) + dispatcher worker pool.
 //!
 //! [`QueryService`] accepts queries from any number of concurrent
 //! [`Session`]s, applies admission control at the bounded queue, and runs a
@@ -11,8 +11,29 @@
 //! engine registers each query's crack gang) stack on top — over-counting
 //! saturates toward "no idle contexts", which is exactly the conservative
 //! signal wanted while the service is loaded.
+//!
+//! ## Shard-affine dispatch
+//!
+//! With [`ServiceConfig::affinity`] the service runs one admission queue
+//! *per worker* and routes each submission by the engine's
+//! [`QueryEngine::routing_key`] — for a sharded engine, the `(attribute,
+//! shard)` its predicate's *lower bound* lands in. Every key is pinned to
+//! one dispatcher, so for queries confined to their home shard (the
+//! dominant narrow-window traffic) no two workers latch the same shard,
+//! and batches arrive pre-grouped per shard. A predicate *spanning*
+//! shards still fans out to neighbours from its home worker — the shard
+//! columns' own latching keeps that correct; pinning is a contention
+//! optimisation, never a safety invariant.
+//!
+//! ## Containment coalescing
+//!
+//! Under crack-aware scheduling a batch is sorted widest-range-first within
+//! each `(attr, lo)` group; a run of predicates contained in the head's
+//! range executes the head *once* via [`QueryEngine::execute_collect`] and
+//! answers the rest by post-filtering the returned values (exact duplicates
+//! fan the count out directly, as before).
 
-use crate::batcher::{duplicate_run_len, order_batch, Scheduling};
+use crate::batcher::{containment_run_len, duplicate_run_len, order_batch, Scheduling};
 use crate::queue::{AdmissionPolicy, BoundedQueue, SubmitError};
 use crate::session::{QueryResult, SessionHandle, SessionRegistry, Ticket};
 use crate::stats::{ServiceStats, StatsSummary};
@@ -27,7 +48,8 @@ use std::time::Instant;
 pub struct ServiceConfig {
     /// Dispatcher threads executing queries.
     pub workers: usize,
-    /// Admission-queue depth.
+    /// Admission-queue depth (per queue; affinity mode runs one queue per
+    /// worker).
     pub queue_capacity: usize,
     /// Full-queue behaviour.
     pub admission: AdmissionPolicy,
@@ -38,6 +60,12 @@ pub struct ServiceConfig {
     /// Hardware contexts each busy dispatcher registers with the load
     /// accountant.
     pub contexts_per_worker: usize,
+    /// Shard-affine dispatch: one queue per worker, submissions routed by
+    /// [`QueryEngine::routing_key`] so queries confined to their home
+    /// attribute shard are only ever executed by that shard's pinned
+    /// worker (shard-spanning queries still fan out under the shards' own
+    /// latches).
+    pub affinity: bool,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +77,7 @@ impl Default for ServiceConfig {
             scheduling: Scheduling::CrackAware,
             batch_max: 64,
             contexts_per_worker: 1,
+            affinity: false,
         }
     }
 }
@@ -62,7 +91,9 @@ struct QueuedQuery {
 
 /// A running query service over one engine.
 pub struct QueryService {
-    queue: Arc<BoundedQueue<QueuedQuery>>,
+    /// One queue in shared mode; one per worker in affinity mode.
+    queues: Vec<Arc<BoundedQueue<QueuedQuery>>>,
+    engine: Arc<dyn QueryEngine>,
     stats: Arc<ServiceStats>,
     registry: Arc<SessionRegistry>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -78,11 +109,15 @@ impl QueryService {
         accountant: Option<Arc<LoadAccountant>>,
         config: ServiceConfig,
     ) -> Self {
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.admission));
+        let worker_count = config.workers.max(1);
+        let queue_count = if config.affinity { worker_count } else { 1 };
+        let queues: Vec<Arc<BoundedQueue<QueuedQuery>>> = (0..queue_count)
+            .map(|_| Arc::new(BoundedQueue::new(config.queue_capacity, config.admission)))
+            .collect();
         let stats = Arc::new(ServiceStats::new());
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|w| {
-                let queue = Arc::clone(&queue);
+                let queue = Arc::clone(&queues[w % queue_count]);
                 let stats = Arc::clone(&stats);
                 let engine = Arc::clone(&engine);
                 let accountant = accountant.clone();
@@ -106,7 +141,8 @@ impl QueryService {
             })
             .collect();
         QueryService {
-            queue,
+            queues,
+            engine,
             stats,
             registry: Arc::new(SessionRegistry::new()),
             workers,
@@ -117,7 +153,8 @@ impl QueryService {
     /// Opens a client session.
     pub fn session(&self) -> Session {
         Session {
-            queue: Arc::clone(&self.queue),
+            queues: self.queues.clone(),
+            engine: Arc::clone(&self.engine),
             stats: Arc::clone(&self.stats),
             handle: self.registry.open(),
         }
@@ -128,9 +165,9 @@ impl QueryService {
         &self.registry
     }
 
-    /// Queries currently waiting for a dispatcher.
+    /// Queries currently waiting for a dispatcher (summed over queues).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.queues.iter().map(|q| q.len()).sum()
     }
 
     /// Metrics snapshot over the service's lifetime so far.
@@ -148,7 +185,9 @@ impl QueryService {
     /// and returns the final metrics. Every ticket issued before shutdown
     /// is completed.
     pub fn shutdown(mut self) -> StatsSummary {
-        self.queue.close();
+        for q in &self.queues {
+            q.close();
+        }
         for w in self.workers.drain(..) {
             w.join().expect("dispatcher panicked");
         }
@@ -158,7 +197,9 @@ impl QueryService {
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        self.queue.close();
+        for q in &self.queues {
+            q.close();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -168,7 +209,8 @@ impl Drop for QueryService {
 /// A client's connection to the service. Cheap to create, `Send`, and safe
 /// to use from its own thread.
 pub struct Session {
-    queue: Arc<BoundedQueue<QueuedQuery>>,
+    queues: Vec<Arc<BoundedQueue<QueuedQuery>>>,
+    engine: Arc<dyn QueryEngine>,
     stats: Arc<ServiceStats>,
     handle: SessionHandle,
 }
@@ -180,7 +222,9 @@ impl Session {
     }
 
     /// Submits a query; returns a ticket to wait on. Fails when admission
-    /// control sheds the query or the service is shutting down.
+    /// control sheds the query or the service is shutting down. In
+    /// affinity mode the query routes to the worker pinned to its
+    /// attribute shard.
     pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, SubmitError> {
         let ticket = Ticket::new();
         let queued = QueuedQuery {
@@ -188,7 +232,12 @@ impl Session {
             ticket: ticket.clone(),
             enqueued: Instant::now(),
         };
-        match self.queue.push(queued) {
+        let queue = if self.queues.len() > 1 {
+            &self.queues[(self.engine.routing_key(&spec) % self.queues.len() as u64) as usize]
+        } else {
+            &self.queues[0]
+        };
+        match queue.push(queued) {
             Ok(()) => {
                 self.stats.record_submitted();
                 Ok(ticket)
@@ -208,6 +257,24 @@ impl Session {
     }
 }
 
+/// Completes `run` tickets with per-ticket counts and shared timing.
+fn complete_run(
+    stats: &ServiceStats,
+    run: &[QueuedQuery],
+    count_of: impl Fn(&QuerySpec) -> u64,
+    service_time: std::time::Duration,
+) {
+    for q in run {
+        let latency = q.enqueued.elapsed();
+        q.ticket.state.complete(QueryResult {
+            count: count_of(&q.spec),
+            latency,
+            service_time,
+        });
+        stats.record_completed(latency);
+    }
+}
+
 fn dispatch_loop(
     queue: &BoundedQueue<QueuedQuery>,
     stats: &ServiceStats,
@@ -224,26 +291,56 @@ fn dispatch_loop(
         order_batch(&mut batch, scheduling, |q| q.spec);
         let mut rest = batch.as_slice();
         while !rest.is_empty() {
-            // Under crack-aware ordering duplicates are adjacent; FIFO keeps
-            // run length 1 unless clients happened to align.
-            let run = match scheduling {
-                Scheduling::Fifo => 1,
-                Scheduling::CrackAware => duplicate_run_len(rest, |q| q.spec),
+            let head = rest[0].spec;
+            // Under crack-aware ordering the widest predicate of a group
+            // leads; FIFO keeps run length 1 unless clients aligned.
+            let (dup, contained) = match scheduling {
+                Scheduling::Fifo => (1, 1),
+                Scheduling::CrackAware => (
+                    duplicate_run_len(rest, |q| q.spec),
+                    containment_run_len(rest, |q| q.spec),
+                ),
             };
+            // Strict subsets behind the head: worth one execute_collect
+            // call that answers the whole containment run by post-filter.
+            if contained > dup {
+                let t0 = Instant::now();
+                if let Some(values) = engine.execute_collect(&head) {
+                    let service_time = t0.elapsed();
+                    stats.record_executed();
+                    let superset_count = values.len() as u64;
+                    for q in &rest[..contained] {
+                        if q.spec != head {
+                            stats.record_containment();
+                        }
+                    }
+                    complete_run(
+                        stats,
+                        &rest[..contained],
+                        |spec| {
+                            if *spec == head {
+                                superset_count
+                            } else {
+                                values
+                                    .iter()
+                                    .filter(|&&v| spec.lo <= v && v < spec.hi)
+                                    .count() as u64
+                            }
+                        },
+                        service_time,
+                    );
+                    rest = &rest[contained..];
+                    continue;
+                }
+            }
+            // Plain path: execute the head once, fan the count out to the
+            // exact-duplicate run.
             let t0 = Instant::now();
-            let count = engine.execute(&rest[0].spec);
+            let count = engine.execute(&head);
             let service_time = t0.elapsed();
             stats.record_executed();
-            for q in &rest[..run] {
-                let latency = q.enqueued.elapsed();
-                q.ticket.state.complete(QueryResult {
-                    count,
-                    latency,
-                    service_time,
-                });
-                stats.record_completed(latency);
-            }
-            rest = &rest[run..];
+            complete_run(stats, &rest[..dup], |_| count, service_time);
+            rest = &rest[dup..];
         }
     }
 }
@@ -252,9 +349,12 @@ fn dispatch_loop(
 mod tests {
     use super::*;
     use holix_engine::api::Dataset;
-    use holix_engine::{AdaptiveEngine, CrackMode};
+    use holix_engine::{
+        AdaptiveEngine, CrackMode, HolisticEngine, HolisticEngineConfig, QueryEngine,
+    };
     use holix_workloads::data::uniform_table;
     use holix_workloads::WorkloadSpec;
+    use std::time::Duration;
 
     fn engine(rows: usize, domain: i64) -> (Dataset, Arc<dyn QueryEngine>) {
         let data = Dataset::new(uniform_table(2, rows, domain, 5));
@@ -334,6 +434,95 @@ mod tests {
     }
 
     #[test]
+    fn containment_coalescing_answers_subsets_from_the_superset() {
+        // Holistic engine: supports execute_collect. One worker, one batch:
+        // a superset plus strict subsets must produce containment hits and
+        // exact answers.
+        let data = Dataset::new(uniform_table(1, 30_000, 10_000, 9));
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data.clone(), cfg));
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                scheduling: Scheduling::CrackAware,
+                batch_max: 128,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        let superset = QuerySpec {
+            attr: 0,
+            lo: 1_000,
+            hi: 9_000,
+        };
+        let subsets: Vec<QuerySpec> = (0..8)
+            .map(|i| QuerySpec {
+                attr: 0,
+                lo: 1_000 + i * 500,
+                hi: 9_000 - i * 500,
+            })
+            .collect();
+        // Burst-submit so everything lands in one drained batch.
+        let mut tickets = vec![(superset, session.submit(superset).unwrap())];
+        for &s in &subsets {
+            tickets.push((s, session.submit(s).unwrap()));
+        }
+        for (q, t) in &tickets {
+            assert_eq!(t.wait().count, oracle(&data, q), "{q:?}");
+        }
+        let summary = service.shutdown();
+        eng.stop();
+        assert_eq!(summary.completed, 9);
+        assert!(
+            summary.containment > 0,
+            "no containment hits (executed={} containment={})",
+            summary.executed,
+            summary.containment
+        );
+        assert!(
+            summary.executed < 9,
+            "containment did not save executions (executed={})",
+            summary.executed
+        );
+    }
+
+    #[test]
+    fn affinity_mode_routes_and_answers_correctly() {
+        let data = Dataset::new(uniform_table(2, 40_000, 1 << 20, 11));
+        let mut cfg = HolisticEngineConfig::split_half_sharded(4, 4);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data.clone(), cfg));
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 3,
+                scheduling: Scheduling::CrackAware,
+                affinity: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let queries = WorkloadSpec::random(2, 96, 1 << 20, 12).generate();
+        std::thread::scope(|s| {
+            for chunk in queries.chunks(24) {
+                let session = service.session();
+                let data = &data;
+                s.spawn(move || {
+                    for q in chunk {
+                        assert_eq!(session.execute(*q).unwrap().count, oracle(data, q));
+                    }
+                });
+            }
+        });
+        let summary = service.shutdown();
+        eng.stop();
+        assert_eq!(summary.completed, 96);
+    }
+
+    #[test]
     fn reject_admission_sheds_load_but_answers_accepted_queries() {
         let (data, eng) = engine(50_000, 1_000);
         let service = QueryService::start(
@@ -346,6 +535,7 @@ mod tests {
                 scheduling: Scheduling::Fifo,
                 batch_max: 2,
                 contexts_per_worker: 1,
+                affinity: false,
             },
         );
         let session = service.session();

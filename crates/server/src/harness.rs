@@ -63,6 +63,7 @@ pub fn run_clients_with(
                 Scheduling::CrackAware => (clients / 2).max(2),
             },
             contexts_per_worker: 1,
+            affinity: false,
         },
     );
     let t0 = Instant::now();

@@ -10,12 +10,16 @@
 //! - [`queue`] — the bounded admission queue: block (closed-loop
 //!   backpressure) or reject (open-loop load shedding) when full.
 //! - [`batcher`] — crack-aware batch ordering: queries are grouped per
-//!   column and sorted by predicate bounds so consecutive predicates land
-//!   in already-cracked or adjacent pieces; duplicate predicates coalesce.
-//! - [`dispatcher`] — the worker pool draining the queue, executing against
-//!   any [`holix_engine::api::QueryEngine`], and registering its thread
-//!   usage with the [`holix_core::cpu::LoadAccountant`] so the holistic
-//!   daemon sees the service's true load.
+//!   column and sorted by predicate bounds (widest range first on ties) so
+//!   consecutive predicates land in already-cracked or adjacent pieces;
+//!   duplicate predicates coalesce and contained predicates are answered
+//!   from their batched superset's post-filtered values.
+//! - [`dispatcher`] — the worker pool draining the queue(s), executing
+//!   against any [`holix_engine::api::QueryEngine`], and registering its
+//!   thread usage with the [`holix_core::cpu::LoadAccountant`] so the
+//!   holistic daemon sees the service's true load. Shard-affine mode pins
+//!   each `routing_key` (attribute shard) to one worker over per-worker
+//!   queues, so no two dispatchers latch the same shard.
 //! - [`stats`] — sustained-QPS and p50/p95/p99 latency accounting.
 //! - [`harness`] — the §5.8 multi-client driver, superseding
 //!   `holix_engine::session`.

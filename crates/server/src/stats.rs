@@ -23,6 +23,10 @@ pub struct ServiceStats {
     /// Engine executions performed. Crack-aware batching coalesces duplicate
     /// predicates inside a batch, so this can be below `completed`.
     executed: AtomicU64,
+    /// Queries answered by post-filtering a batched superset's values
+    /// (containment coalescing) — strict subsets only; exact duplicates are
+    /// visible as `completed − executed` instead.
+    containment: AtomicU64,
     latencies: Mutex<Reservoir>,
 }
 
@@ -78,6 +82,16 @@ impl ServiceStats {
         self.executed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a query answered by post-filtering a superset's result.
+    pub fn record_containment(&self) {
+        self.containment.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Containment-coalesced queries so far.
+    pub fn containment(&self) -> u64 {
+        self.containment.load(Ordering::Relaxed)
+    }
+
     /// Starts a fresh percentile window: clears the latency reservoir (the
     /// monotonic counters keep running). Harnesses call this after a
     /// cold-start warmup so the reported percentiles cover steady state.
@@ -126,6 +140,7 @@ impl ServiceStats {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
+            containment: self.containment.load(Ordering::Relaxed),
             wall,
             qps: if wall.is_zero() {
                 0.0
@@ -151,6 +166,8 @@ pub struct StatsSummary {
     pub rejected: u64,
     /// Engine executions (≤ completed when batching coalesces duplicates).
     pub executed: u64,
+    /// Queries answered from a batched superset's post-filtered values.
+    pub containment: u64,
     /// Wall time the summary covers.
     pub wall: Duration,
     /// Sustained completions per second over `wall`.
@@ -204,11 +221,13 @@ mod tests {
             stats.record_completed(ms(i));
         }
         stats.record_rejected();
+        stats.record_containment();
         let s = stats.summary(Duration::from_secs(2));
         assert_eq!(s.submitted, 10);
         assert_eq!(s.completed, 10);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.executed, 10);
+        assert_eq!(s.containment, 1);
         assert!((s.qps - 5.0).abs() < 1e-9);
         assert_eq!(s.p50, ms(5));
         assert_eq!(s.max, ms(10));

@@ -1,9 +1,10 @@
 //! Serve a holistic engine to a fleet of concurrent client sessions.
 //!
-//! Demonstrates the `holix-server` layer end-to-end: a bounded admission
-//! queue in front of a dispatcher pool, crack-aware batching (per-column
-//! grouping + bound ordering + duplicate coalescing), and the holistic
-//! daemon reacting to the service's load through the shared accountant.
+//! Demonstrates the `holix-server` layer end-to-end: per-worker admission
+//! queues with shard-affine routing over a 4-shard holistic engine,
+//! crack-aware batching (per-column grouping + bound ordering + duplicate
+//! and containment coalescing), and the holistic daemon reacting to the
+//! service's load through the shared accountant.
 //!
 //! ```bash
 //! cargo run --release --example service_demo
@@ -28,7 +29,9 @@ fn main() {
 
     let data = Dataset::new(uniform_table(attrs, rows, domain, 99));
     let monitor_interval = Duration::from_millis(2);
-    let mut cfg = HolisticEngineConfig::split_half(4);
+    // Four range shards per attribute: each shard is its own cracker
+    // column, so the shard-affine dispatchers below never contend.
+    let mut cfg = HolisticEngineConfig::split_half_sharded(4, 4);
     cfg.holistic.monitor_interval = monitor_interval;
     let engine = Arc::new(HolisticEngine::new(data, cfg));
 
@@ -49,6 +52,7 @@ fn main() {
             scheduling: Scheduling::CrackAware,
             batch_max: 32,
             contexts_per_worker: 1,
+            affinity: true,
         },
     );
 
@@ -84,8 +88,9 @@ fn main() {
     let summary = service.shutdown();
 
     println!(
-        "completed {} queries ({} engine executions after coalescing), 0 rejected",
-        summary.completed, summary.executed
+        "completed {} queries ({} engine executions after coalescing, \
+         {} answered from a batched superset), 0 rejected",
+        summary.completed, summary.executed, summary.containment
     );
     println!(
         "sustained {:.0} QPS | latency p50 {:?} p95 {:?} p99 {:?}",
