@@ -9,7 +9,7 @@ use holix_cracking::avl::Avl;
 use holix_cracking::crack::crack_in_two;
 use holix_cracking::index::CrackerIndex;
 use holix_cracking::updates::ripple_insert;
-use holix_cracking::vectorized::{crack_in_two_oop, CrackScratch};
+use holix_cracking::vectorized::{crack_in_three_oop, crack_in_two_oop, CrackScratch};
 use holix_parallel::{concentric_partition, parallel_partition};
 use rand::prelude::*;
 use std::collections::BTreeMap;
@@ -41,6 +41,24 @@ fn bench_crack_kernels(c: &mut Criterion) {
         b.iter_batched(
             || (vals.clone(), rows.clone()),
             |(mut v, mut r)| black_box(crack_in_two_oop(&mut v, &mut r, 500_000, &mut scratch)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("vectorized_three_oop", |b| {
+        // Both bounds in one piece (the fresh-column fast path): the kernel
+        // partitions into [< lo | lo..hi | >= hi] in a single call.
+        let mut scratch = CrackScratch::new();
+        b.iter_batched(
+            || (vals.clone(), rows.clone()),
+            |(mut v, mut r)| {
+                black_box(crack_in_three_oop(
+                    &mut v,
+                    &mut r,
+                    250_000,
+                    750_000,
+                    &mut scratch,
+                ))
+            },
             BatchSize::LargeInput,
         )
     });

@@ -15,6 +15,7 @@
 //! | `HOLIX_CLIENTS` | concurrent client sessions (service harness) | `16` |
 //! | `HOLIX_SHARDS` | horizontal shards per attribute (shard sweeps) | `4` |
 //! | `HOLIX_REPS` | measured repetitions (service harness; CI smoke uses 1) | `6` |
+//! | `HOLIX_UPDATERS` | Ripple updater threads (snapshot-interference harness sweeps this and 2×it) | `2` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but
@@ -38,6 +39,7 @@ pub struct BenchEnv {
     pub clients: usize,
     pub shards: usize,
     pub reps: usize,
+    pub updaters: usize,
 }
 
 /// Resolves an integer knob; a set-but-unparsable value panics with the
@@ -96,6 +98,7 @@ impl BenchEnv {
             clients: env_usize("HOLIX_CLIENTS", 16),
             shards: env_usize("HOLIX_SHARDS", 4).max(1),
             reps: env_usize("HOLIX_REPS", 6).max(1),
+            updaters: env_usize("HOLIX_UPDATERS", 2).max(1),
         }
     }
 
@@ -103,7 +106,7 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={}",
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={}",
             self.n,
             self.queries,
             self.attrs,
@@ -113,7 +116,8 @@ impl BenchEnv {
             self.idle_ms,
             self.clients,
             self.shards,
-            self.reps
+            self.reps,
+            self.updaters
         );
         if !notes.is_empty() {
             println!("# {notes}");

@@ -21,16 +21,35 @@
 //! a piece may be split between the lookup and the latch acquisition, so the
 //! locator runs again under the latch; holding the latch of the piece that
 //! *currently* contains the pivot makes the partition race-free.
+//!
+//! ## Snapshot reads (per-shard snapshot epochs)
+//!
+//! [`CrackerColumn::snapshot_scan`] / [`CrackerColumn::snapshot_collect`]
+//! answer count/sum/collect queries from an immutable
+//! [`crate::epoch::PieceSnapshot`] **without the structure lock**: the
+//! reader pins an epoch, loads the published snapshot pointer and copies
+//! the unmerged pending values under the short `pending` mutex (the
+//! linearisation point), then scans entirely lock-free. Cracks only
+//! permute values inside pieces, so the snapshot stays correct under
+//! concurrent cracking; Ripple merges — the only multiset-changing
+//! writers — splice fresh copies of exactly the affected value range into
+//! a new snapshot (copy-on-write at piece granularity, untouched pieces
+//! share their `Arc`'d segments) and retire the old version into the
+//! column's epoch domain, which frees it only after the last pinned
+//! reader drops. For these readers the structure lock shrinks to a
+//! writer-writer ordering concern.
 
 use crate::crack::{crack_in_three, crack_in_two, CrackKernel};
+use crate::epoch::{EpochGuard, PieceSnapshot, Segment, SnapPiece, SnapshotCell, SnapshotScan};
 use crate::index::{BoundLookup, CrackerIndex};
 use crate::range_cell::RangeCell;
-use crate::updates::{ripple_delete, ripple_insert, PendingUpdates};
+use crate::updates::{ripple_delete, ripple_insert, PendingUpdates, UnmergedKind};
 use crate::vectorized::{crack_in_three_oop, crack_in_two_oop, CrackScratch};
 use holix_storage::select::{Predicate, RangeStats};
 use holix_storage::types::{CrackValue, RowId};
 use parking_lot::{Mutex, RwLock};
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// A pluggable two-way partition kernel: partitions `vals`/`rows` around
@@ -104,6 +123,11 @@ pub struct CrackerColumn<V> {
     /// Kernel for background (holistic-worker) refinements — typically
     /// single-threaded, one worker per idle context.
     refine_kernel: KernelImpl<V>,
+    /// Published piece snapshot + per-shard epoch domain (lock-free reads).
+    snap: SnapshotCell<V>,
+    /// Live bytes held by snapshot segments (rises on copy-out, falls only
+    /// when epoch reclamation frees the last snapshot referencing them).
+    snap_bytes: Arc<AtomicUsize>,
 }
 
 impl<V: CrackValue> CrackerColumn<V> {
@@ -236,6 +260,8 @@ impl<V: CrackValue> CrackerColumn<V> {
             domain: Mutex::new(lo_hi),
             select_kernel,
             refine_kernel,
+            snap: SnapshotCell::new(),
+            snap_bytes: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -269,10 +295,15 @@ impl<V: CrackValue> CrackerColumn<V> {
         *self.domain.lock()
     }
 
-    /// Bytes held by values + row ids + index (storage-budget accounting).
+    /// Bytes held by values + row ids + index + live snapshot segments
+    /// (storage-budget accounting; the snapshot term is zero until a
+    /// snapshot read publishes one).
     pub fn payload_bytes(&self) -> usize {
         let n = self.len();
-        n * V::width() + n * std::mem::size_of::<RowId>() + self.index.read().approx_bytes()
+        n * V::width()
+            + n * std::mem::size_of::<RowId>()
+            + self.index.read().approx_bytes()
+            + self.snapshot_bytes()
     }
 
     /// Index lookup for a bound value (exposed for stochastic cracking,
@@ -580,7 +611,11 @@ impl<V: CrackValue> CrackerColumn<V> {
         self.pending.lock().queue_insert(v, row);
     }
 
-    /// Queues a deletion of the value previously inserted for `row`.
+    /// Queues a deletion of the value previously inserted for `row`. The
+    /// target must be a tuple that is merged or has a matching pending
+    /// insert (which the queue cancels): `ripple_delete` silently drops a
+    /// delete whose target is absent, and until that happens the snapshot
+    /// overlay counts the delete against the aggregates.
     pub fn queue_delete(&self, v: V, row: RowId) {
         self.pending.lock().queue_delete(v, row);
     }
@@ -592,29 +627,73 @@ impl<V: CrackValue> CrackerColumn<V> {
 
     /// Merges every pending update with value in `[lo, hi)` into the cracked
     /// column (exclusive; moves boundaries via the Ripple shifts).
+    ///
+    /// When a snapshot is published, the merge is the *only* operation that
+    /// changes per-piece multisets, so it finishes by splicing fresh copies
+    /// of exactly the affected value range into the snapshot (copy-on-write
+    /// at piece granularity) and retiring the old one through the epoch
+    /// domain. The taken batch stays registered as in-flight until the
+    /// publish, so lock-free readers racing the merge see every update in
+    /// either the pending set or the new snapshot — never neither.
     pub fn merge_pending_range(&self, lo: V, hi: V) {
-        let (ins, del) = {
+        let (token, ins, del) = {
             let mut p = self.pending.lock();
             if !p.has_in_range(lo, hi) {
                 return;
             }
-            p.take_range(lo, hi)
+            p.take_range_tracked(lo, hi)
         };
+        let span =
+            ins.iter()
+                .chain(del.iter())
+                .fold(None, |acc: Option<(V, V)>, &(v, _)| match acc {
+                    None => Some((v, v)),
+                    Some((a, b)) => Some((if v < a { v } else { a }, if v > b { v } else { b })),
+                });
         let _exclusive = self.structure.write();
-        let mut idx = self.index.write();
-        // SAFETY: `structure` held exclusively — no piece guard can be live
-        // and no reader observes the vectors while they move.
-        unsafe {
-            self.vals.with_vec_mut(|vals| {
-                self.rows.with_vec_mut(|rows| {
-                    for (v, r) in del {
-                        ripple_delete(vals, rows, &mut idx, v, r);
-                    }
-                    for (v, r) in ins {
-                        ripple_insert(vals, rows, &mut idx, v, r);
-                    }
-                })
-            });
+        {
+            let mut idx = self.index.write();
+            // SAFETY: `structure` held exclusively — no piece guard can be
+            // live and no reader observes the vectors while they move.
+            unsafe {
+                self.vals.with_vec_mut(|vals| {
+                    self.rows.with_vec_mut(|rows| {
+                        for &(v, r) in del.iter() {
+                            ripple_delete(vals, rows, &mut idx, v, r);
+                        }
+                        for &(v, r) in ins.iter() {
+                            ripple_insert(vals, rows, &mut idx, v, r);
+                        }
+                    })
+                });
+            }
+        }
+        // Still under `structure` exclusive: nothing else can publish (or
+        // build) a snapshot, so the anchor/copy/splice triple is atomic and
+        // the in-flight batch is cleared before any snapshot that already
+        // contains its items can become visible. The splice covers the
+        // *actual* span of the merged values, not the whole requested
+        // range — a narrow update stream never forces a wide copy.
+        if self.snap.is_published() {
+            let (a, b) = match span {
+                Some((vmin, vmax)) => self.snapshot_anchors(vmin, Self::succ(vmax)),
+                None => unreachable!("has_in_range guaranteed a non-empty batch"),
+            };
+            let mid = self.copy_live_pieces(a, b, false);
+            self.splice_and_publish(a, b, mid, Some(token));
+        } else {
+            self.pending.lock().finish_merge(token);
+        }
+    }
+
+    /// The value just above `v` in predicate space (`MAX_VALUE` saturates
+    /// to the unbounded sentinel — which also *includes* `MAX_VALUE`
+    /// itself, keeping `[v, succ(v))` a superset of `{v}`).
+    fn succ(v: V) -> V {
+        if v == V::MAX_VALUE {
+            V::MAX_VALUE
+        } else {
+            V::from_i64(v.as_i64() + 1)
         }
     }
 
@@ -631,6 +710,372 @@ impl<V: CrackValue> CrackerColumn<V> {
         let lo = lo_key.unwrap_or(V::MIN_VALUE);
         let hi = hi_key.unwrap_or(V::MAX_VALUE);
         self.merge_pending_range(lo, hi);
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot reads (per-shard snapshot epochs)
+    // ------------------------------------------------------------------
+
+    /// Count + sum of values in `pred`, served from the published piece
+    /// snapshot **without taking the structure lock**: the reader pins one
+    /// epoch, linearises `(snapshot pointer, unmerged updates)` on the
+    /// short pending mutex (folding the overlay deltas allocation-free
+    /// inside it), scans the immutable snapshot, and applies the deltas.
+    /// Writers (cracks, Ripple merges, piece splits) never wait for this
+    /// reader and this reader never waits for them.
+    ///
+    /// The overlay assumes the contract [`CrackerColumn::queue_delete`]
+    /// states: a pending delete targets a tuple that is merged (or has a
+    /// matching pending insert, which the queue cancels). A delete of a
+    /// tuple that never existed is counted here until a Ripple merge
+    /// silently drops it — the same tolerance `ripple_delete` has.
+    ///
+    /// Adaptivity: when the edge pieces forced more than
+    /// [`CrackerColumn::REFRESH_FILTER_MIN`] element-wise checks, the call
+    /// finishes with an amortised maintenance pass that cracks the live
+    /// bounds (non-blocking) and refreshes the snapshot's piece table to
+    /// live granularity — so a snapshot-only workload converges exactly
+    /// like a cracking one, paying the copy at most once per granularity
+    /// level (the same geometric series as cracking itself).
+    pub fn snapshot_scan(&self, pred: Predicate<V>, scratch: &mut CrackScratch<V>) -> SnapshotScan {
+        if pred.is_empty() {
+            return SnapshotScan::default();
+        }
+        self.ensure_snapshot();
+        let scan = {
+            let guard = self.snap.epochs().pin();
+            let mut count_delta = 0i64;
+            let mut sum_delta = 0i128;
+            let snap = {
+                let p = self.pending.lock();
+                let snap = self.snap.load(&guard).expect("snapshot was ensured");
+                p.for_each_unmerged(
+                    |v| pred.matches_unbounded(v),
+                    |v, kind| {
+                        let sign = match kind {
+                            UnmergedKind::Insert => 1,
+                            UnmergedKind::Delete => -1,
+                        };
+                        count_delta += sign;
+                        sum_delta += sign as i128 * v.as_i64() as i128;
+                    },
+                );
+                snap
+            };
+            let mut scan = snap.stats(pred.lo, pred.hi);
+            scan.count = (scan.count as i64 + count_delta).max(0) as u64;
+            scan.sum += sum_delta;
+            scan
+        };
+        if scan.filtered >= Self::REFRESH_FILTER_MIN {
+            self.refresh_snapshot(pred, scratch);
+        }
+        scan
+    }
+
+    /// Appends every value qualifying under `pred` to `out` (lock-free,
+    /// same protocol as [`CrackerColumn::snapshot_scan`]); unmerged pending
+    /// inserts are appended and pending deletes remove one matching
+    /// occurrence each from the values this call produced (a delete whose
+    /// target is genuinely absent removes nothing — see
+    /// [`CrackerColumn::snapshot_scan`] on the delete contract).
+    pub fn snapshot_collect(
+        &self,
+        pred: Predicate<V>,
+        scratch: &mut CrackScratch<V>,
+        out: &mut Vec<V>,
+    ) -> SnapshotScan {
+        if pred.is_empty() {
+            return SnapshotScan::default();
+        }
+        self.ensure_snapshot();
+        let base = out.len();
+        let scan = {
+            let guard = self.snap.epochs().pin();
+            // Overlay values buffer into small locals under the lock; the
+            // (potentially large, reallocating) `out` buffer is only
+            // touched after the pending mutex is released, keeping the
+            // writer linearisation point short.
+            let mut ins: Vec<V> = Vec::new();
+            let mut del: Vec<V> = Vec::new();
+            let snap = {
+                let p = self.pending.lock();
+                let snap = self.snap.load(&guard).expect("snapshot was ensured");
+                p.for_each_unmerged(
+                    |v| pred.matches_unbounded(v),
+                    |v, kind| match kind {
+                        UnmergedKind::Insert => ins.push(v),
+                        UnmergedKind::Delete => del.push(v),
+                    },
+                );
+                snap
+            };
+            let mut scan = snap.collect_into(pred.lo, pred.hi, out);
+            for v in ins {
+                out.push(v);
+                scan.count += 1;
+                scan.sum += v.as_i64() as i128;
+            }
+            if !del.is_empty() {
+                // Single compaction pass over this call's values with a
+                // delete multiset — O(collected + deletes), not a linear
+                // re-scan per delete. Unmatched deletes (absent targets)
+                // remove nothing, as on the Ripple path.
+                let mut remaining: std::collections::BTreeMap<V, usize> =
+                    std::collections::BTreeMap::new();
+                for v in del {
+                    *remaining.entry(v).or_insert(0) += 1;
+                }
+                let mut kept = base;
+                for i in base..out.len() {
+                    let v = out[i];
+                    if let Some(c) = remaining.get_mut(&v) {
+                        if *c > 0 {
+                            *c -= 1;
+                            scan.count = scan.count.saturating_sub(1);
+                            scan.sum -= v.as_i64() as i128;
+                            continue;
+                        }
+                    }
+                    out[kept] = v;
+                    kept += 1;
+                }
+                out.truncate(kept);
+            }
+            scan
+        };
+        if scan.filtered >= Self::REFRESH_FILTER_MIN {
+            self.refresh_snapshot(pred, scratch);
+        }
+        scan
+    }
+
+    /// Edge-piece filter work (values inspected element-wise) above which a
+    /// snapshot read triggers a piece-table refresh.
+    pub const REFRESH_FILTER_MIN: usize = 1 << 11;
+
+    /// Pending-queue length above which a snapshot refresh also merges the
+    /// bound piece's updates (below it, the per-scan overlay is cheaper
+    /// than queueing behind the exclusive merge).
+    pub const REFRESH_MERGE_BACKLOG: usize = 256;
+
+    /// Has a snapshot been published for this column?
+    pub fn snapshot_published(&self) -> bool {
+        self.snap.is_published()
+    }
+
+    /// Live bytes held by snapshot segments (including retired segments
+    /// not yet reclaimed — the number a pinned reader keeps elevated).
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snap_bytes.load(SeqCst)
+    }
+
+    /// Pieces in the currently published snapshot (0 when unpublished).
+    pub fn snapshot_piece_count(&self) -> usize {
+        let guard = self.snap.epochs().pin();
+        self.snap.load(&guard).map_or(0, |s| s.pieces().len())
+    }
+
+    /// Pins the column's snapshot epoch; while the guard lives, every
+    /// snapshot version retired after the pin stays allocated (tests and
+    /// long multi-column readers).
+    pub fn snapshot_pin(&self) -> EpochGuard<'_> {
+        self.snap.epochs().pin()
+    }
+
+    /// Runs one reclamation cycle; returns how many retired snapshot
+    /// versions were freed.
+    pub fn snapshot_gc(&self) -> usize {
+        self.snap.collect()
+    }
+
+    /// Builds and publishes the first snapshot (one-time O(N) copy at
+    /// current live granularity). No-op once published.
+    fn ensure_snapshot(&self) {
+        if self.snap.is_published() {
+            return;
+        }
+        let _exclusive = self.structure.write();
+        if self.snap.is_published() {
+            return; // lost the build race
+        }
+        let pieces = self.copy_live_pieces(None, None, false);
+        self.splice_and_publish(None, None, pieces, None);
+    }
+
+    /// Amortised snapshot maintenance after an expensive edge filter: for
+    /// each non-sentinel bound, merge the pending updates of the bound's
+    /// piece, crack the live bound without blocking (skipped on latch
+    /// contention), and replace **only the snapshot piece containing the
+    /// bound** with copies at live granularity. Copy cost is the edge
+    /// piece's size — interior pieces of the scanned range are already
+    /// served O(1) from their aggregates and are never copied. Runs under
+    /// `structure` *shared* — Ripple merges are excluded for the
+    /// copy-publish window, concurrent cracks are isolated per piece by
+    /// read latches.
+    fn refresh_snapshot(&self, pred: Predicate<V>, scratch: &mut CrackScratch<V>) {
+        if pred.lo != V::MIN_VALUE {
+            self.refresh_bound(pred.lo, scratch);
+        }
+        if pred.hi != V::MAX_VALUE {
+            self.refresh_bound(pred.hi, scratch);
+        }
+    }
+
+    /// One bound's refresh: see [`CrackerColumn::refresh_snapshot`].
+    fn refresh_bound(&self, v: V, scratch: &mut CrackScratch<V>) {
+        // The pending overlay already keeps snapshot answers exact, so a
+        // refresh only merges when the backlog is large enough that the
+        // per-scan overlay cost matters — a snapshot-only workload still
+        // cannot grow the queue without bound, but a snapshot reader does
+        // not queue behind the exclusive merge lock for a handful of
+        // updates some locked query will merge anyway.
+        if self.pending.lock().len() > Self::REFRESH_MERGE_BACKLOG {
+            self.merge_pending_for_piece_of(v);
+        }
+        let _shared = self.structure.read();
+        if self.crack_bound(v, scratch, false).is_none() {
+            return; // bound piece latched elsewhere — retry on a later scan
+        }
+        // Anchors of the point range [v, succ(v)): exactly the snapshot
+        // piece(s) the bound falls into.
+        let (a, b) = self.snapshot_anchors(v, Self::succ(v));
+        let mid = self.copy_live_pieces(a, b, true);
+        self.splice_and_publish(a, b, mid, None);
+    }
+
+    /// The published snapshot's boundary keys bracketing `[lo, hi)`:
+    /// `a` = greatest snapshot boundary `<= lo` (`None` = column-min side),
+    /// `b` = least snapshot boundary `>= hi` (`None` = column-max side).
+    /// Snapshot boundaries are a subset of live boundaries (boundaries are
+    /// never removed and snapshots are built from live pieces), so both
+    /// anchors are exact lookups in the live index; and because concurrent
+    /// publishes only ever *refine* piece tables, anchors stay valid
+    /// splice points even if another refresh lands in between.
+    ///
+    /// Caller holds a structure lock (any mode) so merges cannot run. The
+    /// snapshot is read under the pending mutex *without* an epoch pin
+    /// (publishers must never spin on reader-held pin slots while holding
+    /// the structure lock — see [`SnapshotCell::load_publisher`]).
+    fn snapshot_anchors(&self, lo: V, hi: V) -> (Option<V>, Option<V>) {
+        let _p = self.pending.lock();
+        let Some(snap) = self.snap.load_publisher() else {
+            return (None, None);
+        };
+        let pieces = snap.pieces();
+        let i = pieces.partition_point(|p| p.hi_key.is_some_and(|k| k <= lo));
+        let a = if i == 0 { None } else { pieces[i - 1].hi_key };
+        let b = if hi == V::MAX_VALUE {
+            None
+        } else {
+            let j = pieces.partition_point(|p| p.hi_key.is_some_and(|k| k < hi));
+            if j >= pieces.len() {
+                None
+            } else {
+                pieces[j].hi_key
+            }
+        };
+        (a, b)
+    }
+
+    /// Copies the live pieces covering `[a, b)` (both anchors are live
+    /// boundary keys, `None` = column edge) into fresh snapshot pieces.
+    /// With `latched`, each piece is copied under its read latch (caller
+    /// holds `structure` shared; concurrent cracks of *other* pieces
+    /// proceed); otherwise the caller holds `structure` exclusively.
+    /// Empty pieces are skipped — scans treat the uncovered key as part of
+    /// the neighbouring piece's range, which only widens the conservative
+    /// edge-filter check.
+    fn copy_live_pieces(&self, a: Option<V>, b: Option<V>, latched: bool) -> Vec<SnapPiece<V>> {
+        let mut out = Vec::new();
+        let mut cur = a;
+        loop {
+            let Some(p) = self.index.read().piece_after(cur) else {
+                debug_assert!(false, "snapshot anchor {cur:?} is not a live boundary");
+                break;
+            };
+            let (vals, hi_key) = if latched {
+                let _g = p.latch.lock_read();
+                // Revalidate under the latch: the piece may have split
+                // since the lookup (its start and latch are stable; only
+                // the extent can shrink).
+                let Some(q) = self.index.read().piece_after(cur) else {
+                    break;
+                };
+                // SAFETY: read latch on the piece excludes its writers;
+                // `structure` shared excludes vector moves.
+                (
+                    unsafe { self.vals.read_range(q.start, q.end) }.to_vec(),
+                    q.hi_key,
+                )
+            } else {
+                // SAFETY: `structure` exclusive — no live mutators at all.
+                (
+                    unsafe { self.vals.read_range(p.start, p.end) }.to_vec(),
+                    p.hi_key,
+                )
+            };
+            if !vals.is_empty() {
+                let n = vals.len();
+                let seg = Arc::new(Segment::new(vals, Arc::clone(&self.snap_bytes)));
+                out.push(SnapPiece::new(hi_key, seg, 0, n));
+            }
+            match (hi_key, b) {
+                (None, _) => break,
+                (Some(k), Some(bk)) if k >= bk => break,
+                (key, _) => cur = key,
+            }
+        }
+        out
+    }
+
+    /// Publishes a new snapshot that replaces every piece covering the
+    /// value range `[a, b)` with `mid`, sharing the untouched pieces'
+    /// segments. Runs under the pending mutex (the reader linearisation
+    /// point); `finish` clears an in-flight merge batch in the same
+    /// critical section, so readers switch from "old snapshot + in-flight
+    /// items" to "new snapshot" atomically. The replaced snapshot is
+    /// retired into the epoch domain.
+    ///
+    /// Caller holds a structure lock (exclusive for merges/builds, shared
+    /// for refreshes).
+    fn splice_and_publish(
+        &self,
+        a: Option<V>,
+        b: Option<V>,
+        mid: Vec<SnapPiece<V>>,
+        finish: Option<u64>,
+    ) {
+        let mut p = self.pending.lock();
+        let new = match self.snap.load_publisher() {
+            None => PieceSnapshot::new(mid),
+            Some(old) => {
+                let pieces = old.pieces();
+                let i = match a {
+                    None => 0,
+                    Some(av) => pieces.partition_point(|q| q.hi_key.is_some_and(|k| k <= av)),
+                };
+                let j = match b {
+                    None => pieces.len(),
+                    Some(bv) => pieces.partition_point(|q| q.hi_key.is_some_and(|k| k <= bv)),
+                };
+                let mut v = Vec::with_capacity(i + mid.len() + pieces.len() - j);
+                v.extend(pieces[..i].iter().cloned());
+                v.extend(mid);
+                v.extend(pieces[j..].iter().cloned());
+                PieceSnapshot::new(v)
+            }
+        };
+        let old = self.snap.swap(Arc::new(new));
+        if let Some(token) = finish {
+            p.finish_merge(token);
+        }
+        // Retire (and possibly free O(column) bytes of) the replaced
+        // snapshot only after the reader linearisation lock is released.
+        drop(p);
+        if let Some(old) = old {
+            self.snap.retire(old);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -984,6 +1429,199 @@ mod tests {
             col.refine_random(&mut rng, &mut scratch, 3),
             RefineOutcome::AlreadyBound
         );
+    }
+
+    #[test]
+    fn snapshot_scan_matches_oracle_and_refreshes_granularity() {
+        let (base, col) = column(50_000, 20);
+        let mut scratch = CrackScratch::new();
+        assert!(!col.snapshot_published());
+        // First snapshot read: builds the snapshot (one coarse piece),
+        // filters everything, then refreshes to live granularity.
+        let pred = Predicate::range(200, 600);
+        let scan = col.snapshot_scan(pred, &mut scratch);
+        let oracle = scan_stats(&base, pred);
+        assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        assert!(col.snapshot_published());
+        assert!(
+            scan.filtered >= base.len(),
+            "cold snapshot filters the column"
+        );
+        // The refresh cracked the live bounds and split the snapshot piece.
+        let again = col.snapshot_scan(pred, &mut scratch);
+        assert_eq!((again.count, again.sum), (oracle.count, oracle.sum));
+        assert_eq!(again.filtered, 0, "refreshed snapshot needs no filtering");
+        assert!(col.snapshot_piece_count() >= 3);
+        // Sentinel (one-sided) predicates.
+        for pred in [Predicate::less_than(300), Predicate::at_least(700)] {
+            let scan = col.snapshot_scan(pred, &mut scratch);
+            let oracle = scan_stats(&base, pred);
+            assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        }
+        col.check_invariants(Some(&base));
+    }
+
+    #[test]
+    fn snapshot_sees_pending_updates_without_merging() {
+        let (mut base, col) = column(10_000, 21);
+        let mut scratch = CrackScratch::new();
+        col.select(Predicate::range(100, 900), &mut scratch);
+        let pred = Predicate::range(0, 1_000);
+        // Publish a snapshot, then queue updates *after* it.
+        col.snapshot_scan(pred, &mut scratch);
+        let n = base.len() as RowId;
+        col.queue_insert(250, n);
+        col.queue_insert(750, n + 1);
+        base.push(250);
+        base.push(750);
+        let victim = base.iter().position(|&v| (300..700).contains(&v)).unwrap();
+        col.queue_delete(base[victim], victim as RowId);
+        let removed = base.remove(victim);
+        let _ = removed;
+        // Unmerged updates must be visible immediately (pending overlay) …
+        let scan = col.snapshot_scan(pred, &mut scratch);
+        let oracle = scan_stats(&base, pred);
+        assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        // … and still after a locked select forces the Ripple merge + COW
+        // splice (snapshot republished with the merged pieces).
+        let (_, locked) = col.select_verified(pred, &mut scratch);
+        assert_eq!(locked, oracle);
+        let scan = col.snapshot_scan(pred, &mut scratch);
+        assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        col.check_invariants(None);
+    }
+
+    #[test]
+    fn snapshot_collect_matches_filtered_base() {
+        let (mut base, col) = column(20_000, 22);
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(300, 700);
+        col.snapshot_scan(pred, &mut scratch); // publish + refresh
+        let n = base.len() as RowId;
+        col.queue_insert(350, n); // stays pending: overlay must add it
+        base.push(350);
+        let mut got = Vec::new();
+        let scan = col.snapshot_collect(pred, &mut scratch, &mut got);
+        got.sort_unstable();
+        let mut want: Vec<i64> = base
+            .iter()
+            .copied()
+            .filter(|&v| (300..700).contains(&v))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(scan.count as usize, want.len());
+    }
+
+    #[test]
+    fn snapshot_reclamation_frees_retired_segments() {
+        let (base, col) = column(20_000, 23);
+        let mut scratch = CrackScratch::new();
+        let full = Predicate::range(0, 1_000);
+        col.snapshot_scan(full, &mut scratch);
+        let base_bytes = base.len() * std::mem::size_of::<i64>();
+        // Crack-heavy loop with Ripple merges: every merge retires a
+        // snapshot version. Live snapshot bytes must stay bounded by the
+        // column size (plus transient garbage), not grow with iterations.
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..60 {
+            let v = rng.random_range(0..1_000);
+            col.queue_insert(v, (base.len() + i) as RowId);
+            col.select(Predicate::range(v.saturating_sub(5), v + 5), &mut scratch);
+            col.refine_random(&mut rng, &mut scratch, 4);
+            col.snapshot_scan(full, &mut scratch);
+        }
+        col.snapshot_gc();
+        let settled = col.snapshot_bytes();
+        assert!(
+            settled <= 2 * base_bytes,
+            "snapshot bytes grew unbounded: {settled} vs column {base_bytes}"
+        );
+        // A pinned reader keeps retired versions alive …
+        let guard = col.snapshot_pin();
+        for i in 0..20 {
+            let v = rng.random_range(0..1_000);
+            col.queue_insert(v, (base.len() + 100 + i) as RowId);
+            col.select(Predicate::range(v.saturating_sub(5), v + 5), &mut scratch);
+        }
+        let pinned_bytes = col.snapshot_bytes();
+        assert!(
+            pinned_bytes > settled,
+            "pinned epoch should hold retired segments ({pinned_bytes} vs {settled})"
+        );
+        // … and dropping the pin lets reclamation free them.
+        drop(guard);
+        assert!(col.snapshot_gc() > 0, "dropping the pin frees garbage");
+        assert!(
+            col.snapshot_bytes() <= 2 * base_bytes,
+            "bytes after unpin: {}",
+            col.snapshot_bytes()
+        );
+    }
+
+    #[test]
+    fn concurrent_snapshot_scans_with_cracks_and_merges() {
+        let (base, col) = column(60_000, 24);
+        let full = Predicate::range(0, 1_000);
+        let base_stats = scan_stats(&base, full);
+        // Updaters insert value 7 and delete their own inserts, so at any
+        // instant count == base + (inserts applied - deletes applied) and
+        // sum == base_sum + 7 * that delta — a torn read would break the
+        // coupling between count and sum.
+        crossbeam::thread::scope(|s| {
+            for t in 0..2 {
+                let col = &col;
+                s.spawn(move |_| {
+                    let mut scratch = CrackScratch::new();
+                    let mut rng = StdRng::seed_from_u64(400 + t);
+                    for i in 0..150 {
+                        let row = 1_000_000 + (t as RowId) * 10_000 + i;
+                        col.queue_insert(7, row);
+                        col.select(Predicate::range(0, 20), &mut scratch); // merge
+                        col.queue_delete(7, row);
+                        if rng.random_range(0..2) == 0 {
+                            col.select(Predicate::range(0, 20), &mut scratch);
+                        }
+                    }
+                });
+            }
+            for t in 0..2 {
+                let col = &col;
+                s.spawn(move |_| {
+                    let mut scratch = CrackScratch::new();
+                    let mut rng = StdRng::seed_from_u64(500 + t);
+                    for _ in 0..300 {
+                        col.refine_random(&mut rng, &mut scratch, 4);
+                    }
+                });
+            }
+            for t in 0..2 {
+                let col = &col;
+                s.spawn(move |_| {
+                    let mut scratch = CrackScratch::new();
+                    for _ in 0..200 {
+                        let scan = col.snapshot_scan(full, &mut scratch);
+                        let delta = scan.count as i128 - base_stats.count as i128;
+                        assert!(delta >= 0, "snapshot lost base tuples");
+                        assert_eq!(
+                            scan.sum - base_stats.sum,
+                            7 * delta,
+                            "count/sum decoupled: torn snapshot (delta={delta})"
+                        );
+                        let _ = t;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Quiesce: merge the remaining pending ops and compare all paths.
+        let mut scratch = CrackScratch::new();
+        col.merge_pending_range(i64::MIN, i64::MAX);
+        let scan = col.snapshot_scan(full, &mut scratch);
+        let (_, locked) = col.select_verified(full, &mut scratch);
+        assert_eq!((scan.count, scan.sum), (locked.count, locked.sum));
+        assert_eq!((scan.count, scan.sum), (base_stats.count, base_stats.sum));
+        col.check_invariants(None);
     }
 
     #[test]

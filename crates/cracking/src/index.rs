@@ -23,6 +23,20 @@ pub struct BoundEntry {
     pub latch: PieceLatch,
 }
 
+/// One piece addressed by its starting boundary key (snapshot-refresh
+/// walks; see [`CrackerIndex::piece_after`]).
+#[derive(Debug, Clone)]
+pub struct PieceRef<V> {
+    /// First position of the piece.
+    pub start: usize,
+    /// One past the last position.
+    pub end: usize,
+    /// The piece's latch.
+    pub latch: PieceLatch,
+    /// Upper boundary key (`None` = last piece).
+    pub hi_key: Option<V>,
+}
+
 /// Result of locating a bound value in the index.
 #[derive(Debug, Clone)]
 pub enum BoundLookup<V> {
@@ -180,6 +194,39 @@ impl<V: CrackValue> CrackerIndex<V> {
         }
         out.push((prev, self.len));
         out
+    }
+
+    /// The piece that *starts* at boundary `lo_key` (`None` = position 0):
+    /// its position range, latch and upper boundary key. Snapshot refresh
+    /// walks a value range piece by piece through this — re-looking the
+    /// chain up by key per step, so pieces split by concurrent cracks are
+    /// picked up at their current extent (boundaries are never removed, so
+    /// a key that once started a piece always does). Returns `None` only
+    /// when `lo_key` is not a boundary at all.
+    pub fn piece_after(&self, lo_key: Option<V>) -> Option<PieceRef<V>> {
+        let (start, latch) = match lo_key {
+            None => (0, self.first_latch.clone()),
+            Some(k) => {
+                let e = self.bounds.get(&k)?;
+                (e.pos, e.latch.clone())
+            }
+        };
+        let (end, hi_key) = match lo_key {
+            None => match self.bounds.min_key() {
+                Some(k) => (self.bounds.get(&k).expect("min key present").pos, Some(k)),
+                None => (self.len, None),
+            },
+            Some(k) => match self.bounds.succ_strict(&k) {
+                Some((nk, ne)) => (ne.pos, Some(nk)),
+                None => (self.len, None),
+            },
+        };
+        Some(PieceRef {
+            start,
+            end,
+            latch,
+            hi_key,
+        })
     }
 
     /// Latch of the piece *starting* at `start` (0 = first piece). Used by
@@ -342,6 +389,32 @@ mod tests {
         idx.shift_bounds_key_gt(35, 1);
         assert_eq!(idx.bounds_in_order(), vec![(30, 5), (40, 6)]);
         assert_eq!(idx.len(), 11);
+    }
+
+    #[test]
+    fn piece_after_walks_the_whole_column() {
+        let mut idx = CrackerIndex::<i64>::new(100);
+        idx.insert_bound(30, 25);
+        idx.insert_bound(70, 80);
+        let mut cur = None;
+        let mut seen = Vec::new();
+        loop {
+            let p = idx.piece_after(cur).unwrap();
+            seen.push((p.start, p.end, p.hi_key));
+            match p.hi_key {
+                Some(k) => cur = Some(k),
+                None => break,
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![(0, 25, Some(30)), (25, 80, Some(70)), (80, 100, None)]
+        );
+        assert!(idx.piece_after(Some(31)).is_none(), "31 is not a boundary");
+        // Empty index: one piece spanning everything.
+        let empty = CrackerIndex::<i64>::new(7);
+        let p = empty.piece_after(None).unwrap();
+        assert_eq!((p.start, p.end, p.hi_key), (0, 7, None));
     }
 
     #[test]

@@ -21,11 +21,16 @@
 //!   Ripple algorithm ([28]),
 //! - [`sharding`] — horizontal range shards: one attribute split into S
 //!   independently crackable [`CrackerColumn`]s with per-shard Ripple
-//!   buffers, predicate fan-out and value-routed updates.
+//!   buffers, predicate fan-out and value-routed updates,
+//! - [`epoch`] — per-shard snapshot epochs: immutable piece-table
+//!   snapshots published copy-on-write at piece granularity and reclaimed
+//!   with epoch-based GC, so count/sum/collect scans run without the
+//!   structure lock while cracks and Ripple merges race.
 
 pub mod avl;
 pub mod column;
 pub mod crack;
+pub mod epoch;
 pub mod index;
 pub mod latch;
 pub mod range_cell;
@@ -36,6 +41,7 @@ pub mod vectorized;
 
 pub use column::{CrackerColumn, PartitionFn, RefineOutcome, Selection};
 pub use crack::CrackKernel;
+pub use epoch::{EpochDomain, EpochGuard, PieceSnapshot, SnapshotScan};
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
 pub use sharding::{ShardPlan, ShardedColumn};

@@ -13,16 +13,35 @@
 
 use crate::index::CrackerIndex;
 use holix_storage::types::{CrackValue, RowId};
+use std::sync::Arc;
 
 /// A list of `(value, row-id)` update operations.
 pub type UpdateList<V> = Vec<(V, RowId)>;
 
 /// Queue of not-yet-merged updates for one column.
+///
+/// Besides the queued inserts/deletes, the structure tracks *in-flight
+/// merge batches*: a Ripple merge takes its items out of the queues long
+/// before the post-merge snapshot is published, and a lock-free snapshot
+/// reader linearising on this structure's mutex must still see those items
+/// somewhere — otherwise a scan racing the merge would observe them in
+/// neither the (old) snapshot nor the pending queue. The merge registers
+/// its batch with [`PendingUpdates::take_range_tracked`] and clears it with
+/// [`PendingUpdates::finish_merge`] in the same critical section that
+/// publishes the new snapshot.
 #[derive(Debug, Default)]
 pub struct PendingUpdates<V> {
     inserts: Vec<(V, RowId)>,
     deletes: Vec<(V, RowId)>,
+    /// Taken-but-not-yet-published merge batches `(token, inserts,
+    /// deletes)`; `Arc`-shared with the merging thread so registration
+    /// costs two refcount bumps, not two buffer copies.
+    in_flight: Vec<InFlightBatch<V>>,
+    next_token: u64,
 }
+
+/// One merge's taken batch: `(token, inserts, deletes)`.
+type InFlightBatch<V> = (u64, Arc<UpdateList<V>>, Arc<UpdateList<V>>);
 
 impl<V: CrackValue> PendingUpdates<V> {
     /// Empty queue.
@@ -30,6 +49,8 @@ impl<V: CrackValue> PendingUpdates<V> {
         PendingUpdates {
             inserts: Vec::new(),
             deletes: Vec::new(),
+            in_flight: Vec::new(),
+            next_token: 0,
         }
     }
 
@@ -84,6 +105,76 @@ impl<V: CrackValue> PendingUpdates<V> {
         };
         (split(&mut self.inserts), split(&mut self.deletes))
     }
+
+    /// [`PendingUpdates::take_range`] that additionally registers the taken
+    /// batch as in-flight until [`PendingUpdates::finish_merge`] is called
+    /// with the returned token.
+    #[allow(clippy::type_complexity)]
+    pub fn take_range_tracked(
+        &mut self,
+        lo: V,
+        hi: V,
+    ) -> (u64, Arc<UpdateList<V>>, Arc<UpdateList<V>>) {
+        let (ins, del) = self.take_range(lo, hi);
+        let (ins, del) = (Arc::new(ins), Arc::new(del));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.in_flight
+            .push((token, Arc::clone(&ins), Arc::clone(&del)));
+        (token, ins, del)
+    }
+
+    /// Unregisters an in-flight merge batch (its items are now visible in
+    /// the published snapshot).
+    pub fn finish_merge(&mut self, token: u64) {
+        if let Some(i) = self.in_flight.iter().position(|&(t, _, _)| t == token) {
+            self.in_flight.swap_remove(i);
+        }
+    }
+
+    /// Visits the value of every update not yet visible in a published
+    /// snapshot — queued *and* in-flight — that satisfies `qualifies`.
+    /// Allocation-free: snapshot readers run this inside the pending-mutex
+    /// critical section (the reader linearisation point), so the overlay
+    /// must not lengthen that lock with per-scan `Vec`s.
+    pub fn for_each_unmerged(
+        &self,
+        mut qualifies: impl FnMut(V) -> bool,
+        mut visit: impl FnMut(V, UnmergedKind),
+    ) {
+        for &(v, _) in &self.inserts {
+            if qualifies(v) {
+                visit(v, UnmergedKind::Insert);
+            }
+        }
+        for &(v, _) in &self.deletes {
+            if qualifies(v) {
+                visit(v, UnmergedKind::Delete);
+            }
+        }
+        for (_, fi, fd) in &self.in_flight {
+            for &(v, _) in fi.iter() {
+                if qualifies(v) {
+                    visit(v, UnmergedKind::Insert);
+                }
+            }
+            for &(v, _) in fd.iter() {
+                if qualifies(v) {
+                    visit(v, UnmergedKind::Delete);
+                }
+            }
+        }
+    }
+}
+
+/// Whether an unmerged update adds or removes its value (see
+/// [`PendingUpdates::for_each_unmerged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnmergedKind {
+    /// A queued or in-flight insertion.
+    Insert,
+    /// A queued or in-flight deletion.
+    Delete,
 }
 
 /// Position range `[start, end)` of the piece that contains value `v`,
@@ -235,6 +326,38 @@ mod tests {
         assert_eq!(del, vec![(6, 3)]);
         assert_eq!(q.len(), 2);
         assert!(!q.has_in_range(5, 7));
+    }
+
+    #[test]
+    fn in_flight_batches_stay_visible_until_finished() {
+        let mut q = PendingUpdates::new();
+        q.queue_insert(5, 1);
+        q.queue_insert(50, 2);
+        q.queue_delete(7, 3);
+        let (token, ins, del) = q.take_range_tracked(0, 10);
+        assert_eq!(*ins, vec![(5, 1)]);
+        assert_eq!(*del, vec![(7, 3)]);
+        assert!(!q.has_in_range(0, 10), "taken items left the queue");
+        // … but a snapshot reader still sees them as unmerged.
+        let collect = |q: &PendingUpdates<i64>, cap: i64| {
+            let (mut ins, mut del) = (Vec::new(), Vec::new());
+            q.for_each_unmerged(
+                |v| v < cap,
+                |v, kind| match kind {
+                    UnmergedKind::Insert => ins.push(v),
+                    UnmergedKind::Delete => del.push(v),
+                },
+            );
+            (ins, del)
+        };
+        let (uv_ins, uv_del) = collect(&q, 10);
+        assert_eq!(uv_ins, vec![5]);
+        assert_eq!(uv_del, vec![7]);
+        q.finish_merge(token);
+        let (uv_ins, uv_del) = collect(&q, 100);
+        assert_eq!(uv_ins, vec![50], "queued insert outside the merge survives");
+        assert!(uv_del.is_empty());
+        q.finish_merge(token); // idempotent
     }
 
     #[test]

@@ -16,6 +16,9 @@ use holix_storage::types::{CrackValue, RowId};
 pub struct CrackScratch<V> {
     vals: Vec<V>,
     rows: Vec<RowId>,
+    /// Middle-region staging for the fused three-way kernel.
+    mid_vals: Vec<V>,
+    mid_rows: Vec<RowId>,
 }
 
 impl<V> Default for CrackScratch<V> {
@@ -23,6 +26,8 @@ impl<V> Default for CrackScratch<V> {
         CrackScratch {
             vals: Vec::new(),
             rows: Vec::new(),
+            mid_vals: Vec::new(),
+            mid_rows: Vec::new(),
         }
     }
 }
@@ -30,18 +35,39 @@ impl<V> Default for CrackScratch<V> {
 impl<V: CrackValue> CrackScratch<V> {
     /// Creates an empty scratch; buffers grow to the largest piece cracked.
     pub fn new() -> Self {
-        CrackScratch {
-            vals: Vec::new(),
-            rows: Vec::new(),
-        }
+        Self::default()
     }
 
+    /// Buffers only ever grow (monotone high-water mark): the kernels write
+    /// every slot of the window they use before reading it back, so slots
+    /// are *not* re-initialised per call — the old `clear()` + full
+    /// `resize(len, MIN_VALUE)` re-filled the whole scratch on every crack.
     fn prepare(&mut self, len: usize) -> (&mut [V], &mut [RowId]) {
-        self.vals.clear();
-        self.rows.clear();
-        self.vals.resize(len, V::MIN_VALUE);
-        self.rows.resize(len, 0);
-        (&mut self.vals, &mut self.rows)
+        if self.vals.len() < len {
+            self.vals.resize(len, V::MIN_VALUE);
+            self.rows.resize(len, 0);
+        }
+        (&mut self.vals[..len], &mut self.rows[..len])
+    }
+
+    /// Like [`CrackScratch::prepare`] plus the middle-region staging buffers
+    /// for the fused three-way kernel.
+    #[allow(clippy::type_complexity)]
+    fn prepare3(&mut self, len: usize) -> (&mut [V], &mut [RowId], &mut [V], &mut [RowId]) {
+        if self.vals.len() < len {
+            self.vals.resize(len, V::MIN_VALUE);
+            self.rows.resize(len, 0);
+        }
+        if self.mid_vals.len() < len {
+            self.mid_vals.resize(len, V::MIN_VALUE);
+            self.mid_rows.resize(len, 0);
+        }
+        (
+            &mut self.vals[..len],
+            &mut self.rows[..len],
+            &mut self.mid_vals[..len],
+            &mut self.mid_rows[..len],
+        )
     }
 }
 
@@ -85,9 +111,16 @@ pub fn crack_in_two_oop<V: CrackValue>(
     lo
 }
 
-/// Out-of-place three-way partition `[< lo | lo <= v < hi | >= hi]`,
-/// composed of two two-way passes (the second pass only touches the upper
-/// part). Returns `(a, b)` bounding the middle region.
+/// Out-of-place three-way partition `[< lo | lo <= v < hi | >= hi]` in a
+/// **single** branch-free pass. Three cursors advance through one scan:
+/// lows fill the scratch from the left, highs from the right, and middles
+/// stage in a side buffer that is copied into the remaining gap at the end
+/// — every element is written to all three frontier slots and exactly one
+/// cursor moves, so the loop carries no data-dependent branch. Returns
+/// `(a, b)` bounding the middle region.
+///
+/// (The previous implementation composed two full two-way passes; the
+/// fused form reads the piece once instead of ~twice.)
 pub fn crack_in_three_oop<V: CrackValue>(
     vals: &mut [V],
     rows: &mut [RowId],
@@ -96,9 +129,42 @@ pub fn crack_in_three_oop<V: CrackValue>(
     scratch: &mut CrackScratch<V>,
 ) -> (usize, usize) {
     debug_assert!(lo <= hi);
-    let a = crack_in_two_oop(vals, rows, lo, scratch);
-    let b = a + crack_in_two_oop(&mut vals[a..], &mut rows[a..], hi, scratch);
-    (a, b)
+    debug_assert_eq!(vals.len(), rows.len());
+    let n = vals.len();
+    if n == 0 {
+        return (0, 0);
+    }
+    let (sv, sr, mv, mr) = scratch.prepare3(n);
+
+    let mut l = 0usize;
+    let mut h = n;
+    let mut m = 0usize;
+    for i in 0..n {
+        let v = vals[i];
+        let r = rows[i];
+        // Write to the low, middle and high frontier slots; exactly one
+        // survives. While k elements are placed, `l + (n - h) <= k < n`, so
+        // `l < h` and both scratch indices stay inside the unfilled window;
+        // `m <= k` keeps the middle buffer in bounds.
+        sv[l] = v;
+        sr[l] = r;
+        sv[h - 1] = v;
+        sr[h - 1] = r;
+        mv[m] = v;
+        mr[m] = r;
+        let is_low = (v < lo) as usize;
+        let is_high = (v >= hi) as usize;
+        l += is_low;
+        h -= is_high;
+        m += 1 - is_low - is_high;
+    }
+    debug_assert_eq!(h - l, m);
+    sv[l..h].copy_from_slice(&mv[..m]);
+    sr[l..h].copy_from_slice(&mr[..m]);
+
+    vals.copy_from_slice(sv);
+    rows.copy_from_slice(sr);
+    (l, h)
 }
 
 #[cfg(test)]
@@ -135,6 +201,42 @@ mod tests {
         let mut r = vec![0u32];
         assert_eq!(crack_in_two_oop(&mut v, &mut r, 3, &mut scratch), 0);
         assert_eq!(crack_in_two_oop(&mut v, &mut r, 8, &mut scratch), 1);
+    }
+
+    #[test]
+    fn fused_three_way_matches_two_pass_composition() {
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1_000) as i64
+        };
+        let base: Vec<i64> = (0..5_000).map(|_| next()).collect();
+        let rows: Vec<RowId> = (0..base.len() as u32).collect();
+        let mut scratch = CrackScratch::new();
+        for (lo, hi) in [(0, 0), (200, 700), (500, 500), (999, 1_000), (0, 999)] {
+            let mut v1 = base.clone();
+            let mut r1 = rows.clone();
+            let (a, b) = crack_in_three_oop(&mut v1, &mut r1, lo, hi, &mut scratch);
+
+            // Reference: two composed two-way passes.
+            let mut v2 = base.clone();
+            let mut r2 = rows.clone();
+            let a2 = crack_in_two_oop(&mut v2, &mut r2, lo, &mut scratch);
+            let b2 = a2 + crack_in_two_oop(&mut v2[a2..], &mut r2[a2..], hi, &mut scratch);
+            assert_eq!((a, b), (a2, b2), "split points differ for [{lo},{hi})");
+            assert!(v1[..a].iter().all(|&x| x < lo));
+            assert!(v1[a..b].iter().all(|&x| lo <= x && x < hi));
+            assert!(v1[b..].iter().all(|&x| x >= hi));
+            // Rowids stay aligned and the multiset is preserved.
+            assert!(v1.iter().zip(&r1).all(|(&vv, &rr)| base[rr as usize] == vv));
+            let mut s1 = v1.clone();
+            let mut s2 = base.clone();
+            s1.sort_unstable();
+            s2.sort_unstable();
+            assert_eq!(s1, s2);
+        }
     }
 
     #[test]

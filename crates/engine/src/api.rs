@@ -88,6 +88,51 @@ pub trait QueryEngine: Send + Sync {
         let _ = q;
         None
     }
+
+    /// Lock-free snapshot execution: `(count, sum)` served from the
+    /// engine's published piece snapshots — pinning one epoch per touched
+    /// shard and taking **no structure lock** — so a long analytical scan
+    /// never serialises against cracks or Ripple merges, and a merge in
+    /// one value range never stalls readers anywhere else. Consistency is
+    /// **per shard** (per value range): each shard contributes a
+    /// point-in-time view including updates the engine has accepted but
+    /// not yet merged, but shards are pinned sequentially, so a
+    /// shard-spanning scan is not one global instant — the same semantics
+    /// the locked fan-out has. `None` when the engine has no snapshot
+    /// read path (callers fall back to [`QueryEngine::execute`]).
+    fn execute_snapshot(&self, q: &QuerySpec) -> Option<(u64, i128)> {
+        let _ = q;
+        None
+    }
+
+    /// Lock-free variant of [`QueryEngine::execute_collect`]: qualifying
+    /// values copied out of the piece snapshots under epoch pins instead
+    /// of each shard's exclusive structure lock — the service's batched
+    /// superset runs stop blocking writers for the duration of the copy.
+    ///
+    /// The three-way result matters to callers: `Unsupported` invites a
+    /// retry through the locked [`QueryEngine::execute_collect`], while
+    /// `CapExceeded` means the predicate qualifies more values than any
+    /// collect path will materialise — retrying the locked collect would
+    /// pay the same doomed copy again, under every shard's structure lock.
+    fn execute_collect_snapshot(&self, q: &QuerySpec) -> SnapshotCollect {
+        let _ = q;
+        SnapshotCollect::Unsupported
+    }
+}
+
+/// Outcome of [`QueryEngine::execute_collect_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotCollect {
+    /// The engine has no snapshot read path — fall back to the locked
+    /// collect.
+    Unsupported,
+    /// The qualifying set exceeds the engine's copy cap; the locked
+    /// collect shares the cap, so callers should skip materialisation
+    /// entirely.
+    CapExceeded,
+    /// The qualifying values, served lock-free.
+    Values(Vec<i64>),
 }
 
 #[cfg(test)]

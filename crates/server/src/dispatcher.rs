@@ -38,7 +38,7 @@ use crate::queue::{AdmissionPolicy, BoundedQueue, SubmitError};
 use crate::session::{QueryResult, SessionHandle, SessionRegistry, Ticket};
 use crate::stats::{ServiceStats, StatsSummary};
 use holix_core::cpu::LoadAccountant;
-use holix_engine::api::QueryEngine;
+use holix_engine::api::{QueryEngine, SnapshotCollect};
 use holix_workloads::QuerySpec;
 use std::sync::Arc;
 use std::time::Instant;
@@ -301,13 +301,28 @@ fn dispatch_loop(
                     containment_run_len(rest, |q| q.spec),
                 ),
             };
-            // Strict subsets behind the head: worth one execute_collect
-            // call that answers the whole containment run by post-filter.
+            // Strict subsets behind the head: worth one collect call that
+            // answers the whole containment run by post-filter. The
+            // dispatcher issues a *snapshot ticket* first — the engine's
+            // lock-free snapshot collect pins one epoch per touched shard,
+            // so materialising the superset no longer holds any shard's
+            // structure lock against concurrent cracks and Ripple merges.
+            // Only `Unsupported` retries through the locked collect; a
+            // `CapExceeded` superset would blow the identical cap there
+            // too, so the run goes straight to per-query execution.
             if contained > dup {
                 let t0 = Instant::now();
-                if let Some(values) = engine.execute_collect(&head) {
+                let (values, via_snapshot) = match engine.execute_collect_snapshot(&head) {
+                    SnapshotCollect::Values(v) => (Some(v), true),
+                    SnapshotCollect::Unsupported => (engine.execute_collect(&head), false),
+                    SnapshotCollect::CapExceeded => (None, false),
+                };
+                if let Some(values) = values {
                     let service_time = t0.elapsed();
                     stats.record_executed();
+                    if via_snapshot {
+                        stats.record_snapshot_run();
+                    }
                     let superset_count = values.len() as u64;
                     for q in &rest[..contained] {
                         if q.spec != head {
@@ -486,6 +501,12 @@ mod tests {
             summary.executed < 9,
             "containment did not save executions (executed={})",
             summary.executed
+        );
+        assert!(
+            summary.snapshot_runs > 0,
+            "holistic containment run did not use the snapshot ticket \
+             (snapshot_runs={})",
+            summary.snapshot_runs
         );
     }
 

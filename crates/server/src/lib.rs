@@ -36,4 +36,4 @@ pub use dispatcher::{QueryService, ServiceConfig, Session};
 pub use harness::{run_clients, run_clients_with, ClientReport};
 pub use queue::{AdmissionPolicy, BoundedQueue, SubmitError};
 pub use session::{QueryResult, SessionRegistry, Ticket};
-pub use stats::{ServiceStats, StatsSummary};
+pub use stats::{percentile, ServiceStats, StatsSummary};

@@ -27,6 +27,10 @@ pub struct ServiceStats {
     /// (containment coalescing) — strict subsets only; exact duplicates are
     /// visible as `completed − executed` instead.
     containment: AtomicU64,
+    /// Containment runs served through the engine's lock-free snapshot
+    /// collect path (an epoch ticket per touched shard) instead of the
+    /// shard-locking collect.
+    snapshot_runs: AtomicU64,
     latencies: Mutex<Reservoir>,
 }
 
@@ -92,6 +96,16 @@ impl ServiceStats {
         self.containment.load(Ordering::Relaxed)
     }
 
+    /// Records a containment run answered from a snapshot (lock-free) read.
+    pub fn record_snapshot_run(&self) {
+        self.snapshot_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot-served containment runs so far.
+    pub fn snapshot_runs(&self) -> u64 {
+        self.snapshot_runs.load(Ordering::Relaxed)
+    }
+
     /// Starts a fresh percentile window: clears the latency reservoir (the
     /// monotonic counters keep running). Harnesses call this after a
     /// cold-start warmup so the reported percentiles cover steady state.
@@ -141,6 +155,7 @@ impl ServiceStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             containment: self.containment.load(Ordering::Relaxed),
+            snapshot_runs: self.snapshot_runs.load(Ordering::Relaxed),
             wall,
             qps: if wall.is_zero() {
                 0.0
@@ -168,6 +183,9 @@ pub struct StatsSummary {
     pub executed: u64,
     /// Queries answered from a batched superset's post-filtered values.
     pub containment: u64,
+    /// Containment runs whose superset was materialised through the
+    /// engine's lock-free snapshot read path.
+    pub snapshot_runs: u64,
     /// Wall time the summary covers.
     pub wall: Duration,
     /// Sustained completions per second over `wall`.

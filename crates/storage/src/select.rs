@@ -47,6 +47,17 @@ impl<V: CrackValue> Predicate<V> {
     pub fn is_empty(&self) -> bool {
         self.lo >= self.hi
     }
+
+    /// Sentinel-aware variant of [`Predicate::matches`], mirroring the
+    /// cracked select path: a bound equal to `MIN_VALUE`/`MAX_VALUE` means
+    /// *unbounded*, so a value equal to `MAX_VALUE` qualifies under an
+    /// unbounded upper end (where `matches` would exclude it). The
+    /// snapshot read path filters edge pieces and folds pending-update
+    /// overlays through this one definition.
+    #[inline(always)]
+    pub fn matches_unbounded(&self, v: V) -> bool {
+        (self.lo == V::MIN_VALUE || v >= self.lo) && (self.hi == V::MAX_VALUE || v < self.hi)
+    }
 }
 
 /// Aggregate fingerprint of a selection: how many values qualified and their

@@ -29,7 +29,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`storage`] | column-store substrate: columns, operators, parallel sort |
-//! | [`cracking`] | adaptive indexing: cracker columns/index, kernels, latches, Ripple updates |
+//! | [`cracking`] | adaptive indexing: cracker columns/index, kernels, latches, Ripple updates, snapshot epochs |
 //! | [`parallel`] | multi-core cracking: PVDC, PVSDC, mP-CCGI |
 //! | [`core`] | **holistic indexing**: index space, strategies W1–W4, CPU monitors, daemon |
 //! | [`engine`] | the five query engines + TPC-H plans |
