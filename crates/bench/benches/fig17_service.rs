@@ -48,11 +48,6 @@ struct Bed {
     /// saturated warmup rep (cycles from other beds' windows excluded).
     load_workers_avg: f64,
     steady_wall: Duration,
-    /// Counters at the start of the measured phase (completed/executed
-    /// deltas are reported, excluding the warmup rep).
-    base_completed: u64,
-    base_executed: u64,
-    base_containment: u64,
 }
 
 /// Drives one full traffic repetition through the bed's service, checking
@@ -175,6 +170,11 @@ fn main() {
                     batch_max: (clients * 2).max(32),
                     contexts_per_worker: 1,
                     affinity,
+                    // Cost-blind beds: keep this harness comparable with
+                    // the PR 2-4 baselines (no plan estimate per executed
+                    // query, no snapshot cutover).
+                    cutover: false,
+                    ..ServiceConfig::default()
                 },
             );
             let label = if affinity {
@@ -190,9 +190,6 @@ fn main() {
                 idle_workers_max,
                 load_workers_avg: 0.0,
                 steady_wall: Duration::ZERO,
-                base_completed: 0,
-                base_executed: 0,
-                base_containment: 0,
             }
         })
         .collect();
@@ -216,15 +213,11 @@ fn main() {
     // Stop all daemons before the measured phase so an idle bed's refine
     // workers can neither steal CPU from the measured bed nor refine their
     // own columns between reps — the steady-state comparison isolates the
-    // dispatch configurations. Then start a fresh latency window past the
-    // cold start.
+    // dispatch configurations. Then start a fresh measurement window past
+    // the cold start (every counter rebases, not just latencies).
     for bed in &mut beds {
         bed.engine.stop();
-        bed.service.reset_latency_window();
-        let s = bed.service.stats();
-        bed.base_completed = s.completed;
-        bed.base_executed = s.executed;
-        bed.base_containment = s.containment;
+        bed.service.reset_window();
     }
     // Interleaved measured repetitions: machine drift hits every bed
     // equally.
@@ -251,17 +244,16 @@ fn main() {
             best_affine = Some((bed.label.clone(), qps));
         }
 
-        // All columns cover the measured phase only: completed/executed are
-        // deltas past the warmup baseline, percentiles come from the reset
-        // latency window.
+        // All columns cover the measured phase only: the window reset after
+        // warmup rebased every counter and cleared the latency reservoir.
         let summary = bed.service.shutdown();
         println!(
             "{},{},{clients},{},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2}",
             bed.label,
             bed.shards,
-            summary.completed - bed.base_completed,
-            summary.executed - bed.base_executed,
-            summary.containment - bed.base_containment,
+            summary.completed,
+            summary.executed,
+            summary.containment,
             summary.p50.as_secs_f64() * 1e3,
             summary.p95.as_secs_f64() * 1e3,
             summary.p99.as_secs_f64() * 1e3,

@@ -1,0 +1,410 @@
+//! fig_planner — the crack-aware cost model at the service layer.
+//!
+//! Two experiments over one skewed spanning-scan traffic mix
+//! (`ClientFocus::SpanningMix`: Zipf hot-region repeats + wide scans that
+//! cross every shard cut):
+//!
+//! **A. Spanning-query decomposition** — a `HOLIX_SHARDS`-shard holistic
+//! engine behind shard-affine dispatch under three decomposition
+//! policies: `whole` (a wide scan executes whole on its home worker,
+//! reaching across every other shard's latches), `cost_based` (the
+//! session consults the plan and cuts exactly the spans the model prices
+//! Expensive at the shard plan's boundaries — each part runs on its
+//! pinned worker, a merge ticket folds the counts) and `always` (every
+//! span cut — the policy a multicore bed would run, whose two-queue-hop
+//! overhead is all penalty on one core). Closed-loop saturating sessions,
+//! one warmup rep, daemons stopped for the measured phase, `HOLIX_REPS`
+//! reps interleaved across beds; every answer (merged or whole) is
+//! checked against a sorted-column oracle.
+//!
+//! **B. Cost-based admission under overload** — open-loop bursty arrivals
+//! offered above the capacity measured in part A, a small Reject-policy
+//! queue, while two Ripple churn threads keep a pending-update backlog on
+//! attribute 0 (the merge debt that prices its non-exact reads Expensive
+//! and makes the snapshot path beat the locked crack): FIFO shedding
+//! (`reject`: whatever arrives at a full queue is turned away, however
+//! cheap) vs price-aware shedding (`cost_aware`: cheap exact-hits go to
+//! the overflow reserve or execute inline — never shed — and expensive
+//! backlogged reads are downgraded to an inline lock-free snapshot read,
+//! shed only when the snapshot cannot beat the locked path). Answers on
+//! the churned attribute are band-checked against the bounded net-insert
+//! window; every other answer is oracle-exact. The harness asserts the
+//! structural guarantee (zero cheap queries shed under cost-aware) and
+//! prints the p50/p99 comparison.
+
+use holix_bench::{secs, BenchEnv};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{HolisticEngine, HolisticEngineConfig};
+use holix_server::{
+    AdmissionPolicy, CostModel, DecomposePolicy, QueryService, Scheduling, ServiceConfig,
+    SubmitError, Ticket,
+};
+use holix_workloads::data::uniform_table;
+use holix_workloads::traffic::{ArrivalProcess, ClientFocus};
+use holix_workloads::{QuerySpec, TrafficSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Binary-search count oracle over pre-sorted columns.
+fn oracle(sorted: &[Vec<i64>], q: &QuerySpec) -> u64 {
+    let col = &sorted[q.attr];
+    (col.partition_point(|&v| v < q.hi) - col.partition_point(|&v| v < q.lo)) as u64
+}
+
+fn engine(env: &BenchEnv, data: &Dataset) -> Arc<HolisticEngine> {
+    let mut cfg = HolisticEngineConfig::split_half_sharded(env.threads, env.shards);
+    cfg.holistic.monitor_interval = Duration::from_millis(2);
+    Arc::new(HolisticEngine::new(data.clone(), cfg))
+}
+
+/// One closed-loop repetition with oracle checks; returns wall time.
+fn run_closed_rep(service: &QueryService, traffic: &TrafficSpec, sorted: &[Vec<i64>]) -> Duration {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..traffic.clients {
+            let stream = traffic.client_stream(c);
+            let session = service.session();
+            s.spawn(move || {
+                for tq in &stream {
+                    let result = session.execute(tq.spec).expect("closed-loop submit failed");
+                    assert_eq!(
+                        result.count,
+                        oracle(sorted, &tq.spec),
+                        "answer diverged from oracle on {:?}",
+                        tq.spec
+                    );
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+/// One open-loop repetition: clients fire on their absolute schedule,
+/// collect tickets, and verify every completed answer at the end.
+/// Answers on `churn_attr` may exceed the static oracle by up to
+/// `churn_slack` (the bounded net-insert window of the Ripple churn
+/// threads); every other attribute must be oracle-exact. Returns
+/// `(wall, rejected)`.
+fn run_open_rep(
+    service: &QueryService,
+    traffic: &TrafficSpec,
+    sorted: &[Vec<i64>],
+    churn_attr: usize,
+    churn_slack: u64,
+) -> (Duration, u64) {
+    let t0 = Instant::now();
+    let rejected = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..traffic.clients)
+            .map(|c| {
+                let stream = traffic.client_stream(c);
+                let session = service.session();
+                s.spawn(move || {
+                    let mut rejected = 0u64;
+                    let mut tickets: Vec<(QuerySpec, Ticket)> = Vec::new();
+                    for tq in &stream {
+                        let target = t0 + tq.at;
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        match session.submit(tq.spec) {
+                            Ok(t) => tickets.push((tq.spec, t)),
+                            Err(SubmitError::Rejected) => rejected += 1,
+                            Err(e) => panic!("unexpected submit error {e:?}"),
+                        }
+                    }
+                    for (spec, t) in &tickets {
+                        let got = t.wait().count;
+                        let base = oracle(sorted, spec);
+                        if spec.attr == churn_attr {
+                            assert!(
+                                got >= base && got <= base + churn_slack,
+                                "churned answer {got} outside [{base}, {}] on {spec:?}",
+                                base + churn_slack
+                            );
+                        } else {
+                            assert_eq!(got, base, "answer diverged from oracle on {spec:?}");
+                        }
+                    }
+                    rejected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop client panicked"))
+            .sum::<u64>()
+    });
+    (t0.elapsed(), rejected)
+}
+
+/// Live inserts each churn thread keeps outstanding (the net-insert band
+/// verification allows for; deletes only ever target own inserts, so
+/// counts never drop below the static oracle).
+const CHURN_WINDOW: usize = 256;
+
+/// Ripple churn on one attribute: queue inserts, Ripple-merge around them
+/// with narrow locked selects, delete own inserts past the window — a
+/// sustained pending backlog (the merge debt the cost model prices) plus
+/// constant exclusive-merge pressure on the locked path. Returns ops run.
+fn churn(engine: &HolisticEngine, attr: usize, domain: i64, stop: &AtomicBool, seed: u32) -> u64 {
+    let mut state = 0x9E37_79B9u64 ^ seed as u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut live: std::collections::VecDeque<(i64, u32)> = std::collections::VecDeque::new();
+    let mut ops = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let v = (next() % domain as u64) as i64;
+        let row = 3_000_000 + seed * 1_000_000 + ops as u32;
+        engine.queue_insert(attr, v, row);
+        live.push_back((v, row));
+        if live.len() > CHURN_WINDOW {
+            let (dv, dr) = live.pop_front().expect("non-empty");
+            engine.queue_delete(attr, dv, dr);
+        }
+        if ops.is_multiple_of(16) {
+            // Narrow locked select: Ripple-merges the pending ops around v
+            // under the shard's exclusive structure lock.
+            engine.execute(&QuerySpec {
+                attr,
+                lo: (v - 2_000).max(0),
+                hi: (v + 2_000).min(domain),
+            });
+        }
+        ops += 1;
+        std::thread::yield_now();
+    }
+    ops
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "fig_planner: crack-aware cost model — spanning decomposition + cost-based admission",
+        "csv A: bed,shards,clients,completed,decomposed,parts,inline,qps,p50_ms,p95_ms,p99_ms; \
+         csv B: policy,offered_qps,completed,rejected,shed_cheap,shed_expensive,downgraded,\
+         cheap_admitted,snapshot_cutover,p50_ms,p99_ms",
+    );
+    let clients = env.clients.max(2);
+    let queries_per_client = (env.queries * 4 / clients).max(64);
+    let attrs = env.attrs.clamp(1, 4);
+    let data = Dataset::new(uniform_table(attrs, env.n, env.domain, 2203));
+    let sorted: Vec<Vec<i64>> = (0..attrs)
+        .map(|a| {
+            let mut col = data.column(a).to_vec();
+            col.sort_unstable();
+            col
+        })
+        .collect();
+    let mut traffic = TrafficSpec::saturating(
+        clients,
+        queries_per_client,
+        attrs,
+        env.domain,
+        env.n as u64 ^ 0x9A,
+    );
+    traffic.focus = ClientFocus::SpanningMix {
+        regions: 16,
+        exact_prob: 0.75,
+        wide_prob: 0.3,
+    };
+
+    // ---------------- Part A: spanning-query decomposition ----------------
+    let workers = (env.threads / 2).max(2);
+    let policies = [
+        DecomposePolicy::Off,
+        DecomposePolicy::CostBased,
+        DecomposePolicy::Always,
+    ];
+    let mut beds: Vec<(DecomposePolicy, Arc<HolisticEngine>, QueryService)> = policies
+        .into_iter()
+        .map(|policy| {
+            let eng = engine(&env, &data);
+            let service = QueryService::start(
+                Arc::clone(&eng) as Arc<dyn QueryEngine>,
+                Some(Arc::clone(eng.accountant())),
+                ServiceConfig {
+                    workers,
+                    queue_capacity: (clients * 4 / workers).max(4),
+                    admission: AdmissionPolicy::Block,
+                    scheduling: Scheduling::CrackAware,
+                    batch_max: (clients * 2).max(32),
+                    contexts_per_worker: 1,
+                    affinity: true,
+                    decompose: policy,
+                    ..ServiceConfig::default()
+                },
+            );
+            (policy, eng, service)
+        })
+        .collect();
+    // Warmup rep (cold cracking), then daemons off + fresh window.
+    for (_, eng, service) in &beds {
+        run_closed_rep(service, &traffic, &sorted);
+        eng.stop();
+        service.reset_window();
+    }
+    let mut walls = vec![Duration::ZERO; beds.len()];
+    for _ in 0..env.reps {
+        for (i, (_, _, service)) in beds.iter().enumerate() {
+            walls[i] += run_closed_rep(service, &traffic, &sorted);
+        }
+    }
+    println!("bed,shards,clients,completed,decomposed,parts,inline,qps,p50_ms,p95_ms,p99_ms");
+    let mut qps_by_bed = [0.0f64; 3];
+    let mut p95_by_bed = [Duration::ZERO; 3];
+    let mut capacity = 0.0f64;
+    for (i, (policy, _, service)) in beds.drain(..).enumerate() {
+        let completed = (env.reps * clients * queries_per_client) as f64;
+        let qps = completed / secs(walls[i]).max(1e-9);
+        qps_by_bed[i] = qps;
+        capacity = capacity.max(qps);
+        let summary = service.shutdown();
+        p95_by_bed[i] = summary.p95;
+        println!(
+            "{},{},{clients},{},{},{},{},{qps:.1},{:.3},{:.3},{:.3}",
+            policy.label(),
+            env.shards,
+            summary.completed,
+            summary.decomposed,
+            summary.decomposed_parts,
+            summary.decomp_inline,
+            summary.p50.as_secs_f64() * 1e3,
+            summary.p95.as_secs_f64() * 1e3,
+            summary.p99.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "# decomposed_speedup={:.3} (cost_based QPS / whole QPS, paired interleaved reps),          cost_based_p95_over_whole={:.3}, always_speedup={:.3}          (always-decompose pays two queue hops per span; its win needs real cores)",
+        qps_by_bed[1] / qps_by_bed[0].max(1e-9),
+        secs(p95_by_bed[1]) / secs(p95_by_bed[0]).max(1e-9),
+        qps_by_bed[2] / qps_by_bed[0].max(1e-9),
+    );
+
+    // ---------------- Part B: cost-based admission under overload ----------
+    // Offer ~1.6x the measured closed-loop capacity through bursty
+    // open-loop arrivals at a small Reject-policy queue.
+    let offered_total = capacity * 1.6;
+    let mut overload = traffic.clone();
+    overload.arrival = ArrivalProcess::OpenBursty {
+        qps: (offered_total / clients as f64).max(1.0),
+        burst: 8,
+    };
+    overload.queries_per_client = (queries_per_client / 2).max(32);
+    println!(
+        "policy,offered_qps,completed,rejected,shed_cheap,shed_expensive,downgraded,\
+         cheap_admitted,snapshot_cutover,p50_ms,p99_ms"
+    );
+    let mut p99 = [Duration::ZERO; 2];
+    let mut cheap_shed = [u64::MAX; 2];
+    for (i, policy) in [AdmissionPolicy::Reject, AdmissionPolicy::CostAware]
+        .into_iter()
+        .enumerate()
+    {
+        let eng = engine(&env, &data);
+        // Overload-mode cost model: the cheap budget is the per-query
+        // touched-value SLA admission is defending — exact hits price 0
+        // and always fit; a fresh wide scan's two edge pieces do not.
+        let overload_model = CostModel {
+            cheap_budget: 512,
+            ..CostModel::default()
+        };
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            Some(Arc::clone(eng.accountant())),
+            ServiceConfig {
+                workers: 2,
+                // One slot per closed-loop client: the warmup rep (at most
+                // `clients` outstanding) is never rejected, while the
+                // open-loop overload still overwhelms the queue.
+                queue_capacity: clients,
+                admission: policy,
+                scheduling: Scheduling::CrackAware,
+                batch_max: 16,
+                contexts_per_worker: 1,
+                cost: overload_model,
+                ..ServiceConfig::default()
+            },
+        );
+        // Closed-loop warmup cracks the hot regions (so exact repeats
+        // price cheap); then a snapshot-serving warmup: narrow probing
+        // snapshot reads publish each shard's snapshot and drive its
+        // piece table toward live granularity (each read past the filter
+        // threshold refreshes its edge pieces — the same convergence the
+        // daemon's background refresher provides while running). Then
+        // daemons off, fresh window.
+        run_closed_rep(&service, &traffic, &sorted);
+        let mut probe = 0x2545_F491u64 ^ (i as u64 + 1);
+        for a in 0..attrs {
+            for _ in 0..64 {
+                probe ^= probe << 13;
+                probe ^= probe >> 7;
+                probe ^= probe << 17;
+                let lo = (probe % (env.domain as u64 * 9 / 10)) as i64;
+                let _ = eng.execute_snapshot(&QuerySpec {
+                    attr: a,
+                    lo,
+                    hi: lo + env.domain / 10,
+                });
+            }
+        }
+        eng.stop();
+        service.reset_window();
+        // Measured overload reps race two Ripple churn threads on attr 0:
+        // its pending backlog prices non-exact reads Expensive and makes
+        // the lock-free snapshot (overlay-exact) beat the merge-laden
+        // locked path.
+        let stop = AtomicBool::new(false);
+        let churn_slack = (2 * (CHURN_WINDOW as u64 + 1)).max(1024);
+        let (mut wall, mut rejected_seen) = (Duration::ZERO, 0u64);
+        std::thread::scope(|scope| {
+            for t in 0..2u32 {
+                let eng = &eng;
+                let stop = &stop;
+                scope.spawn(move || churn(eng, 0, env.domain, stop, t));
+            }
+            for _ in 0..env.reps {
+                let (w, r) = run_open_rep(&service, &overload, &sorted, 0, churn_slack);
+                wall += w;
+                rejected_seen += r;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let summary = service.shutdown();
+        assert_eq!(
+            summary.rejected, rejected_seen,
+            "rejection accounting drift"
+        );
+        p99[i] = summary.p99;
+        cheap_shed[i] = summary.shed_cheap;
+        println!(
+            "{},{offered_total:.1},{},{},{},{},{},{},{},{:.3},{:.3}",
+            policy.label(),
+            summary.completed,
+            summary.rejected,
+            summary.shed_cheap,
+            summary.shed_expensive,
+            summary.downgraded_snapshot,
+            summary.admitted_cheap,
+            summary.snapshot_cutover,
+            summary.p50.as_secs_f64() * 1e3,
+            summary.p99.as_secs_f64() * 1e3,
+        );
+        let _ = wall;
+    }
+    assert_eq!(
+        cheap_shed[1], 0,
+        "cost-aware admission shed a cheap exact-hit query"
+    );
+    println!(
+        "# costaware_p99_over_fifo={:.3} (lower is better; costaware_shed_cheap={})",
+        secs(p99[1]) / secs(p99[0]).max(1e-9),
+        cheap_shed[1]
+    );
+}

@@ -32,6 +32,8 @@ pub struct CycleRecord {
     pub refinements: u64,
     /// Attempts aborted on latched pieces.
     pub busy: u64,
+    /// Stale snapshot pieces refreshed in the background this cycle.
+    pub snapshot_refreshes: u64,
 }
 
 /// Handle to the running holistic indexing thread.
@@ -172,6 +174,7 @@ fn daemon_loop(
             worker_time_total: reports.iter().map(|r| r.duration).sum(),
             refinements: reports.iter().map(|r| r.refinements).sum(),
             busy: reports.iter().map(|r| r.busy).sum(),
+            snapshot_refreshes: reports.iter().map(|r| r.snapshot_refreshes).sum(),
         };
         total_refinements.fetch_add(record.refinements, Ordering::Relaxed);
         cycles.lock().push(record);

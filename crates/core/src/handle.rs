@@ -42,6 +42,17 @@ pub trait RefinableIndex: Send + Sync {
     /// One refinement at a random pivot; tries up to `attempts` pivots when
     /// pieces are latched. Also merges pending updates for the target piece.
     fn refine_random(&self, rng: &mut dyn RngCore, attempts: usize) -> RefineResult;
+    /// Republishes the index's plan-time statistics if stale (the holistic
+    /// daemon forces this once per worker activation, so `holix-planner`
+    /// summaries never lag an idle period). Default: no planner surface.
+    fn publish_plan_stats(&self) {}
+    /// Background snapshot maintenance: refresh one stale snapshot piece
+    /// to live granularity so the first reader stops paying the copy
+    /// (snapshot follow-up (b)). Returns `true` when a piece was
+    /// refreshed. Default: no snapshot surface.
+    fn refresh_snapshot(&self) -> bool {
+        false
+    }
 }
 
 /// [`RefinableIndex`] adapter around a [`CrackerColumn`].
@@ -109,6 +120,14 @@ impl<V: CrackValue> RefinableIndex for CrackerHandle<V> {
             RefineOutcome::AlreadyBound => RefineResult::AlreadyBound,
             RefineOutcome::Busy => RefineResult::Busy,
         }
+    }
+
+    fn publish_plan_stats(&self) {
+        self.col.maybe_publish_stats(1);
+    }
+
+    fn refresh_snapshot(&self) -> bool {
+        self.col.refresh_stale_snapshot()
     }
 }
 

@@ -446,6 +446,14 @@ impl IndexSpace {
             .sum()
     }
 
+    /// Test-only: parks the caller on the maintenance weight-heap mutex so
+    /// lock-freedom tests can assert that plan-time reads (the planner's
+    /// `estimate()`) complete while the daemon's maintenance side is busy.
+    #[doc(hidden)]
+    pub fn hold_maintenance_lock_for_test(&self) -> MaintenanceLockGuard<'_> {
+        MaintenanceLockGuard(self.heap.lock())
+    }
+
     /// Ids of all live indices.
     pub fn live_ids(&self) -> Vec<IndexId> {
         let entries = self.entries.read();
@@ -457,6 +465,11 @@ impl IndexSpace {
             .collect()
     }
 }
+
+/// Held maintenance weight-heap mutex (see
+/// [`IndexSpace::hold_maintenance_lock_for_test`]); releases on drop.
+#[doc(hidden)]
+pub struct MaintenanceLockGuard<'a>(#[allow(dead_code)] parking_lot::MutexGuard<'a, WeightHeap>);
 
 /// `rand`'s `choose` needs `Rng: Sized`; wrap the dynamic RNG.
 fn rng_compat<'a>(rng: &'a mut dyn RngCore) -> impl rand::Rng + 'a {

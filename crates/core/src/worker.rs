@@ -20,6 +20,9 @@ pub struct WorkerReport {
     pub busy: u64,
     /// Pivots that already were boundaries.
     pub already_bound: u64,
+    /// Stale snapshot pieces refreshed to live granularity in the
+    /// background (snapshot follow-up (b)).
+    pub snapshot_refreshes: u64,
     /// Wall time spent in the IdleFunction.
     pub duration: Duration,
     /// Whether an index was available to work on.
@@ -55,6 +58,13 @@ pub fn idle_function(
             break;
         }
     }
+    // End-of-activation maintenance: refresh one stale snapshot piece (so
+    // the first unlucky reader stops paying the copy) and republish the
+    // plan-time statistics the refinements invalidated.
+    if handle.refresh_snapshot() {
+        report.snapshot_refreshes += 1;
+    }
+    handle.publish_plan_stats();
     report.duration = start.elapsed();
     report
 }
@@ -118,6 +128,40 @@ mod tests {
         // Once optimal, nothing remains pickable.
         let r = idle_function(&space, 16, 8, &mut rng);
         assert!(!r.picked);
+    }
+
+    #[test]
+    fn idle_function_refreshes_stale_snapshots() {
+        // A coarse published snapshot over a column the workers keep
+        // cracking finer: end-of-activation maintenance must refresh the
+        // snapshot's piece table in the background, so the first reader
+        // stops paying the copy.
+        let space = IndexSpace::new(HolisticConfig::default());
+        let base: Vec<i64> = (0..100_000i64).rev().collect();
+        let col = std::sync::Arc::new(CrackerColumn::from_base("a", &base));
+        let mut scratch = holix_cracking::CrackScratch::new();
+        col.snapshot_scan(
+            holix_storage::select::Predicate::range(0, 100_000),
+            &mut scratch,
+        );
+        let coarse = col.snapshot_piece_count();
+        space.register_actual(Arc::new(CrackerHandle::new(Arc::clone(&col))));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut refreshes = 0;
+        for _ in 0..50 {
+            let r = idle_function(&space, 8, 8, &mut rng);
+            refreshes += r.snapshot_refreshes;
+            if !r.picked {
+                break;
+            }
+        }
+        assert!(refreshes > 0, "workers never refreshed the snapshot");
+        assert!(
+            col.snapshot_piece_count() > coarse,
+            "snapshot piece table did not chase the refinements \
+             ({} vs coarse {coarse})",
+            col.snapshot_piece_count()
+        );
     }
 
     #[test]

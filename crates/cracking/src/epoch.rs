@@ -163,6 +163,92 @@ impl Drop for EpochGuard<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Generic epoch-published cell
+// ---------------------------------------------------------------------------
+
+/// A lock-free publish/load cell for an arbitrary immutable value: an atomic
+/// pointer to the current `Arc<T>` plus a private [`EpochDomain`] reclaiming
+/// replaced versions. Unlike [`SnapshotCell`] (whose loads are linearised
+/// under the column's pending mutex), this cell is self-contained: `load`
+/// pins an epoch, clones the `Arc` out while pinned, and unpins — so readers
+/// and the single/multiple publishers need no external lock at all. The
+/// plan-time [`crate::piece_stats::PieceStats`] summaries are published
+/// through it: `estimate()` must complete while a shard's structure write
+/// lock and the daemon's maintenance mutex are both held.
+pub struct EpochCell<T> {
+    ptr: AtomicPtr<T>,
+    epochs: EpochDomain,
+}
+
+impl<T: Send + Sync + 'static> Default for EpochCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Sync + 'static> EpochCell<T> {
+    /// Empty cell: nothing published yet.
+    pub fn new() -> Self {
+        EpochCell {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+            epochs: EpochDomain::new(),
+        }
+    }
+
+    /// Has a value ever been published?
+    pub fn is_published(&self) -> bool {
+        !self.ptr.load(SeqCst).is_null()
+    }
+
+    /// Clones the current value's `Arc` out of the cell (no locks; one epoch
+    /// pin for the duration of the refcount bump).
+    pub fn load(&self) -> Option<Arc<T>> {
+        let _guard = self.epochs.pin();
+        let p = self.ptr.load(SeqCst);
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: non-null pointers originate from `Arc::into_raw` in
+        // `publish`; a replaced pointer is retired into `epochs` and freed
+        // only after every epoch pinned at retirement drops — the pin above
+        // precedes this load, so the pointee (and its refcount word) is
+        // alive for the `increment_strong_count` below.
+        unsafe {
+            Arc::increment_strong_count(p);
+            Some(Arc::from_raw(p))
+        }
+    }
+
+    /// Publishes a new value, retiring the replaced one into the epoch
+    /// domain. Concurrent publishers are safe (atomic swap); last wins.
+    pub fn publish(&self, new: Arc<T>) {
+        let raw = Arc::into_raw(new) as *mut T;
+        let old = self.ptr.swap(raw, SeqCst);
+        if !old.is_null() {
+            // SAFETY: `old` came from `Arc::into_raw` in a previous publish.
+            let old = unsafe { Arc::from_raw(old) };
+            self.epochs.retire(Box::new(old));
+        }
+    }
+
+    /// Runs a reclamation cycle (tests / quiesce).
+    pub fn collect(&self) -> usize {
+        self.epochs.collect()
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        let p = self.ptr.load(SeqCst);
+        if !p.is_null() {
+            // SAFETY: pointer originates from `Arc::into_raw`; the cell is
+            // being dropped, so no reader can be pinned on it.
+            drop(unsafe { Arc::from_raw(p) });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Segments and piece snapshots
 // ---------------------------------------------------------------------------
 

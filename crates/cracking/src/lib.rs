@@ -25,7 +25,10 @@
 //! - [`epoch`] — per-shard snapshot epochs: immutable piece-table
 //!   snapshots published copy-on-write at piece granularity and reclaimed
 //!   with epoch-based GC, so count/sum/collect scans run without the
-//!   structure lock while cracks and Ripple merges race.
+//!   structure lock while cracks and Ripple merges race,
+//! - [`piece_stats`] — plan-time piece statistics: a lock-free
+//!   [`PieceStats`] summary (boundary table, pending backlog, snapshot
+//!   piece sizes) each column publishes for `holix-planner`'s cost model.
 
 pub mod avl;
 pub mod column;
@@ -33,6 +36,7 @@ pub mod crack;
 pub mod epoch;
 pub mod index;
 pub mod latch;
+pub mod piece_stats;
 pub mod range_cell;
 pub mod sharding;
 pub mod stochastic;
@@ -41,8 +45,9 @@ pub mod vectorized;
 
 pub use column::{CrackerColumn, PartitionFn, RefineOutcome, Selection};
 pub use crack::CrackKernel;
-pub use epoch::{EpochDomain, EpochGuard, PieceSnapshot, SnapshotScan};
+pub use epoch::{EpochCell, EpochDomain, EpochGuard, PieceSnapshot, SnapshotScan};
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
+pub use piece_stats::PieceStats;
 pub use sharding::{ShardPlan, ShardedColumn};
 pub use vectorized::CrackScratch;

@@ -1,0 +1,219 @@
+//! Plan-time piece statistics — the cracker index *as a statistic*.
+//!
+//! Hippo and ByteStore (PAPERS.md) show that cheap, maintained summaries —
+//! partial-index page summaries, per-column layout costs — are enough to
+//! pick the fast access path online. The cracker index already *is* that
+//! statistic: piece boundaries and sizes describe exactly how much work a
+//! predicate will cause. This module packages a column's piece table into
+//! an immutable [`PieceStats`] snapshot that `holix-planner` prices
+//! queries against **without any lock**: the column publishes a fresh
+//! summary through an [`crate::epoch::EpochCell`] whenever its structure
+//! version has drifted (amortised on the query path, forced once per
+//! daemon cycle), and plan-time `estimate()` merely clones the `Arc` out.
+//!
+//! The boundary table is capped at [`MAX_STATS_BOUNDS`] entries by stride
+//! sampling: positions are kept, so a "piece" seen through a sampled
+//! summary is the union of up to `stride` live pieces — every size the
+//! planner reads is a conservative **over**-estimate of the work, never an
+//! under-estimate.
+
+use holix_storage::types::CrackValue;
+
+/// Boundary entries kept per published summary. Beyond this, the boundary
+/// list is stride-sampled (sizes become conservative over-estimates).
+pub const MAX_STATS_BOUNDS: usize = 1 << 12;
+
+/// One shard's published plan-time summary. All fields describe the column
+/// at publish time; staleness is bounded by the publish triggers (see
+/// [`crate::CrackerColumn::maybe_publish_stats`]).
+#[derive(Debug, Clone)]
+pub struct PieceStats<V> {
+    /// Merged tuples in the shard (excludes pending inserts).
+    pub len: usize,
+    /// Live piece count at publish time (pre-sampling — the real `p`).
+    pub piece_count: usize,
+    /// Sorted `(boundary key, position)` pairs, possibly stride-sampled.
+    pub bounds: Vec<(V, usize)>,
+    /// Pending-merge backlog (queued Ripple inserts + deletes).
+    pub pending: usize,
+    /// Published snapshot's piece table as `(hi_key, len)` pairs (`None`
+    /// when no snapshot is published): the snapshot-staleness statistic.
+    pub snap_pieces: Option<Vec<(Option<V>, usize)>>,
+}
+
+impl<V: CrackValue> PieceStats<V> {
+    /// The edge work a bound `v` causes on the locked path: `(piece_len,
+    /// exact)` where `piece_len` is the size of the (possibly sampled)
+    /// piece containing `v` — the values a crack would partition — and
+    /// `exact` is `true` when `v` already is a boundary (zero crack work,
+    /// the paper's `f_Ih` hit). Sentinels are always exact.
+    pub fn edge(&self, v: V) -> (usize, bool) {
+        if v == V::MIN_VALUE || v == V::MAX_VALUE {
+            return (0, true);
+        }
+        let i = self.bounds.partition_point(|&(k, _)| k <= v);
+        if i > 0 && self.bounds[i - 1].0 == v {
+            return (0, true);
+        }
+        let start = if i == 0 { 0 } else { self.bounds[i - 1].1 };
+        let end = if i < self.bounds.len() {
+            self.bounds[i].1
+        } else {
+            self.len
+        };
+        (end.saturating_sub(start), false)
+    }
+
+    /// Conservative estimate of rows in `[lo, hi)`: the positional span
+    /// between the pieces bracketing the bounds (includes the full edge
+    /// pieces, so it over-estimates by at most the two edge sizes).
+    pub fn range_rows(&self, lo: V, hi: V) -> u64 {
+        if lo >= hi && hi != V::MAX_VALUE && lo != V::MIN_VALUE {
+            return 0;
+        }
+        let start = if lo == V::MIN_VALUE {
+            0
+        } else {
+            let i = self.bounds.partition_point(|&(k, _)| k <= lo);
+            if i == 0 {
+                0
+            } else {
+                self.bounds[i - 1].1
+            }
+        };
+        let end = if hi == V::MAX_VALUE {
+            self.len
+        } else {
+            let j = self.bounds.partition_point(|&(k, _)| k < hi);
+            if j < self.bounds.len() {
+                self.bounds[j].1
+            } else {
+                self.len
+            }
+        };
+        end.saturating_sub(start) as u64
+    }
+
+    /// The edge-filter work a snapshot scan of `[lo, hi)` would pay: the
+    /// summed sizes of the snapshot pieces containing the two bounds
+    /// (interior pieces answer O(1) from their aggregates). `None` when no
+    /// snapshot is published — the first reader would pay the O(N) build.
+    pub fn snapshot_edge_filter(&self, lo: V, hi: V) -> Option<usize> {
+        let pieces = self.snap_pieces.as_ref()?;
+        let mut cost = 0usize;
+        for v in [lo, hi] {
+            if v == V::MIN_VALUE || v == V::MAX_VALUE {
+                continue; // sentinel: the edge piece is fully covered
+            }
+            let i = pieces.partition_point(|&(k, _)| k.is_some_and(|k| k <= v));
+            // Exact snapshot boundary: no filtering on this edge.
+            if i > 0 && pieces[i - 1].0 == Some(v) {
+                continue;
+            }
+            if let Some(&(_, len)) = pieces.get(i) {
+                cost += len;
+            }
+        }
+        Some(cost)
+    }
+
+    /// Snapshot staleness: live pieces per snapshot piece (1.0 = fresh,
+    /// large = the snapshot piece table lags the live index). `None` when
+    /// no snapshot is published.
+    pub fn snapshot_staleness(&self) -> Option<f64> {
+        let pieces = self.snap_pieces.as_ref()?;
+        Some(self.piece_count as f64 / pieces.len().max(1) as f64)
+    }
+}
+
+/// Builds the published summary from a raw boundary table, stride-sampling
+/// past the cap (crate-internal: `CrackerColumn::publish_stats` calls it
+/// under the index read lock).
+pub(crate) fn build_stats<V: CrackValue>(
+    len: usize,
+    bounds: Vec<(V, usize)>,
+    pending: usize,
+    snap_pieces: Option<Vec<(Option<V>, usize)>>,
+) -> PieceStats<V> {
+    let piece_count = bounds.len() + 1;
+    let bounds = if bounds.len() > MAX_STATS_BOUNDS {
+        let stride = bounds.len().div_ceil(MAX_STATS_BOUNDS);
+        bounds.into_iter().step_by(stride).collect()
+    } else {
+        bounds
+    };
+    PieceStats {
+        len,
+        piece_count,
+        bounds,
+        pending,
+        snap_pieces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(
+        len: usize,
+        bounds: Vec<(i64, usize)>,
+        snap: Option<Vec<(Option<i64>, usize)>>,
+    ) -> PieceStats<i64> {
+        build_stats(len, bounds, 0, snap)
+    }
+
+    #[test]
+    fn edge_sizes_and_exact_hits() {
+        // Pieces: [min,10)@[0,25), [10,20)@[25,60), [20,max)@[60,100).
+        let s = stats(100, vec![(10, 25), (20, 60)], None);
+        assert_eq!(s.piece_count, 3);
+        assert_eq!(s.edge(5), (25, false));
+        assert_eq!(s.edge(10), (0, true));
+        assert_eq!(s.edge(15), (35, false));
+        assert_eq!(s.edge(20), (0, true));
+        assert_eq!(s.edge(25), (40, false));
+        assert_eq!(s.edge(i64::MIN), (0, true));
+        assert_eq!(s.edge(i64::MAX), (0, true));
+    }
+
+    #[test]
+    fn range_rows_spans_bracketing_pieces() {
+        let s = stats(100, vec![(10, 25), (20, 60)], None);
+        assert_eq!(s.range_rows(10, 20), 35); // exact piece
+        assert_eq!(s.range_rows(5, 15), 60); // both edges included
+        assert_eq!(s.range_rows(i64::MIN, i64::MAX), 100);
+        assert_eq!(s.range_rows(12, 12), 0);
+        assert_eq!(s.range_rows(25, i64::MAX), 40);
+    }
+
+    #[test]
+    fn snapshot_edge_filter_counts_only_edge_pieces() {
+        let snap = vec![(Some(10), 30), (Some(20), 40), (None, 30)];
+        let s = stats(100, vec![(10, 30), (20, 70)], Some(snap));
+        // Exact snapshot boundaries: no filtering.
+        assert_eq!(s.snapshot_edge_filter(10, 20), Some(0));
+        // Interior bounds: both edge pieces filtered.
+        assert_eq!(s.snapshot_edge_filter(5, 15), Some(70));
+        // Sentinels cover their edge.
+        assert_eq!(s.snapshot_edge_filter(i64::MIN, 15), Some(40));
+        assert_eq!(stats(100, vec![], None).snapshot_edge_filter(0, 1), None);
+    }
+
+    #[test]
+    fn sampling_keeps_sizes_conservative() {
+        let n = 3 * MAX_STATS_BOUNDS;
+        let bounds: Vec<(i64, usize)> = (1..=n).map(|i| (i as i64, i)).collect();
+        let s = stats(n + 1, bounds, None);
+        assert_eq!(s.piece_count, n + 1);
+        assert!(s.bounds.len() <= MAX_STATS_BOUNDS);
+        // Key 3 (live piece size 1) is dropped by the stride-3 sample: the
+        // sampled "piece" containing it spans the whole stride — a
+        // conservative over-estimate, never an under-estimate.
+        assert!(!s.bounds.iter().any(|&(k, _)| k == 3), "stride kept key 3");
+        let (size, exact) = s.edge(3);
+        assert!(!exact);
+        assert!(size >= 1, "sampled sizes must never under-estimate");
+        assert!(s.snapshot_staleness().is_none());
+    }
+}

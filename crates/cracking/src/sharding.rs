@@ -42,6 +42,18 @@ impl<V: CrackValue> ShardPlan<V> {
         ShardPlan { cuts: Vec::new() }
     }
 
+    /// Plan with explicit interior cut values (must be strictly
+    /// increasing). Tests and external planners construct known layouts
+    /// through this; production plans come from
+    /// [`ShardPlan::from_values`].
+    pub fn from_cuts(cuts: Vec<V>) -> Self {
+        assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]),
+            "shard cuts must be strictly increasing"
+        );
+        ShardPlan { cuts }
+    }
+
     /// Equi-depth plan with up to `shards` shards, from a sorted sample of
     /// `values`. Duplicate quantiles collapse (a domain with fewer distinct
     /// values than shards yields fewer shards), so the cuts are always

@@ -1,5 +1,6 @@
 //! The engine interface shared by all five indexing approaches.
 
+use holix_planner::PlanCost;
 use holix_workloads::QuerySpec;
 use std::sync::Arc;
 
@@ -118,6 +119,31 @@ pub trait QueryEngine: Send + Sync {
     fn execute_collect_snapshot(&self, q: &QuerySpec) -> SnapshotCollect {
         let _ = q;
         SnapshotCollect::Unsupported
+    }
+
+    /// Plan-time cost of `q` from the engine's published piece statistics
+    /// (see `holix-planner`): crack work, scan work, pending-merge debt
+    /// and snapshot freshness, folded over every shard the predicate
+    /// intersects. **Must not take any structure or maintenance lock, and
+    /// must not materialise cracker columns** — admission control calls
+    /// this on every submission, including for attributes no query has
+    /// touched yet. `None` when the engine keeps no plan statistics
+    /// (callers fall back to cost-blind behaviour).
+    fn estimate_cost(&self, q: &QuerySpec) -> Option<PlanCost> {
+        let _ = q;
+        None
+    }
+
+    /// Cuts a shard-spanning range into per-shard sub-queries whose
+    /// half-open ranges partition `[q.lo, q.hi)` exactly, each confined to
+    /// one [`QueryEngine::routing_key`] — the service layer routes every
+    /// part to its pinned worker and folds the counts under one merge
+    /// ticket. Stable across index eviction (derives from the immutable
+    /// shard plan, like `routing_key`). `None` when the range lies within
+    /// a single shard or the engine is unsharded.
+    fn decompose(&self, q: &QuerySpec) -> Option<Vec<QuerySpec>> {
+        let _ = q;
+        None
     }
 }
 

@@ -25,6 +25,7 @@ use holix_core::index_space::{IndexId, IndexSpace, Membership};
 use holix_core::{CpuMonitor, CycleRecord, HolisticConfig, HolisticDaemon};
 use holix_cracking::{CrackScratch, CrackerColumn, ShardPlan, ShardedColumn};
 use holix_parallel::pvdc::parallel_partition_fn;
+use holix_planner::PlanCost;
 use holix_storage::select::{Predicate, RangeStats};
 use holix_workloads::QuerySpec;
 use parking_lot::RwLock;
@@ -279,12 +280,23 @@ impl HolisticEngine {
             .unwrap_or_default()
     }
 
-    /// Stops the daemon and returns all cycle records.
+    /// Stops the daemon and returns all cycle records. The daemon's final
+    /// duty is to leave every materialised shard's plan-time summary
+    /// fresh (it republished once per cycle while alive), so plan-priced
+    /// decisions stay accurate after the background refresher is gone.
     pub fn stop(&self) -> Vec<CycleRecord> {
-        match self.daemon.lock().take() {
-            Some(d) => d.stop(),
-            None => Vec::new(),
+        let Some(daemon) = self.daemon.lock().take() else {
+            return Vec::new();
+        };
+        let records = daemon.stop();
+        for slot in &self.cols {
+            if let Some(slot) = slot.read().as_ref() {
+                for k in 0..slot.col.shard_count() {
+                    slot.col.shard(k).maybe_publish_stats(1);
+                }
+            }
         }
+        records
     }
 
     /// Queues an insertion of `v` for base row `row` on `attr`; it lands in
@@ -331,6 +343,12 @@ impl HolisticEngine {
                 merge(out);
             }
         });
+        // Keep the planner's summaries loosely fresh: a cheap version
+        // check per touched shard, the O(p) republish only every ~32
+        // structural changes (the daemon forces the remainder each cycle).
+        for k in first..=last {
+            col.shard(k).maybe_publish_stats(32);
+        }
     }
 }
 
@@ -382,6 +400,48 @@ impl QueryEngine for HolisticEngine {
         // latches for the dominant traffic. The stride is uniform across
         // attributes so keys of different attributes never collide.
         q.attr as u64 * self.routing_stride + self.plans[q.attr].shard_of(q.lo) as u64
+    }
+
+    fn estimate_cost(&self, q: &QuerySpec) -> Option<PlanCost> {
+        let pred = Predicate::range(q.lo, q.hi);
+        // Read-only peek at the attribute slot: a cold attribute must NOT
+        // be materialised here (admission control prices queries before
+        // anything commits to paying the O(N) column copy) — its price is
+        // exactly that copy-and-crack.
+        let guard = self.cols[q.attr].read();
+        let Some(slot) = guard.as_ref().filter(|s| self.slot_live(s)) else {
+            return Some(PlanCost::cold(self.data.rows()));
+        };
+        let col = &slot.col;
+        let plan = col.plan();
+        let Some((first, last)) = plan.shard_range(pred.lo, pred.hi) else {
+            // Empty predicate: free.
+            return Some(PlanCost {
+                exact_hit: true,
+                ..PlanCost::default()
+            });
+        };
+        let mut cost = PlanCost::default();
+        for k in first..=last {
+            // `piece_stats` is a lock-free Arc load out of the shard's
+            // epoch-published cell; `estimate` is a pure function of it —
+            // no structure lock, no index lock, no maintenance lock.
+            let shard_cost = match col.shard(k).piece_stats() {
+                Some(stats) => holix_planner::estimate(&stats, plan.clamp(k, pred)),
+                // Columns publish at build, so this is unreachable in
+                // practice — and `data.rows()` keeps even the fallback free
+                // of index locks.
+                None => PlanCost::cold(self.data.rows()),
+            };
+            cost.merge(shard_cost);
+        }
+        Some(cost)
+    }
+
+    fn decompose(&self, q: &QuerySpec) -> Option<Vec<QuerySpec>> {
+        // Derives from the immutable shard plan only (like routing_key):
+        // stable across eviction and never materialises a column.
+        holix_planner::decompose_spanning(&self.plans[q.attr], q)
     }
 
     fn execute_snapshot(&self, q: &QuerySpec) -> Option<(u64, i128)> {
@@ -704,6 +764,107 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, again);
+        e.stop();
+    }
+
+    #[test]
+    fn decompose_parts_partition_and_sum_to_the_whole() {
+        let e = sharded_engine(2, 60_000, 4);
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..40 {
+            let attr = rng.random_range(0..2);
+            let a = rng.random_range(0..1_000_000);
+            let b = rng.random_range(0..1_000_000);
+            let q = QuerySpec {
+                attr,
+                lo: a.min(b),
+                hi: a.max(b).max(a.min(b) + 1),
+            };
+            let oracle = scan_stats(e.data.column(attr), Predicate::range(q.lo, q.hi));
+            match e.decompose(&q) {
+                Some(parts) => {
+                    assert!(parts.len() >= 2);
+                    assert_eq!(parts[0].lo, q.lo);
+                    assert_eq!(parts.last().unwrap().hi, q.hi);
+                    for w in parts.windows(2) {
+                        assert_eq!(w[0].hi, w[1].lo, "parts must partition the range");
+                    }
+                    // Every part confined to one routing key; keys ascend.
+                    let keys: Vec<u64> = parts.iter().map(|p| e.routing_key(p)).collect();
+                    let mut uniq = keys.clone();
+                    uniq.dedup();
+                    assert_eq!(uniq.len(), keys.len(), "parts share a routing key");
+                    let sum: u64 = parts.iter().map(|p| e.execute(p)).sum();
+                    assert_eq!(sum, oracle.count, "{q:?} decomposed {parts:?}");
+                }
+                None => {
+                    // Single-shard range: nothing to decompose.
+                    let (first, last) = e.plans[q.attr].shard_range(q.lo, q.hi).unwrap();
+                    assert_eq!(first, last, "spanning {q:?} was not decomposed");
+                }
+            }
+            assert_eq!(e.execute(&q), oracle.count);
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn estimate_cost_prices_hits_and_cold_attrs_without_building() {
+        let e = sharded_engine(2, 50_000, 4);
+        let q = QuerySpec {
+            attr: 1,
+            lo: 200_000,
+            hi: 700_000,
+        };
+        // Cold attribute: expensive, and the estimate must NOT have
+        // materialised the cracker column (no registry slot appears).
+        let cold = e.estimate_cost(&q).unwrap();
+        assert!(cold.crack_values >= 50_000);
+        let (a, p, o, d) = e.space().membership_counts();
+        assert_eq!(a + p + o + d, 0, "estimate_cost materialised a column");
+        // Warm it, then the same predicate is an exact hit (every cracked
+        // bound republished into the stats by the post-query publish).
+        e.execute(&q);
+        for k in 0..4 {
+            e.sharded(1).0.shard(k).publish_stats();
+        }
+        let warm = e.estimate_cost(&q).unwrap();
+        assert!(warm.exact_hit, "repeat predicate should price as exact hit");
+        assert_eq!(warm.crack_values, 0);
+        assert!(warm.shards_touched >= 2, "spanning estimate folds shards");
+        assert!(cold.crack_values > warm.crack_values);
+        e.stop();
+    }
+
+    #[test]
+    fn estimate_cost_takes_no_structure_or_maintenance_lock() {
+        // The acceptance bar: plan-time estimates complete while BOTH the
+        // daemon's weight-heap mutex and a shard's structure write lock
+        // are held by another thread.
+        let e = Arc::new(sharded_engine(1, 40_000, 4));
+        let q = QuerySpec {
+            attr: 0,
+            lo: 0,
+            hi: 1_000_000,
+        };
+        e.execute(&q); // build + publish stats
+        let (col, _) = e.sharded(0);
+        let _structure = col.shard(1).hold_structure_write_for_test();
+        let _heap = e.space().hold_maintenance_lock_for_test();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let probe = Arc::clone(&e);
+        std::thread::spawn(move || {
+            // Touches every shard, including the write-locked one.
+            let cost = probe.estimate_cost(&q);
+            let _ = tx.send(cost);
+        });
+        let cost = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("estimate_cost blocked on a structure/maintenance lock")
+            .expect("holistic engine keeps plan statistics");
+        assert_eq!(cost.shards_touched, 4);
+        drop(_structure);
+        drop(_heap);
         e.stop();
     }
 

@@ -1,0 +1,288 @@
+//! The crack-aware cost model: price a predicate against a shard's
+//! published [`PieceStats`] without touching any lock.
+//!
+//! The unit of cost is *one value touched element-wise*. The locked path
+//! pays the edge pieces it must partition (two cracks, or zero on an exact
+//! hit) plus a Ripple-merge term for the pending backlog its select would
+//! drain; the snapshot path pays the snapshot's edge-piece filter (interior
+//! pieces answer O(1) from precomputed aggregates) and can never crack.
+//! These are the same quantities the paper's §4 statistics track per index
+//! (`f_Ih` exact hits, piece sizes feeding `d(I, I_opt)`) — read at plan
+//! time instead of maintenance time.
+
+use holix_cracking::PieceStats;
+use holix_storage::select::Predicate;
+use holix_storage::types::CrackValue;
+
+/// Cost-model constants. One merged pending update moves a boundary element
+/// per downstream piece (Ripple), so it is weighted well above a scanned
+/// value; the fixed snapshot term covers the epoch pin + overlay fold.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Touched-value equivalents charged per pending update the locked
+    /// path may merge before answering.
+    pub merge_weight: u64,
+    /// Fixed touched-value equivalents per snapshot read (pin + overlay).
+    pub snapshot_fixed: u64,
+    /// Touched-value budget below which a query is *cheap* — never worth
+    /// shedding (an exact hit, or edge pieces already near-optimal).
+    pub cheap_budget: u64,
+    /// Snapshot edge-filter budget above which a downgrade-to-snapshot
+    /// stops paying (the inline filter would itself be the overload).
+    pub downgrade_budget: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            merge_weight: 8,
+            snapshot_fixed: 64,
+            cheap_budget: 1 << 12,
+            downgrade_budget: 1 << 15,
+        }
+    }
+}
+
+/// Plan-time price of one query, merged over every shard its predicate
+/// intersects. All numbers are conservative touched-value estimates derived
+/// from (possibly sampled) published statistics — over-estimates, never
+/// under-estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCost {
+    /// Values the locked path would partition: the sizes of the edge
+    /// pieces each non-exact bound falls into.
+    pub crack_values: u64,
+    /// Conservative qualifying-row estimate (positional span between the
+    /// bracketing pieces) — sizes collects and decomposition decisions.
+    pub scan_rows: u64,
+    /// Pending Ripple updates the locked path may merge first.
+    pub merge_backlog: u64,
+    /// Values a snapshot read would filter in its edge pieces; `None`
+    /// when some touched shard has no published snapshot (the first
+    /// reader would pay an O(shard) build).
+    pub snapshot_filter: Option<u64>,
+    /// Every bound was already a piece boundary in every touched shard
+    /// (the paper's `f_Ih` exact hit — zero crack work).
+    pub exact_hit: bool,
+    /// Shards the predicate fans out to.
+    pub shards_touched: u32,
+}
+
+impl PlanCost {
+    /// A cost for a shard (or whole attribute) with no published
+    /// statistics: a cold column of `len` rows — everything is expensive,
+    /// nothing is known about snapshots.
+    pub fn cold(len: usize) -> Self {
+        PlanCost {
+            crack_values: len as u64,
+            scan_rows: len as u64,
+            merge_backlog: 0,
+            snapshot_filter: None,
+            exact_hit: false,
+            shards_touched: 1,
+        }
+    }
+
+    /// Folds another shard's cost into this one (fan-out merge).
+    pub fn merge(&mut self, other: PlanCost) {
+        if self.shards_touched == 0 {
+            *self = other;
+            return;
+        }
+        self.crack_values += other.crack_values;
+        self.scan_rows += other.scan_rows;
+        self.merge_backlog += other.merge_backlog;
+        self.snapshot_filter = match (self.snapshot_filter, other.snapshot_filter) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        self.exact_hit &= other.exact_hit;
+        self.shards_touched += other.shards_touched;
+    }
+
+    /// Touched-value cost of answering through the locked crack path.
+    pub fn locked_cost(&self, model: &CostModel) -> u64 {
+        self.crack_values + self.merge_backlog * model.merge_weight
+    }
+
+    /// Touched-value cost of answering through the snapshot path (`None`
+    /// when a touched shard has never published a snapshot).
+    pub fn snapshot_cost(&self, model: &CostModel) -> Option<u64> {
+        self.snapshot_filter
+            .map(|f| f + model.snapshot_fixed * self.shards_touched as u64)
+    }
+
+    /// The route the model prefers for a read-only query: snapshot exactly
+    /// when its edge pieces are fresh enough to beat the locked crack
+    /// (strict `<`, so a fresh exact hit keeps the locked path and its
+    /// `f_Ih` statistics).
+    pub fn preferred_route(&self, model: &CostModel) -> Route {
+        match self.snapshot_cost(model) {
+            Some(snap) if snap < self.locked_cost(model) => Route::Snapshot,
+            _ => Route::Locked,
+        }
+    }
+
+    /// Admission price class (see [`QueryPrice`]).
+    pub fn price(&self, model: &CostModel) -> QueryPrice {
+        if self.exact_hit || self.locked_cost(model) <= model.cheap_budget {
+            QueryPrice::Cheap
+        } else {
+            QueryPrice::Expensive
+        }
+    }
+
+    /// Under overload, can this query be served inline from the snapshot
+    /// path instead of being shed? Requires a published snapshot whose
+    /// edge filter both beats the locked cost and fits the downgrade
+    /// budget (an unbounded inline filter would itself be the overload).
+    pub fn downgradable(&self, model: &CostModel) -> bool {
+        match self.snapshot_cost(model) {
+            Some(snap) => snap < self.locked_cost(model) && snap <= model.downgrade_budget,
+            None => false,
+        }
+    }
+}
+
+/// Access path chosen by the cost cutover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Query-driven cracking under the structure lock (refines the index).
+    Locked,
+    /// Lock-free epoch-pinned snapshot read (never cracks).
+    Snapshot,
+}
+
+/// Admission price class of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPrice {
+    /// Exact hit or near-optimal edges: admission must never shed it.
+    Cheap,
+    /// A cold or wide crack: sheddable (or downgradable to the snapshot
+    /// path) under overload.
+    Expensive,
+}
+
+/// Prices `pred` against one shard's published statistics. Pure function
+/// of the immutable summary — callable while every column lock is held by
+/// someone else.
+pub fn estimate<V: CrackValue>(stats: &PieceStats<V>, pred: Predicate<V>) -> PlanCost {
+    if pred.is_empty() {
+        return PlanCost {
+            exact_hit: true,
+            shards_touched: 1,
+            ..PlanCost::default()
+        };
+    }
+    let (lo_edge, lo_exact) = stats.edge(pred.lo);
+    let (hi_edge, hi_exact) = stats.edge(pred.hi);
+    PlanCost {
+        crack_values: (lo_edge + hi_edge) as u64,
+        scan_rows: stats.range_rows(pred.lo, pred.hi),
+        merge_backlog: stats.pending as u64,
+        snapshot_filter: stats
+            .snapshot_edge_filter(pred.lo, pred.hi)
+            .map(|f| f as u64),
+        exact_hit: lo_exact && hi_exact,
+        shards_touched: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holix_cracking::piece_stats::PieceStats;
+
+    fn stats(
+        len: usize,
+        bounds: Vec<(i64, usize)>,
+        pending: usize,
+        snap: Option<Vec<(Option<i64>, usize)>>,
+    ) -> PieceStats<i64> {
+        PieceStats {
+            len,
+            piece_count: bounds.len() + 1,
+            bounds,
+            pending,
+            snap_pieces: snap,
+        }
+    }
+
+    #[test]
+    fn exact_hits_are_cheap_and_stay_locked() {
+        let model = CostModel::default();
+        let s = stats(100_000, vec![(10, 25_000), (20, 60_000)], 0, None);
+        let c = estimate(&s, Predicate::range(10, 20));
+        assert!(c.exact_hit);
+        assert_eq!(c.crack_values, 0);
+        assert_eq!(c.locked_cost(&model), 0);
+        assert_eq!(c.price(&model), QueryPrice::Cheap);
+        assert_eq!(c.preferred_route(&model), Route::Locked);
+        assert_eq!(c.scan_rows, 35_000);
+    }
+
+    #[test]
+    fn cold_cracks_are_expensive() {
+        let model = CostModel::default();
+        let s = stats(1_000_000, vec![], 0, None);
+        let c = estimate(&s, Predicate::range(10, 20));
+        assert!(!c.exact_hit);
+        assert_eq!(c.crack_values, 2_000_000);
+        assert_eq!(c.price(&model), QueryPrice::Expensive);
+        assert!(
+            !c.downgradable(&model),
+            "no snapshot: nothing to downgrade to"
+        );
+    }
+
+    #[test]
+    fn fresh_snapshot_wins_the_cutover() {
+        let model = CostModel::default();
+        // Live index coarse around the bounds (big crack), snapshot fine
+        // (small filter): the cutover must pick the snapshot.
+        let s = stats(
+            100_000,
+            vec![(50, 50_000)],
+            0,
+            Some(vec![
+                (Some(10), 128),
+                (Some(20), 128),
+                (Some(50), 49_744),
+                (None, 50_000),
+            ]),
+        );
+        let c = estimate(&s, Predicate::range(10, 20));
+        assert_eq!(c.snapshot_filter, Some(0), "snapshot boundaries are exact");
+        assert_eq!(c.preferred_route(&model), Route::Snapshot);
+        assert!(c.price(&model) == QueryPrice::Expensive);
+        assert!(c.downgradable(&model));
+    }
+
+    #[test]
+    fn merge_folds_shards_conservatively() {
+        let model = CostModel::default();
+        let s1 = stats(1_000, vec![(10, 500)], 3, Some(vec![(None, 1_000)]));
+        let s2 = stats(2_000, vec![], 0, None);
+        let mut c = PlanCost::default();
+        c.merge(estimate(&s1, Predicate::at_least(20)));
+        assert!(c.snapshot_filter.is_some());
+        c.merge(estimate(&s2, Predicate::less_than(30)));
+        assert_eq!(c.shards_touched, 2);
+        assert_eq!(c.merge_backlog, 3);
+        assert!(
+            c.snapshot_cost(&model).is_none(),
+            "one snapshot-less shard poisons the snapshot route"
+        );
+        assert_eq!(c.preferred_route(&model), Route::Locked);
+    }
+
+    #[test]
+    fn pending_backlog_prices_the_locked_path() {
+        let model = CostModel::default();
+        let s = stats(100_000, vec![(10, 25_000), (20, 60_000)], 1_000, None);
+        let c = estimate(&s, Predicate::range(10, 20));
+        assert!(c.exact_hit, "bounds still exact");
+        assert_eq!(c.locked_cost(&model), 1_000 * model.merge_weight);
+        assert_eq!(c.price(&model), QueryPrice::Cheap, "exact hits stay cheap");
+    }
+}

@@ -64,6 +64,7 @@ pub fn run_clients_with(
             },
             contexts_per_worker: 1,
             affinity: false,
+            ..ServiceConfig::default()
         },
     );
     let t0 = Instant::now();

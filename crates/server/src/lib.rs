@@ -32,8 +32,9 @@ pub mod session;
 pub mod stats;
 
 pub use batcher::Scheduling;
-pub use dispatcher::{QueryService, ServiceConfig, Session};
+pub use dispatcher::{DecomposePolicy, QueryService, ServiceConfig, Session};
 pub use harness::{run_clients, run_clients_with, ClientReport};
+pub use holix_planner::CostModel;
 pub use queue::{AdmissionPolicy, BoundedQueue, SubmitError};
 pub use session::{QueryResult, SessionRegistry, Ticket};
-pub use stats::{percentile, ServiceStats, StatsSummary};
+pub use stats::{percentile, PlanDecision, ServiceStats, StatsSummary};

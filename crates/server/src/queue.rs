@@ -17,8 +17,27 @@ pub enum AdmissionPolicy {
     #[default]
     Block,
     /// Fail the submission immediately with [`SubmitError::Rejected`]
-    /// (open-loop load shedding).
+    /// (open-loop load shedding) — FIFO shedding: whatever arrives while
+    /// the queue is full is turned away, however cheap.
     Reject,
+    /// Price-aware shedding, implemented in the session layer (the queue
+    /// itself behaves like [`AdmissionPolicy::Reject`]): a full queue
+    /// sheds *expensive* queries first — cheap exact-hits are admitted
+    /// into a bounded overflow reserve or executed inline (never shed),
+    /// and expensive queries whose snapshot estimate is fresh enough are
+    /// downgraded to an inline lock-free snapshot read instead of shed.
+    CostAware,
+}
+
+impl AdmissionPolicy {
+    /// CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::CostAware => "cost_aware",
+        }
+    }
 }
 
 /// Why a submission was not accepted.
@@ -74,7 +93,10 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Submits one item under the admission policy.
+    /// Submits one item under the admission policy. (`CostAware` degrades
+    /// to `Reject` here — the price-aware part lives in the session layer,
+    /// which retries through [`BoundedQueue::push_with_slack`] or serves
+    /// the query inline.)
     pub fn push(&self, item: T) -> Result<(), SubmitError> {
         let mut inner = self.lock();
         loop {
@@ -87,12 +109,45 @@ impl<T> BoundedQueue<T> {
                 return Ok(());
             }
             match self.policy {
-                AdmissionPolicy::Reject => return Err(SubmitError::Rejected),
+                AdmissionPolicy::Reject | AdmissionPolicy::CostAware => {
+                    return Err(SubmitError::Rejected)
+                }
                 AdmissionPolicy::Block => {
                     inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
+    }
+
+    /// Non-blocking submission regardless of policy: rejects on a full
+    /// queue, handing the item back so the caller can price it.
+    pub fn try_push(&self, item: T) -> Result<(), (T, SubmitError)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((item, SubmitError::Closed));
+        }
+        if inner.items.len() < self.capacity {
+            inner.items.push_back(item);
+            self.not_empty.notify_one();
+            return Ok(());
+        }
+        Err((item, SubmitError::Rejected))
+    }
+
+    /// Admits past the nominal capacity into a bounded overflow reserve of
+    /// `slack` extra slots — the "cheap queries are never shed" lane of
+    /// cost-aware admission. Rejects only when even the reserve is full.
+    pub fn push_with_slack(&self, item: T, slack: usize) -> Result<(), (T, SubmitError)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((item, SubmitError::Closed));
+        }
+        if inner.items.len() < self.capacity + slack {
+            inner.items.push_back(item);
+            self.not_empty.notify_one();
+            return Ok(());
+        }
+        Err((item, SubmitError::Rejected))
     }
 
     /// Blocks until at least one item is available, then takes up to `max`
@@ -171,6 +226,35 @@ mod tests {
         assert_eq!(q.push(3), Err(SubmitError::Rejected));
         q.drain_up_to(1);
         q.push(3).unwrap();
+    }
+
+    #[test]
+    fn try_push_and_slack_reserve() {
+        // Even a Block-policy queue rejects via try_push (no deadlock for
+        // price probes) and admits cheap overflow via the slack reserve.
+        let q = BoundedQueue::new(2, AdmissionPolicy::Block);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, e) = q.try_push(3).unwrap_err();
+        assert_eq!((item, e), (3, SubmitError::Rejected));
+        q.push_with_slack(3, 1).unwrap();
+        assert_eq!(q.len(), 3, "overflow reserve admitted past capacity");
+        let (item, e) = q.push_with_slack(4, 1).unwrap_err();
+        assert_eq!((item, e), (4, SubmitError::Rejected));
+        q.close();
+        assert!(matches!(q.try_push(5), Err((5, SubmitError::Closed))));
+        assert!(matches!(
+            q.push_with_slack(5, 9),
+            Err((5, SubmitError::Closed))
+        ));
+        assert_eq!(q.drain_up_to(8), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn cost_aware_policy_rejects_at_the_queue_itself() {
+        let q = BoundedQueue::new(1, AdmissionPolicy::CostAware);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(SubmitError::Rejected));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Monotonic id of a client session.
 pub type SessionId = u64;
@@ -135,6 +135,60 @@ impl Ticket {
     }
 }
 
+/// Fan-in completion for a decomposed spanning query: every per-shard
+/// sub-query folds its count in; the last one completes the parent ticket
+/// with the summed count, the parent's end-to-end latency (submission of
+/// the whole query to last part's completion) and the summed engine
+/// service time.
+#[derive(Debug)]
+pub(crate) struct MergeState {
+    ticket: Ticket,
+    remaining: AtomicUsize,
+    count: AtomicU64,
+    service_ns: AtomicU64,
+    enqueued: Instant,
+}
+
+impl MergeState {
+    /// A merge over `parts` sub-queries; returns the parent ticket the
+    /// client waits on.
+    pub(crate) fn new(parts: usize) -> (Arc<MergeState>, Ticket) {
+        let ticket = Ticket::new();
+        (
+            Arc::new(MergeState {
+                ticket: ticket.clone(),
+                remaining: AtomicUsize::new(parts.max(1)),
+                count: AtomicU64::new(0),
+                service_ns: AtomicU64::new(0),
+                enqueued: Instant::now(),
+            }),
+            ticket,
+        )
+    }
+
+    /// Folds one part's result in; when this was the last outstanding
+    /// part, completes the parent ticket and returns its end-to-end
+    /// latency (the caller records it as ONE completed query).
+    pub(crate) fn complete_part(&self, count: u64, service_time: Duration) -> Option<Duration> {
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.service_ns
+            .fetch_add(service_time.as_nanos() as u64, Ordering::Relaxed);
+        // AcqRel chain: the thread that takes `remaining` to zero observes
+        // every earlier part's count/service additions.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let latency = self.enqueued.elapsed();
+            self.ticket.state.complete(QueryResult {
+                count: self.count.load(Ordering::Acquire),
+                latency,
+                service_time: Duration::from_nanos(self.service_ns.load(Ordering::Acquire)),
+            });
+            Some(latency)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +207,22 @@ mod tests {
         assert_eq!(reg.active(), 2);
         assert_eq!(reg.peak(), 2);
         assert_eq!(reg.total_opened(), 3);
+    }
+
+    #[test]
+    fn merge_state_fans_in_parts() {
+        let (state, ticket) = MergeState::new(3);
+        assert_eq!(ticket.try_result(), None);
+        assert!(state.complete_part(5, Duration::from_millis(1)).is_none());
+        assert!(state.complete_part(7, Duration::from_millis(2)).is_none());
+        assert_eq!(ticket.try_result(), None, "parent waits for the last part");
+        let latency = state
+            .complete_part(1, Duration::from_millis(3))
+            .expect("last part completes the parent");
+        let r = ticket.wait();
+        assert_eq!(r.count, 13, "counts fold across parts");
+        assert_eq!(r.latency, latency);
+        assert_eq!(r.service_time, Duration::from_millis(6));
     }
 
     #[test]

@@ -3,7 +3,17 @@
 //! The dispatcher records one end-to-end latency sample (enqueue →
 //! completion) per query plus counters for admission decisions and engine
 //! executions; [`StatsSummary`] condenses them into the sustained-QPS and
-//! tail-latency numbers the `fig17_service` harness prints.
+//! tail-latency numbers the service harnesses print.
+//!
+//! ## Per-window reporting
+//!
+//! Harnesses interleave measured repetitions across service beds, so a
+//! summary must cover *one rep window*, not the service's lifetime —
+//! cumulative containment/snapshot counters would make later reps look
+//! better than earlier ones. [`ServiceStats::reset_window`] snapshots every
+//! counter as the new baseline and clears the latency reservoir;
+//! [`ServiceStats::summary`] reports counters relative to that baseline.
+//! Lifetime totals stay available through the individual accessors.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -14,23 +24,71 @@ use std::time::Duration;
 /// history so a long-lived service's memory stays bounded.
 const MAX_SAMPLES: usize = 1 << 16;
 
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// One full set of service counters (live values or a window
+        /// baseline).
+        #[derive(Debug, Default)]
+        struct Counters {
+            $($(#[$doc])* $name: AtomicU64,)*
+        }
+
+        impl Counters {
+            /// Copies every live value into `base` (starts a new window).
+            fn store_into(&self, base: &Counters) {
+                $(base.$name.store(self.$name.load(Ordering::Relaxed), Ordering::Relaxed);)*
+            }
+        }
+    };
+}
+
+counters! {
+    submitted,
+    completed,
+    rejected,
+    /// Engine executions performed. Crack-aware batching coalesces
+    /// duplicate predicates inside a batch, so this can be below
+    /// `completed`.
+    executed,
+    /// Queries answered by post-filtering a batched superset's values
+    /// (containment coalescing) — strict subsets only.
+    containment,
+    /// Containment runs served through the engine's lock-free snapshot
+    /// collect path instead of the shard-locking collect.
+    snapshot_runs,
+    /// Whole read-only queries the dispatcher routed through
+    /// `execute_snapshot` because the cost model's snapshot/locked
+    /// cutover said the snapshot's edge pieces beat the locked crack.
+    snapshot_cutover,
+    /// Spanning queries cut into per-shard sub-queries (each counts once,
+    /// however many parts it produced).
+    decomposed,
+    /// Per-shard sub-queries produced by decomposition.
+    decomposed_parts,
+    /// Decomposed parts a full queue pushed back onto the submitting
+    /// client (inline execution — decomposition's backpressure).
+    decomp_inline,
+    /// Cheap (exact-hit / near-optimal) queries admitted past a full
+    /// queue — the "never shed" guarantee, via overflow slack or inline
+    /// execution.
+    admitted_cheap,
+    /// Expensive queries served inline from the lock-free snapshot path
+    /// instead of being shed (cost-based admission's downgrade).
+    downgraded_snapshot,
+    /// Rejections whose query priced Expensive at shed time.
+    shed_expensive,
+    /// Rejections whose query priced Cheap at shed time. Cost-aware
+    /// admission keeps this at zero by construction; FIFO shedding does
+    /// not.
+    shed_cheap,
+}
+
 /// Shared counters + latency samples for one service instance.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    /// Engine executions performed. Crack-aware batching coalesces duplicate
-    /// predicates inside a batch, so this can be below `completed`.
-    executed: AtomicU64,
-    /// Queries answered by post-filtering a batched superset's values
-    /// (containment coalescing) — strict subsets only; exact duplicates are
-    /// visible as `completed − executed` instead.
-    containment: AtomicU64,
-    /// Containment runs served through the engine's lock-free snapshot
-    /// collect path (an epoch ticket per touched shard) instead of the
-    /// shard-locking collect.
-    snapshot_runs: AtomicU64,
+    live: Counters,
+    /// Live values at the last [`ServiceStats::reset_window`].
+    window: Counters,
     latencies: Mutex<Reservoir>,
 }
 
@@ -65,6 +123,25 @@ impl Reservoir {
     }
 }
 
+/// The outcome classes of one plan-priced admission or routing decision
+/// (traced per outcome into [`ServiceStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDecision {
+    /// A cheap query admitted past a full queue (overflow slack or
+    /// inline execution) — never shed.
+    CheapAdmitted,
+    /// An expensive query served inline from the snapshot path instead of
+    /// being shed.
+    DowngradedSnapshot,
+    /// An expensive query shed under overload.
+    ShedExpensive,
+    /// A cheap query shed (cost-blind policies only).
+    ShedCheap,
+    /// A whole read-only query routed through `execute_snapshot` by the
+    /// cost cutover.
+    SnapshotCutover,
+}
+
 impl ServiceStats {
     /// Fresh, all-zero statistics.
     pub fn new() -> Self {
@@ -73,73 +150,104 @@ impl ServiceStats {
 
     /// Records a query accepted into the queue.
     pub fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.live.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a query turned away by admission control.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.live.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one engine execution (which may answer several queries).
     pub fn record_executed(&self) {
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.live.executed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a query answered by post-filtering a superset's result.
     pub fn record_containment(&self) {
-        self.containment.fetch_add(1, Ordering::Relaxed);
+        self.live.containment.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Containment-coalesced queries so far.
+    /// Containment-coalesced queries over the service lifetime.
     pub fn containment(&self) -> u64 {
-        self.containment.load(Ordering::Relaxed)
+        self.live.containment.load(Ordering::Relaxed)
     }
 
     /// Records a containment run answered from a snapshot (lock-free) read.
     pub fn record_snapshot_run(&self) {
-        self.snapshot_runs.fetch_add(1, Ordering::Relaxed);
+        self.live.snapshot_runs.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot-served containment runs so far.
+    /// Snapshot-served containment runs over the service lifetime.
     pub fn snapshot_runs(&self) -> u64 {
-        self.snapshot_runs.load(Ordering::Relaxed)
+        self.live.snapshot_runs.load(Ordering::Relaxed)
     }
 
-    /// Starts a fresh percentile window: clears the latency reservoir (the
-    /// monotonic counters keep running). Harnesses call this after a
-    /// cold-start warmup so the reported percentiles cover steady state.
-    pub fn reset_latencies(&self) {
+    /// Records a spanning query cut into `parts` per-shard sub-queries.
+    pub fn record_decomposed(&self, parts: usize) {
+        self.live.decomposed.fetch_add(1, Ordering::Relaxed);
+        self.live
+            .decomposed_parts
+            .fetch_add(parts as u64, Ordering::Relaxed);
+    }
+
+    /// Records a decomposed part executed inline on the submitting client.
+    pub fn record_decomp_inline(&self) {
+        self.live.decomp_inline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one plan-priced decision outcome.
+    pub fn record_decision(&self, decision: PlanDecision) {
+        let counter = match decision {
+            PlanDecision::CheapAdmitted => &self.live.admitted_cheap,
+            PlanDecision::DowngradedSnapshot => &self.live.downgraded_snapshot,
+            PlanDecision::ShedExpensive => &self.live.shed_expensive,
+            PlanDecision::ShedCheap => &self.live.shed_cheap,
+            PlanDecision::SnapshotCutover => &self.live.snapshot_cutover,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a fresh measurement window: every counter's current value
+    /// becomes the new baseline and the latency reservoir clears, so the
+    /// next [`ServiceStats::summary`] covers only what happened after this
+    /// call. Harnesses call it per interleaved rep (and after warmup) so
+    /// per-bed comparisons are never cumulative.
+    pub fn reset_window(&self) {
+        self.live.store_into(&self.window);
         let mut r = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
         r.samples.clear();
         r.seen = 0;
+        r.rng = 0;
     }
 
     /// Records a completed query with its enqueue-to-completion latency.
     pub fn record_completed(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.live.completed.fetch_add(1, Ordering::Relaxed);
         self.latencies
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(latency);
     }
 
-    /// Queries accepted so far.
+    /// Queries accepted over the service lifetime.
     pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
+        self.live.submitted.load(Ordering::Relaxed)
     }
 
-    /// Queries rejected so far.
+    /// Queries rejected over the service lifetime.
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.live.rejected.load(Ordering::Relaxed)
     }
 
-    /// Queries completed so far.
+    /// Queries completed over the service lifetime.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.live.completed.load(Ordering::Relaxed)
     }
 
-    /// Summarises everything recorded so far over `wall` elapsed time.
+    /// Summarises the current window (since the last
+    /// [`ServiceStats::reset_window`], or service start) over `wall`
+    /// elapsed time.
     pub fn summary(&self, wall: Duration) -> StatsSummary {
         let mut lat = self
             .latencies
@@ -148,14 +256,29 @@ impl ServiceStats {
             .samples
             .clone();
         lat.sort_unstable();
-        let completed = self.completed.load(Ordering::Relaxed);
+        let windowed = |live: &AtomicU64, base: &AtomicU64| {
+            live.load(Ordering::Relaxed)
+                .saturating_sub(base.load(Ordering::Relaxed))
+        };
+        let completed = windowed(&self.live.completed, &self.window.completed);
         StatsSummary {
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted: windowed(&self.live.submitted, &self.window.submitted),
             completed,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            containment: self.containment.load(Ordering::Relaxed),
-            snapshot_runs: self.snapshot_runs.load(Ordering::Relaxed),
+            rejected: windowed(&self.live.rejected, &self.window.rejected),
+            executed: windowed(&self.live.executed, &self.window.executed),
+            containment: windowed(&self.live.containment, &self.window.containment),
+            snapshot_runs: windowed(&self.live.snapshot_runs, &self.window.snapshot_runs),
+            snapshot_cutover: windowed(&self.live.snapshot_cutover, &self.window.snapshot_cutover),
+            decomposed: windowed(&self.live.decomposed, &self.window.decomposed),
+            decomposed_parts: windowed(&self.live.decomposed_parts, &self.window.decomposed_parts),
+            decomp_inline: windowed(&self.live.decomp_inline, &self.window.decomp_inline),
+            admitted_cheap: windowed(&self.live.admitted_cheap, &self.window.admitted_cheap),
+            downgraded_snapshot: windowed(
+                &self.live.downgraded_snapshot,
+                &self.window.downgraded_snapshot,
+            ),
+            shed_expensive: windowed(&self.live.shed_expensive, &self.window.shed_expensive),
+            shed_cheap: windowed(&self.live.shed_cheap, &self.window.shed_cheap),
             wall,
             qps: if wall.is_zero() {
                 0.0
@@ -170,7 +293,7 @@ impl ServiceStats {
     }
 }
 
-/// Condensed service metrics (one row of the Fig 17 service CSV).
+/// Condensed service metrics for one measurement window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsSummary {
     /// Queries accepted into the queue.
@@ -186,6 +309,24 @@ pub struct StatsSummary {
     /// Containment runs whose superset was materialised through the
     /// engine's lock-free snapshot read path.
     pub snapshot_runs: u64,
+    /// Whole read-only queries routed through `execute_snapshot` by the
+    /// cost model's snapshot/locked cutover.
+    pub snapshot_cutover: u64,
+    /// Spanning queries cut into per-shard sub-queries.
+    pub decomposed: u64,
+    /// Per-shard sub-queries produced by decomposition.
+    pub decomposed_parts: u64,
+    /// Decomposed parts executed inline on the submitting client.
+    pub decomp_inline: u64,
+    /// Cheap queries admitted past a full queue (never shed).
+    pub admitted_cheap: u64,
+    /// Expensive queries downgraded to an inline snapshot read.
+    pub downgraded_snapshot: u64,
+    /// Rejections priced Expensive at shed time.
+    pub shed_expensive: u64,
+    /// Rejections priced Cheap at shed time (zero under cost-aware
+    /// admission).
+    pub shed_cheap: u64,
     /// Wall time the summary covers.
     pub wall: Duration,
     /// Sustained completions per second over `wall`.
@@ -257,6 +398,58 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.qps, 0.0);
         assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn window_reset_rebases_every_counter() {
+        let stats = ServiceStats::new();
+        stats.record_submitted();
+        stats.record_executed();
+        stats.record_completed(ms(3));
+        stats.record_containment();
+        stats.record_snapshot_run();
+        stats.record_decomposed(4);
+        stats.record_decomp_inline();
+        stats.record_decision(PlanDecision::CheapAdmitted);
+        stats.record_decision(PlanDecision::DowngradedSnapshot);
+        stats.record_decision(PlanDecision::ShedExpensive);
+        stats.record_decision(PlanDecision::ShedCheap);
+        stats.record_decision(PlanDecision::SnapshotCutover);
+        let s = stats.summary(Duration::from_secs(1));
+        assert_eq!(
+            (
+                s.containment,
+                s.snapshot_runs,
+                s.decomposed,
+                s.decomposed_parts
+            ),
+            (1, 1, 1, 4)
+        );
+        assert_eq!((s.admitted_cheap, s.downgraded_snapshot), (1, 1));
+        assert_eq!(
+            (s.shed_expensive, s.shed_cheap, s.snapshot_cutover),
+            (1, 1, 1)
+        );
+
+        // Rep boundary: the next window starts at zero for EVERY counter
+        // (and the reservoir), while lifetime accessors keep the totals.
+        stats.reset_window();
+        let s = stats.summary(Duration::from_secs(1));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.containment, 0);
+        assert_eq!(s.snapshot_runs, 0);
+        assert_eq!(s.decomposed, 0);
+        assert_eq!(s.admitted_cheap, 0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(stats.completed(), 1, "lifetime totals survive the reset");
+        assert_eq!(stats.containment(), 1);
+
+        // Work in the new window counts from the fresh baseline.
+        stats.record_completed(ms(7));
+        stats.record_containment();
+        let s = stats.summary(Duration::from_secs(1));
+        assert_eq!((s.completed, s.containment), (1, 1));
+        assert_eq!(s.p50, ms(7));
     }
 
     #[test]

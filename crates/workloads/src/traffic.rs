@@ -68,6 +68,20 @@ pub enum ClientFocus {
         /// Probability of an exact repeat of the canonical window.
         exact_prob: f64,
     },
+    /// The planner harness's serving mix: [`ClientFocus::HotRegions`]
+    /// traffic (cheap narrow repeats + jittered variants) interleaved
+    /// with *wide spanning scans* — with probability `wide_prob` a query
+    /// covers at least half the domain at a fresh random offset, so it
+    /// crosses every shard plan's cuts (exercising decomposition) and its
+    /// cold bounds price Expensive (exercising cost-based shedding).
+    SpanningMix {
+        /// Number of distinct hot regions in the fleet-wide set.
+        regions: usize,
+        /// Probability of an exact repeat of a region's canonical window.
+        exact_prob: f64,
+        /// Probability that a query is a wide spanning scan instead.
+        wide_prob: f64,
+    },
 }
 
 /// One entry of a client's stream.
@@ -135,7 +149,9 @@ impl TrafficSpec {
     pub fn hot_windows(&self) -> Vec<QuerySpec> {
         let n = match self.focus {
             ClientFocus::HotWindows { windows } => windows,
-            ClientFocus::HotRegions { regions, .. } => regions,
+            ClientFocus::HotRegions { regions, .. } | ClientFocus::SpanningMix { regions, .. } => {
+                regions
+            }
             _ => return Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9077_F00D);
@@ -167,7 +183,9 @@ impl TrafficSpec {
         let harmonic = |n: usize| -> f64 { (1..=n.max(1)).map(|k| 1.0 / k as f64).sum() };
         let hot_h = match self.focus {
             ClientFocus::HotWindows { windows } => harmonic(windows),
-            ClientFocus::HotRegions { regions, .. } => harmonic(regions),
+            ClientFocus::HotRegions { regions, .. } | ClientFocus::SpanningMix { regions, .. } => {
+                harmonic(regions)
+            }
             _ => 0.0,
         };
         let domain = self.domain.max(2);
@@ -205,25 +223,25 @@ impl TrafficSpec {
                     ClientFocus::HotRegions {
                         regions,
                         exact_prob,
+                    } => region_query(&mut rng, &hot, client, regions, exact_prob, hot_h, domain),
+                    ClientFocus::SpanningMix {
+                        regions,
+                        exact_prob,
+                        wide_prob,
                     } => {
-                        let n = regions.max(1);
-                        let rank = zipf_rank(&mut rng, n, hot_h);
-                        let canonical = hot[(rank + client) % n];
-                        if rng.random_range(0.0..1.0) < exact_prob {
-                            canonical
-                        } else {
-                            // Jitter both bounds inside a region spanning a
-                            // few window widths around the canonical window.
-                            let span = (canonical.hi - canonical.lo).max(1);
-                            let base = (canonical.lo - span).max(0);
-                            let ceil = (canonical.hi + span).min(domain);
-                            let lo = rng.random_range(base..ceil.max(base + 1));
-                            let hi = rng.random_range(lo..ceil.max(lo + 1)).max(lo + 1);
+                        if rng.random_range(0.0..1.0) < wide_prob {
+                            // Wide spanning scan: at least half the domain
+                            // at a fresh random offset — crosses every
+                            // shard plan's cuts and never repeats exactly.
+                            let width = domain / 2 + rng.random_range(0..(domain / 4).max(1));
+                            let lo = rng.random_range(0..(domain - width).max(1));
                             QuerySpec {
-                                attr: canonical.attr,
+                                attr: rng.random_range(0..self.n_attrs.max(1)),
                                 lo,
-                                hi,
+                                hi: (lo + width).min(domain),
                             }
+                        } else {
+                            region_query(&mut rng, &hot, client, regions, exact_prob, hot_h, domain)
                         }
                     }
                 };
@@ -256,6 +274,38 @@ impl TrafficSpec {
         (0..self.clients)
             .flat_map(|c| self.client_stream(c).into_iter().map(|t| t.spec))
             .collect()
+    }
+}
+
+/// One [`ClientFocus::HotRegions`]-style draw: a Zipf-ranked region,
+/// repeated exactly with probability `exact_prob`, otherwise jittered
+/// inside a region spanning a few window widths around the canonical
+/// window.
+fn region_query(
+    rng: &mut StdRng,
+    hot: &[QuerySpec],
+    client: usize,
+    regions: usize,
+    exact_prob: f64,
+    h: f64,
+    domain: i64,
+) -> QuerySpec {
+    let n = regions.max(1);
+    let rank = zipf_rank(rng, n, h);
+    let canonical = hot[(rank + client) % n];
+    if rng.random_range(0.0..1.0) < exact_prob {
+        canonical
+    } else {
+        let span = (canonical.hi - canonical.lo).max(1);
+        let base = (canonical.lo - span).max(0);
+        let ceil = (canonical.hi + span).min(domain);
+        let lo = rng.random_range(base..ceil.max(base + 1));
+        let hi = rng.random_range(lo..ceil.max(lo + 1)).max(lo + 1);
+        QuerySpec {
+            attr: canonical.attr,
+            lo,
+            hi,
+        }
     }
 }
 
@@ -395,6 +445,45 @@ mod tests {
                 t.spec
             );
         }
+    }
+
+    #[test]
+    fn spanning_mix_interleaves_wide_scans_with_hot_regions() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::SpanningMix {
+                regions: 8,
+                exact_prob: 0.6,
+                wide_prob: 0.25,
+            },
+        );
+        let stream = s.client_stream(0);
+        let wide: Vec<_> = stream
+            .iter()
+            .filter(|t| t.spec.hi - t.spec.lo >= s.domain / 2)
+            .collect();
+        // ~a quarter wide scans (loose band over 200 draws).
+        assert!(
+            (20..=90).contains(&wide.len()),
+            "wide scans: {}",
+            wide.len()
+        );
+        // Wide scans are fresh (distinct offsets), valid, and at least
+        // half-domain — guaranteed to cross any equi-depth shard plan.
+        let mut lows: Vec<i64> = wide.iter().map(|t| t.spec.lo).collect();
+        lows.sort_unstable();
+        lows.dedup();
+        assert!(lows.len() > wide.len() / 2, "wide scans repeat too much");
+        for t in &stream {
+            assert!(t.spec.lo < t.spec.hi);
+            assert!(t.spec.lo >= 0 && t.spec.hi <= s.domain);
+        }
+        // The narrow remainder still repeats hot windows (cheap traffic).
+        let hot = s.hot_windows();
+        let exact = stream.iter().filter(|t| hot.contains(&t.spec)).count();
+        assert!(exact > 40, "exact hot repeats: {exact}");
     }
 
     #[test]

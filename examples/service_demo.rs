@@ -11,7 +11,7 @@
 //! ```
 
 use holix::engine::{Dataset, HolisticEngine, HolisticEngineConfig, QueryEngine};
-use holix::server::{AdmissionPolicy, QueryService, Scheduling, ServiceConfig};
+use holix::server::{AdmissionPolicy, DecomposePolicy, QueryService, Scheduling, ServiceConfig};
 use holix::workloads::data::uniform_table;
 use holix::workloads::TrafficSpec;
 use std::sync::Arc;
@@ -53,6 +53,10 @@ fn main() {
             batch_max: 32,
             contexts_per_worker: 1,
             affinity: true,
+            // Decompose expensive shard-spanning ranges onto their pinned
+            // workers (merged under one ticket) when the plan prices them.
+            decompose: DecomposePolicy::CostBased,
+            ..ServiceConfig::default()
         },
     );
 

@@ -32,6 +32,7 @@
 //! | [`cracking`] | adaptive indexing: cracker columns/index, kernels, latches, Ripple updates, snapshot epochs |
 //! | [`parallel`] | multi-core cracking: PVDC, PVSDC, mP-CCGI |
 //! | [`core`] | **holistic indexing**: index space, strategies W1–W4, CPU monitors, daemon |
+//! | [`planner`] | crack-aware cost model: plan-time estimates, spanning decomposition, admission pricing |
 //! | [`engine`] | the five query engines + TPC-H plans |
 //! | [`server`] | the query service layer: sessions, admission control, crack-aware scheduling |
 //! | [`workloads`] | data/query/traffic generators incl. synthetic SkyServer and TPC-H |
@@ -40,6 +41,7 @@ pub use holix_core as core;
 pub use holix_cracking as cracking;
 pub use holix_engine as engine;
 pub use holix_parallel as parallel;
+pub use holix_planner as planner;
 pub use holix_server as server;
 pub use holix_storage as storage;
 pub use holix_workloads as workloads;
