@@ -1,0 +1,221 @@
+//! fig_filters — per-shard point-membership filters under point-heavy
+//! traffic.
+//!
+//! Two experiments:
+//!
+//! **A. Zero-crack screening at the column layer** — a `HOLIX_SHARDS`-shard
+//! cracked column over an even-keys-only base. Every odd probe is provably
+//! absent, so a correct membership filter must answer it without touching
+//! the cracker index at all. The harness builds each shard's filter once,
+//! fires `HOLIX_QUERIES * 16` absent probes, and **asserts in-harness**
+//! that the piece count did not move (zero crack operations on
+//! filter-negative shards) and that the false-positive rate stays under
+//! the Bloom sizing bound. Present keys must all probe positive (a filter
+//! false negative would be an unsound empty answer).
+//!
+//! **B. Filtered vs unfiltered point-probe throughput under churn** — two
+//! holistic engines over the same base, one with `point_filters` on and
+//! one with it off, each driven by the point-heavy serving mix
+//! (`ClientFocus::PointHeavy`: `HOLIX_POINT_PROB` equality probes on
+//! `HOLIX_POINTS` Zipf-ranked hot keys + hot-region ranges) while
+//! `HOLIX_UPDATERS` Ripple churn threads keep a pending backlog on
+//! attribute 0. Every answer is checked against a sorted-column oracle
+//! (band-checked on the churned attribute — churn inserts are bounded by
+//! its live window). The unfiltered bed pays a crack per cold probe; the
+//! filtered bed screens absent keys and leaves the structure alone.
+
+use holix_bench::{secs, BenchEnv};
+use holix_cracking::{ShardPlan, ShardedColumn};
+use holix_engine::api::{Dataset, QueryEngine};
+use holix_engine::{HolisticEngine, HolisticEngineConfig};
+use holix_workloads::data::uniform_table;
+use holix_workloads::traffic::{ArrivalProcess, ClientFocus};
+use holix_workloads::{QuerySpec, TrafficSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Binary-search count oracle over pre-sorted columns.
+fn oracle(sorted: &[Vec<i64>], q: &QuerySpec) -> u64 {
+    let col = &sorted[q.attr];
+    (col.partition_point(|&v| v < q.hi) - col.partition_point(|&v| v < q.lo)) as u64
+}
+
+/// xorshift64 step.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Live inserts each churn thread keeps outstanding (bounds the oracle
+/// band on the churned attribute; deletes only target own inserts, so
+/// counts never drop below the static oracle).
+const CHURN_WINDOW: usize = 256;
+
+/// Ripple churn on one attribute: queue inserts, delete own inserts past
+/// the window, and periodically run a narrow locked select so pending ops
+/// Ripple-merge into the shards — the regime where the filter's
+/// insert-time OR keeps screening sound.
+fn churn(engine: &HolisticEngine, attr: usize, domain: i64, stop: &AtomicBool, seed: u32) {
+    let mut state = 0x9E37_79B9u64 ^ seed as u64;
+    let mut live: std::collections::VecDeque<(i64, u32)> = std::collections::VecDeque::new();
+    let mut ops = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let v = (next(&mut state) % domain as u64) as i64;
+        let row = 3_000_000 + seed * 1_000_000 + ops as u32;
+        engine.queue_insert(attr, v, row);
+        live.push_back((v, row));
+        if live.len() > CHURN_WINDOW {
+            let (dv, dr) = live.pop_front().expect("non-empty");
+            engine.queue_delete(attr, dv, dr);
+        }
+        if ops.is_multiple_of(16) {
+            engine.execute(&QuerySpec {
+                attr,
+                lo: (v - 2_000).max(0),
+                hi: (v + 2_000).min(domain),
+            });
+        }
+        ops += 1;
+        std::thread::yield_now();
+    }
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "fig_filters: per-shard point filters — zero-crack screening + filtered point throughput",
+        "csv A: shards,probes,screened,false_positives,fpr,probe_ns; \
+         csv B: bed,probes,ranges,qps,total_pieces,speedup is printed as a # line",
+    );
+
+    // ---------------- Part A: zero-crack screening ----------------
+    // Even keys only: every odd probe is provably absent from the base.
+    let n = env.n;
+    let half_domain = (env.domain / 2).max(1);
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    let base: Vec<i64> = (0..n)
+        .map(|_| (next(&mut state) % half_domain as u64) as i64 * 2)
+        .collect();
+    let plan = ShardPlan::from_values(&base, env.shards);
+    let col = ShardedColumn::from_base_with_plan("fig_filters", &base, plan);
+    // Build every shard's filter once (each build scans its snapshot).
+    for k in 0..col.shard_count() {
+        col.shard(k).ensure_point_filter();
+    }
+    let pieces_before = col.piece_count();
+    let probes = (env.queries * 16).max(1024);
+    let mut screened = 0u64;
+    let mut false_pos = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..probes {
+        let v = (next(&mut state) % half_domain as u64) as i64 * 2 + 1; // odd → absent
+        match col.probe_point(v) {
+            Some(false) => screened += 1,
+            Some(true) => false_pos += 1, // Bloom false positive: rare, never wrong
+            None => panic!("filter not built on shard {}", col.plan().shard_of(v)),
+        }
+    }
+    let probe_ns = secs(t0.elapsed()) * 1e9 / probes as f64;
+    assert_eq!(
+        col.piece_count(),
+        pieces_before,
+        "a filter-negative probe cracked something"
+    );
+    let fpr = false_pos as f64 / probes as f64;
+    assert!(fpr < 0.05, "false-positive rate {fpr:.4} exceeds bound");
+    // Soundness: every present key must probe positive.
+    for &v in base.iter().step_by((n / 512).max(1)) {
+        assert_eq!(col.probe_point(v), Some(true), "false negative on {v}");
+    }
+    println!("shards,probes,screened,false_positives,fpr,probe_ns");
+    println!(
+        "{},{probes},{screened},{false_pos},{fpr:.5},{probe_ns:.1}",
+        env.shards
+    );
+
+    // ---------------- Part B: filtered vs unfiltered throughput ----------
+    let attrs = env.attrs.clamp(1, 3);
+    let data = Dataset::new(uniform_table(attrs, env.n, env.domain, 6203));
+    let sorted: Vec<Vec<i64>> = (0..attrs)
+        .map(|a| {
+            let mut c = data.column(a).to_vec();
+            c.sort_unstable();
+            c
+        })
+        .collect();
+    let traffic = TrafficSpec {
+        clients: env.clients.max(2),
+        queries_per_client: (env.queries * 4 / env.clients.max(2)).max(32),
+        n_attrs: attrs,
+        domain: env.domain,
+        arrival: ArrivalProcess::Closed {
+            think: Duration::ZERO,
+        },
+        focus: ClientFocus::PointHeavy {
+            points: env.points,
+            point_prob: env.point_prob,
+        },
+        window_denom: 100,
+        seed: env.n as u64 ^ 0xF117,
+    };
+    let workload = traffic.all_queries();
+    let n_probes = workload.iter().filter(|q| q.hi == q.lo + 1).count();
+    let churn_slack = (env.updaters as u64 * (CHURN_WINDOW as u64 + 1)).max(1024);
+    println!("bed,probes,ranges,qps,total_pieces");
+    let mut qps_by_bed = [0.0f64; 2];
+    for (i, (bed, filters_on)) in [("filtered", true), ("unfiltered", false)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut cfg = HolisticEngineConfig::split_half_sharded(env.threads, env.shards);
+        cfg.point_filters = filters_on;
+        cfg.holistic.monitor_interval = Duration::from_millis(2);
+        let eng = Arc::new(HolisticEngine::new(data.clone(), cfg));
+        // Warmup rep: cold cracks + filter builds; then daemons off.
+        for q in &workload {
+            eng.execute(q);
+        }
+        eng.stop();
+        let stop = AtomicBool::new(false);
+        let mut wall = Duration::ZERO;
+        std::thread::scope(|scope| {
+            for t in 0..env.updaters as u32 {
+                let eng = &eng;
+                let stop = &stop;
+                scope.spawn(move || churn(eng, 0, env.domain, stop, t));
+            }
+            for _ in 0..env.reps {
+                let t0 = Instant::now();
+                for q in &workload {
+                    let got = eng.execute(q);
+                    let base = oracle(&sorted, q);
+                    if q.attr == 0 {
+                        assert!(
+                            got >= base && got <= base + churn_slack,
+                            "churned answer {got} outside [{base}, {}] on {q:?}",
+                            base + churn_slack
+                        );
+                    } else {
+                        assert_eq!(got, base, "answer diverged from oracle on {q:?}");
+                    }
+                }
+                wall += t0.elapsed();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let qps = (env.reps * workload.len()) as f64 / secs(wall).max(1e-9);
+        qps_by_bed[i] = qps;
+        println!(
+            "{bed},{n_probes},{},{qps:.1},{}",
+            workload.len() - n_probes,
+            eng.total_pieces()
+        );
+    }
+    println!(
+        "# filtered_speedup={:.3} (filtered QPS / unfiltered QPS on the same point-heavy mix)",
+        qps_by_bed[0] / qps_by_bed[1].max(1e-9)
+    );
+}

@@ -16,6 +16,8 @@
 //! | `HOLIX_SHARDS` | horizontal shards per attribute (shard sweeps) | `4` |
 //! | `HOLIX_REPS` | measured repetitions (service harness; CI smoke uses 1) | `6` |
 //! | `HOLIX_UPDATERS` | Ripple updater threads (snapshot-interference harness sweeps this and 2×it) | `2` |
+//! | `HOLIX_POINTS` | distinct hot keys in the point-probe mix (filter harness) | `64` |
+//! | `HOLIX_POINT_PROB` | equality-probe fraction of the point-heavy mix | `0.8` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but
@@ -40,6 +42,8 @@ pub struct BenchEnv {
     pub shards: usize,
     pub reps: usize,
     pub updaters: usize,
+    pub points: usize,
+    pub point_prob: f64,
 }
 
 /// Resolves an integer knob; a set-but-unparsable value panics with the
@@ -99,6 +103,8 @@ impl BenchEnv {
             shards: env_usize("HOLIX_SHARDS", 4).max(1),
             reps: env_usize("HOLIX_REPS", 6).max(1),
             updaters: env_usize("HOLIX_UPDATERS", 2).max(1),
+            points: env_usize("HOLIX_POINTS", 64).max(1),
+            point_prob: env_f64("HOLIX_POINT_PROB", 0.8).clamp(0.0, 1.0),
         }
     }
 
@@ -106,7 +112,7 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={}",
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={} points={} point_prob={}",
             self.n,
             self.queries,
             self.attrs,
@@ -117,7 +123,9 @@ impl BenchEnv {
             self.clients,
             self.shards,
             self.reps,
-            self.updaters
+            self.updaters,
+            self.points,
+            self.point_prob
         );
         if !notes.is_empty() {
             println!("# {notes}");

@@ -43,6 +43,7 @@ use crate::crack::{crack_in_three, crack_in_two, CrackKernel};
 use crate::epoch::{
     EpochCell, EpochGuard, PieceSnapshot, Segment, SnapPiece, SnapshotCell, SnapshotScan,
 };
+use crate::filter::PointFilter;
 use crate::index::{BoundLookup, CrackerIndex};
 use crate::piece_stats::{build_stats, PieceStats};
 use crate::range_cell::RangeCell;
@@ -166,6 +167,12 @@ pub struct CrackerColumn<V> {
     /// Serialises publishers (never touched by stats *readers*): prevents
     /// a slow publisher from overwriting a newer summary last.
     stats_publish: Mutex<()>,
+    /// Lazily built point-membership filter (lock-free probes; `None` until
+    /// the first equality/IN query pays the build).
+    filter: EpochCell<PointFilter>,
+    /// Serialises filter builders so racing point probes don't each pay the
+    /// O(N) snapshot walk.
+    filter_build: Mutex<()>,
 }
 
 impl<V: CrackValue> CrackerColumn<V> {
@@ -304,6 +311,8 @@ impl<V: CrackValue> CrackerColumn<V> {
             stats_version: AtomicU64::new(1),
             stats_published: AtomicU64::new(0),
             stats_publish: Mutex::new(()),
+            filter: EpochCell::new(),
+            filter_build: Mutex::new(()),
         };
         // Cold columns still plan: publish the initial one-piece summary.
         col.publish_stats();
@@ -723,7 +732,17 @@ impl<V: CrackValue> CrackerColumn<V> {
             Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
         });
         drop(dom);
-        self.pending.lock().queue_insert(v, row);
+        {
+            let mut p = self.pending.lock();
+            p.queue_insert(v, row);
+            // Same critical section that the filter build's catch-up +
+            // publish runs in, so this insert lands in the filter exactly
+            // once: either the build's `for_each_unmerged` pass sees it
+            // queued, or the publish happened first and the OR below does.
+            if let Some(f) = self.filter.load() {
+                f.insert(v.as_i64());
+            }
+        }
         self.bump_stats();
     }
 
@@ -1032,6 +1051,84 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// versions were freed.
     pub fn snapshot_gc(&self) -> usize {
         self.snap.collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Point-membership filter (equality / IN fast path)
+    // ------------------------------------------------------------------
+
+    /// Has a point filter been built and published for this column?
+    pub fn point_filter_published(&self) -> bool {
+        self.filter.is_published()
+    }
+
+    /// The published point filter, if any (lock-free load).
+    pub fn point_filter(&self) -> Option<Arc<PointFilter>> {
+        self.filter.load()
+    }
+
+    /// Lock-free point-membership probe. `Some(false)` **proves** no tuple
+    /// with value `v` exists in this column — merged, pending, or queued
+    /// concurrently — so an equality probe can answer "empty" without
+    /// cracking anything. `Some(true)` means "maybe present" (Bloom false
+    /// positives included); `None` means no filter is built yet and the
+    /// caller must fall back (or pay [`CrackerColumn::ensure_point_filter`]).
+    pub fn probe_point(&self, v: V) -> Option<bool> {
+        Some(self.filter.load()?.contains(v.as_i64()))
+    }
+
+    /// Builds and publishes the point filter from the published snapshot's
+    /// piece table plus the unmerged pending inserts. No-op once published.
+    ///
+    /// Race-freedom: the build runs under `structure` *shared*, which
+    /// excludes Ripple merges — the only operation that moves values from
+    /// the pending queue into the column — so the snapshot walked here and
+    /// the pending queue drained below cannot trade values mid-build.
+    /// Cracks racing the build only permute values inside live pieces and
+    /// never touch the immutable snapshot segments. The pending catch-up
+    /// and the publish share one `pending` critical section, the same one
+    /// [`CrackerColumn::queue_insert`] ORs new values in under, so every
+    /// insert reaches the filter exactly once (deletes are deliberately
+    /// ignored: they only raise the false-positive rate, never unsoundness).
+    pub fn ensure_point_filter(&self) {
+        if self.filter.is_published() {
+            return;
+        }
+        let _build = self.filter_build.lock();
+        if self.filter.is_published() {
+            return; // lost the build race
+        }
+        self.ensure_snapshot();
+        let _shared = self.structure.read();
+        let guard = self.snap.epochs().pin();
+        let Some(snap) = self.snap.load(&guard) else {
+            return; // unreachable: ensure_snapshot just published
+        };
+        // Slack covers the pending backlog plus a churn allowance; the
+        // filter is never resized (rebuild policy is a ROADMAP follow-up).
+        let expected = snap.len() + self.pending.lock().len() + 1024;
+        let filter = Arc::new(PointFilter::with_capacity(expected));
+        for piece in snap.pieces() {
+            for &v in piece.values() {
+                filter.insert(v.as_i64());
+            }
+        }
+        let p = self.pending.lock();
+        p.for_each_unmerged(
+            |_| true,
+            |v, kind| {
+                if matches!(kind, UnmergedKind::Insert) {
+                    filter.insert(v.as_i64());
+                }
+            },
+        );
+        self.filter.publish(filter);
+    }
+
+    /// Runs one reclamation cycle on retired point filters (a filter is
+    /// only retired if a future rebuild republishes; harmless otherwise).
+    pub fn point_filter_gc(&self) -> usize {
+        self.filter.collect()
     }
 
     /// Builds and publishes the first snapshot (one-time O(N) copy at
@@ -1391,6 +1488,38 @@ impl<V: CrackValue> CrackerColumn<V> {
         };
         // SAFETY: exclusive structure lock — no live mutators.
         Some(unsafe { self.vals.read_range(start, end.max(start)) }.to_vec())
+    }
+
+    /// Atomically copies the *base-table row ids* currently in
+    /// `[pred.lo, pred.hi)`. Same boundary contract and locking as
+    /// [`CrackerColumn::collect_range`] (run `select` first; `None` when a
+    /// non-sentinel bound is not an exact boundary). Conjunction execution
+    /// collects the driver term's row ids here and probes the remaining
+    /// attributes positionally in the base table.
+    pub fn collect_row_ids(&self, pred: Predicate<V>) -> Option<Vec<RowId>> {
+        if pred.is_empty() {
+            return Some(Vec::new());
+        }
+        let _exclusive = self.structure.write();
+        let idx = self.index.read();
+        let start = if pred.lo == V::MIN_VALUE {
+            0
+        } else {
+            match idx.locate(pred.lo) {
+                BoundLookup::Exact(p) => p,
+                BoundLookup::Piece { .. } => return None,
+            }
+        };
+        let end = if pred.hi == V::MAX_VALUE {
+            idx.len()
+        } else {
+            match idx.locate(pred.hi) {
+                BoundLookup::Exact(p) => p,
+                BoundLookup::Piece { .. } => return None,
+            }
+        };
+        // SAFETY: exclusive structure lock — no live mutators.
+        Some(unsafe { self.rows.read_range(start, end.max(start)) }.to_vec())
     }
 
     /// Panics unless every cracking invariant holds. When `base` is given

@@ -444,7 +444,10 @@ impl<V: CrackValue> PieceSnapshot<V> {
     /// Visits every piece intersecting `[lo, hi)`; `covered` is `true` when
     /// the piece's whole value range qualifies.
     fn walk(&self, lo: V, hi: V, mut visit: impl FnMut(&SnapPiece<V>, bool)) {
-        if lo >= hi && hi != V::MAX_VALUE && lo != V::MIN_VALUE {
+        // Degenerate predicates are empty everywhere — including the
+        // sentinel-valued forms `[MIN, MIN)` / `[MAX, MAX)`, which the old
+        // sentinel-exception guard let through to visit edge pieces.
+        if lo >= hi {
             return;
         }
         // First piece that can contain values >= lo: the first whose

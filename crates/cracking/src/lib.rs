@@ -28,12 +28,17 @@
 //!   structure lock while cracks and Ripple merges race,
 //! - [`piece_stats`] — plan-time piece statistics: a lock-free
 //!   [`PieceStats`] summary (boundary table, pending backlog, snapshot
-//!   piece sizes) each column publishes for `holix-planner`'s cost model.
+//!   piece sizes) each column publishes for `holix-planner`'s cost model,
+//! - [`filter`] — per-shard point-membership Bloom filters: a lazily built
+//!   [`PointFilter`] published through the same epoch machinery as the
+//!   plan-time statistics, so equality/IN probes on non-containing shards
+//!   answer "empty" without cracking anything.
 
 pub mod avl;
 pub mod column;
 pub mod crack;
 pub mod epoch;
+pub mod filter;
 pub mod index;
 pub mod latch;
 pub mod piece_stats;
@@ -46,6 +51,7 @@ pub mod vectorized;
 pub use column::{CrackerColumn, PartitionFn, RefineOutcome, Selection};
 pub use crack::CrackKernel;
 pub use epoch::{EpochCell, EpochDomain, EpochGuard, PieceSnapshot, SnapshotScan};
+pub use filter::PointFilter;
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
 pub use piece_stats::PieceStats;

@@ -68,7 +68,11 @@ impl<V: CrackValue> PieceStats<V> {
     /// between the pieces bracketing the bounds (includes the full edge
     /// pieces, so it over-estimates by at most the two edge sizes).
     pub fn range_rows(&self, lo: V, hi: V) -> u64 {
-        if lo >= hi && hi != V::MAX_VALUE && lo != V::MIN_VALUE {
+        // Degenerate predicates (`lo >= hi`, sentinel-valued or not) are
+        // empty on every execution path, so the estimate must be exactly
+        // zero — `[MIN, MIN)` used to fall through and report the first
+        // piece's size.
+        if lo >= hi {
             return 0;
         }
         let start = if lo == V::MIN_VALUE {
@@ -185,6 +189,18 @@ mod tests {
         assert_eq!(s.range_rows(i64::MIN, i64::MAX), 100);
         assert_eq!(s.range_rows(12, 12), 0);
         assert_eq!(s.range_rows(25, i64::MAX), 40);
+    }
+
+    #[test]
+    fn degenerate_ranges_estimate_zero_rows() {
+        // Regression: the old guard excepted sentinel-valued bounds, so
+        // `[MIN, MIN)` — an empty predicate on every execution path —
+        // reported the first piece's size.
+        let s = stats(100, vec![(10, 25), (20, 60)], None);
+        assert_eq!(s.range_rows(i64::MIN, i64::MIN), 0);
+        assert_eq!(s.range_rows(i64::MAX, i64::MAX), 0);
+        assert_eq!(s.range_rows(15, 5), 0);
+        assert_eq!(s.range_rows(i64::MAX, i64::MIN), 0);
     }
 
     #[test]

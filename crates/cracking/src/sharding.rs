@@ -281,6 +281,22 @@ impl<V: CrackValue> ShardedColumn<V> {
         total
     }
 
+    /// Lock-free point-membership probe, routed to the one shard owning
+    /// `v`'s value range. `Some(false)` proves no tuple with value `v`
+    /// exists anywhere in the attribute; `None` means the owning shard has
+    /// no filter yet (callers fall back or pay
+    /// [`ShardedColumn::ensure_point_filter`] on that shard).
+    pub fn probe_point(&self, v: V) -> Option<bool> {
+        self.shards[self.plan.shard_of(v)].probe_point(v)
+    }
+
+    /// Builds the point filter of the shard owning `v` (no-op once built).
+    /// Lazy by value, not per-column: a point probe only pays the build on
+    /// the single shard it routes to, cold shards stay untouched.
+    pub fn ensure_point_filter(&self, v: V) {
+        self.shards[self.plan.shard_of(v)].ensure_point_filter();
+    }
+
     /// Routes an insertion to the shard owning `v`'s value range.
     pub fn queue_insert(&self, v: V, row: RowId) {
         self.shards[self.plan.shard_of(v)].queue_insert(v, row);
@@ -496,6 +512,86 @@ mod tests {
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_filter_screens_absent_values_without_cracking() {
+        // Base holds only even values: every odd probe is filter-negative
+        // (modulo Bloom false positives) and must crack nothing.
+        let b: Vec<i64> = (0..20_000).map(|i| i * 2).collect();
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        for v in [1i64, 10_001, 39_999] {
+            assert_eq!(col.probe_point(v), None, "filter built eagerly");
+            col.ensure_point_filter(v);
+        }
+        let pieces_before = col.piece_count();
+        let mut negatives = 0;
+        for i in 0..1_000 {
+            let v = i * 40 + 1; // odd → absent
+            col.ensure_point_filter(v); // no-op once the owning shard built
+            match col.probe_point(v) {
+                Some(false) => negatives += 1,
+                Some(true) => {}
+                None => panic!("filter missing after ensure_point_filter({v})"),
+            }
+        }
+        assert_eq!(
+            col.piece_count(),
+            pieces_before,
+            "filter-negative probes must not crack"
+        );
+        assert!(
+            negatives >= 980,
+            "false-positive rate too high: {negatives}/1000 screened"
+        );
+        // Present values are never screened out.
+        for v in [0i64, 10_000, 39_998] {
+            col.ensure_point_filter(v);
+            assert_eq!(col.probe_point(v), Some(true), "present value {v} screened");
+        }
+    }
+
+    #[test]
+    fn point_filter_covers_pending_and_racing_inserts() {
+        let b: Vec<i64> = (0..10_000).map(|i| i * 2).collect();
+        let plan = ShardPlan::from_values(&b, 2);
+        let col = Arc::new(ShardedColumn::from_base_with_plan("a", &b, plan));
+        // Queued before the build: the catch-up pass must see it.
+        col.queue_insert(4_001, 10_000);
+        col.ensure_point_filter(4_001);
+        assert_eq!(col.probe_point(4_001), Some(true));
+        // Racing inserts after publish: queue_insert ORs them in under the
+        // pending mutex, so none may be reported absent.
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let col = Arc::clone(&col);
+                std::thread::spawn(move || {
+                    for i in 0..500i64 {
+                        let v = 100_001 + t * 1_000 + i * 2;
+                        col.queue_insert(v, (20_000 + t * 1_000 + i) as RowId);
+                    }
+                })
+            })
+            .collect();
+        let col2 = Arc::clone(&col);
+        let reader = std::thread::spawn(move || {
+            for i in 0..2_000i64 {
+                // Values no writer ever inserts; screening stays sound.
+                let _ = col2.probe_point(i * 2 + 1);
+            }
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        for t in 0..2i64 {
+            for i in 0..500i64 {
+                let v = 100_001 + t * 1_000 + i * 2;
+                col.ensure_point_filter(v);
+                assert_eq!(col.probe_point(v), Some(true), "racing insert {v} dropped");
+            }
+        }
     }
 
     #[test]

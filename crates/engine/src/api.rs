@@ -145,6 +145,25 @@ pub trait QueryEngine: Send + Sync {
         let _ = q;
         None
     }
+
+    /// Executes an IN-list probe — the count of tuples whose `attr` value
+    /// equals any of `values` (an equality probe is the one-element case).
+    /// Engines with point-membership filters answer non-containing values
+    /// without cracking anything; everyone else may fall back to unit-range
+    /// executes or return `None` (caller lowers to ranges itself).
+    fn execute_points(&self, attr: usize, values: &[i64]) -> Option<u64> {
+        let _ = (attr, values);
+        None
+    }
+
+    /// Executes a multi-attribute conjunction — the count of *base-table*
+    /// rows satisfying every term's range predicate on its attribute.
+    /// `None` when the engine cannot intersect across attributes (callers
+    /// fall back to per-term executes without the intersection).
+    fn execute_conjunction(&self, terms: &[QuerySpec]) -> Option<u64> {
+        let _ = terms;
+        None
+    }
 }
 
 /// Outcome of [`QueryEngine::execute_collect_snapshot`].

@@ -47,6 +47,10 @@ pub struct HolisticEngineConfig {
     /// Horizontal range shards per attribute (1 = one cracker column per
     /// attribute, the paper's layout).
     pub shards: usize,
+    /// Screen equality/IN probes through per-shard point-membership
+    /// filters: a filter-negative probe answers "empty" without cracking
+    /// anything (the `f_Ih` exact-hit analogue for point traffic).
+    pub point_filters: bool,
     /// Core tuning configuration (x, interval, strategy, budget,
     /// worker_threads …).
     pub holistic: HolisticConfig,
@@ -61,6 +65,7 @@ impl HolisticEngineConfig {
             total_contexts,
             user_threads: (total_contexts / 2).max(1),
             shards: 1,
+            point_filters: true,
             holistic: HolisticConfig::fast(),
         }
     }
@@ -350,6 +355,46 @@ impl HolisticEngine {
             col.shard(k).maybe_publish_stats(32);
         }
     }
+
+    /// Point-probe screening: `Some(0)` when the owning shard's membership
+    /// filter **proves** `v` absent — the probe answers empty having
+    /// touched no piece and cracked nothing (recorded as an exact hit, the
+    /// paper's `f_Ih` statistic extended to point traffic). `None` when
+    /// the value may be present or screening is disabled; the caller runs
+    /// the normal unit-range fan-out, which cracks at most one shard.
+    /// Screening must inspect the *original* bounds: `ShardPlan::clamp`
+    /// widens a unit range ending exactly at a shard cut to the `MAX`
+    /// sentinel, which no longer reads as a point.
+    fn screen_point(&self, attr: usize, v: i64) -> Option<u64> {
+        if !self.cfg.point_filters {
+            return None;
+        }
+        let (col, ids) = self.sharded(attr);
+        let k = col.plan().shard_of(v);
+        let shard = col.shard(k);
+        shard.ensure_point_filter();
+        if shard.probe_point(v) == Some(false) {
+            self.space.record_user_query(ids[k], true, 0);
+            return Some(0);
+        }
+        None
+    }
+
+    /// The locked range fan-out shared by [`QueryEngine::execute`] and the
+    /// unit-range fallbacks of the point paths (which have already probed
+    /// the filter and must not probe again).
+    fn execute_range(&self, q: &QuerySpec) -> u64 {
+        let mut count = 0u64;
+        self.fan_out(
+            q,
+            |shard, pred, scratch| {
+                let sel = shard.select(pred, scratch);
+                (sel, sel.count())
+            },
+            |c| count += c,
+        );
+        count
+    }
 }
 
 impl QueryEngine for HolisticEngine {
@@ -369,16 +414,12 @@ impl QueryEngine for HolisticEngine {
     }
 
     fn execute(&self, q: &QuerySpec) -> u64 {
-        let mut count = 0u64;
-        self.fan_out(
-            q,
-            |shard, pred, scratch| {
-                let sel = shard.select(pred, scratch);
-                (sel, sel.count())
-            },
-            |c| count += c,
-        );
-        count
+        if let Some(v) = Predicate::range(q.lo, q.hi).as_point() {
+            if let Some(n) = self.screen_point(q.attr, v) {
+                return n;
+            }
+        }
+        self.execute_range(q)
     }
 
     fn execute_verified(&self, q: &QuerySpec) -> (u64, i128) {
@@ -414,6 +455,19 @@ impl QueryEngine for HolisticEngine {
         };
         let col = &slot.col;
         let plan = col.plan();
+        // Point screening at plan time, from the *published* filter only —
+        // a lock-free epoch load plus k bit probes; `ensure_point_filter`
+        // (which takes locks) is never called here. A negative probe
+        // prices the query Screened: admission executes it inline instead
+        // of spending a queue slot. Probes on unbuilt filters fall through
+        // to normal range pricing.
+        if self.cfg.point_filters {
+            if let Some(v) = pred.as_point() {
+                if col.shard(plan.shard_of(v)).probe_point(v) == Some(false) {
+                    return Some(PlanCost::screened_point());
+                }
+            }
+        }
         let Some((first, last)) = plan.shard_range(pred.lo, pred.hi) else {
             // Empty predicate: free.
             return Some(PlanCost {
@@ -557,6 +611,114 @@ impl QueryEngine for HolisticEngine {
         );
         values
     }
+
+    fn execute_points(&self, attr: usize, values: &[i64]) -> Option<u64> {
+        // Dedupe: an IN list counts each qualifying tuple once, and
+        // coalesced batches legitimately repeat values.
+        let mut vals: Vec<i64> = values.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        let mut total = 0u64;
+        for v in vals {
+            if v == i64::MAX {
+                continue; // the sentinel cannot be probed (empty unit range)
+            }
+            if let Some(n) = self.screen_point(attr, v) {
+                total += n; // filter-negative: zero cracks, zero touches
+                continue;
+            }
+            // Maybe-present: the unit-range fan-out cracks (at most) the
+            // one shard owning `v`. Bypasses `execute` so a probe that
+            // already failed screening is not screened twice.
+            total += self.execute_range(&QuerySpec {
+                attr,
+                lo: v,
+                hi: v + 1,
+            });
+        }
+        Some(total)
+    }
+
+    fn execute_conjunction(&self, terms: &[QuerySpec]) -> Option<u64> {
+        // Past this many driver rows, materialising the row-id set costs
+        // more than the intersection saves — same cap discipline as the
+        // collect paths; callers fall back to per-term execution.
+        const DRIVER_CAP: u64 = 1 << 16;
+        if terms.is_empty() {
+            return Some(0);
+        }
+        if terms
+            .iter()
+            .any(|t| Predicate::range(t.lo, t.hi).is_empty())
+        {
+            return Some(0); // one empty term empties the conjunction
+        }
+        // Driver: the term expected to qualify fewest rows, priced from
+        // the published piece statistics (lock-free; cold attributes price
+        // as a full scan and lose the election unless every term is cold).
+        let di = terms
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| self.estimate_cost(t).map_or(u64::MAX, |c| c.scan_rows))
+            .map(|(i, _)| i)?;
+        let driver = &terms[di];
+        // Collect the driver's qualifying *base row ids* shard by shard
+        // (select cracks the bounds, the positional copy re-locates them
+        // under the shard's exclusive lock — same protocol as
+        // `execute_collect`).
+        let mut rows: Option<Vec<holix_storage::types::RowId>> = Some(Vec::new());
+        let mut total = 0u64;
+        let mut doomed = false;
+        self.fan_out(
+            driver,
+            |shard, pred, scratch| {
+                let sel = shard.select(pred, scratch);
+                total += sel.count();
+                let ids = if !doomed && total <= DRIVER_CAP {
+                    shard.collect_row_ids(pred)
+                } else {
+                    None
+                };
+                doomed |= ids.is_none();
+                (sel, ids)
+            },
+            |ids: Option<Vec<holix_storage::types::RowId>>| match ids {
+                Some(ids) => {
+                    if let Some(rows) = rows.as_mut() {
+                        rows.extend(ids);
+                    }
+                }
+                None => rows = None,
+            },
+        );
+        let rows = rows?;
+        // Conjunctions are answered over the *base table*: row ids at or
+        // past `data.rows()` belong to queued inserts, whose other-attribute
+        // values the engine does not store — they are excluded by
+        // definition, so results stay exact under concurrent updates that
+        // only add or delete their own inserted rows.
+        let base_rows = self.data.rows();
+        let others: Vec<(usize, Predicate<i64>)> = terms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != di)
+            .map(|(_, t)| (t.attr, Predicate::range(t.lo, t.hi)))
+            .collect();
+        let mut count = 0u64;
+        for &r in &rows {
+            let r = r as usize;
+            if r >= base_rows {
+                continue;
+            }
+            if others
+                .iter()
+                .all(|&(attr, p)| p.matches_unbounded(self.data.column(attr)[r]))
+            {
+                count += 1;
+            }
+        }
+        Some(count)
+    }
 }
 
 impl Drop for HolisticEngine {
@@ -628,6 +790,125 @@ mod tests {
         // One IndexSpace slot per (attr, shard) that was touched.
         let (a, p, o, d) = e.space().membership_counts();
         assert_eq!(a + p + o + d, 2 * 4);
+        e.stop();
+    }
+
+    #[test]
+    fn point_probes_match_oracle_and_absent_values_crack_nothing() {
+        // Even values only: every odd probe is provably absent.
+        let base: Vec<i64> = (0..40_000).map(|i| (i % 10_000) * 2).collect();
+        let data = Dataset::new(vec![base.clone()]);
+        let mut cfg = HolisticEngineConfig::split_half_sharded(4, 4);
+        cfg.holistic.monitor_interval = Duration::from_millis(1);
+        let e = HolisticEngine::new(data, cfg);
+        // Warm the filters with one probe per shard region, then snapshot
+        // the piece count: further absent probes must not crack.
+        for v in [1i64, 6_001, 12_001, 18_001] {
+            assert_eq!(
+                e.execute(&QuerySpec {
+                    attr: 0,
+                    lo: v,
+                    hi: v + 1
+                }),
+                0
+            );
+        }
+        let (col, _) = e.sharded(0);
+        let pieces = col.piece_count();
+        for i in 0..500 {
+            let v = i * 39 * 2 % 20_000 + 1; // odd → absent
+            assert_eq!(
+                e.execute(&QuerySpec {
+                    attr: 0,
+                    lo: v,
+                    hi: v + 1
+                }),
+                0
+            );
+        }
+        assert_eq!(
+            col.piece_count(),
+            pieces,
+            "absent point probes cracked shards"
+        );
+        // Present values still count exactly (4 copies of each even value).
+        for v in [0i64, 5_000, 19_998] {
+            assert_eq!(
+                e.execute(&QuerySpec {
+                    attr: 0,
+                    lo: v,
+                    hi: v + 1
+                }),
+                4
+            );
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn execute_points_counts_in_lists_with_duplicates() {
+        let e = sharded_engine(1, 50_000, 4);
+        let base = e.data.column(0).to_vec();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let mut vals: Vec<i64> = (0..8).map(|_| rng.random_range(0..1_000_000)).collect();
+            vals.push(vals[0]); // duplicate must not double-count
+            let got = e.execute_points(0, &vals).unwrap();
+            let mut dedup = vals.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            let want = base
+                .iter()
+                .filter(|v| dedup.binary_search(v).is_ok())
+                .count() as u64;
+            assert_eq!(got, want);
+        }
+        e.stop();
+    }
+
+    #[test]
+    fn execute_conjunction_matches_base_table_oracle() {
+        let e = sharded_engine(3, 50_000, 4);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let terms: Vec<QuerySpec> = (0..3)
+                .map(|attr| {
+                    let a = rng.random_range(0..1_000_000);
+                    let b = rng.random_range(0..1_000_000);
+                    QuerySpec {
+                        attr,
+                        lo: a.min(b),
+                        hi: a.max(b).max(a.min(b) + 1),
+                    }
+                })
+                .collect();
+            let got = e.execute_conjunction(&terms);
+            let want = (0..e.data.rows())
+                .filter(|&r| {
+                    terms
+                        .iter()
+                        .all(|t| (t.lo..t.hi).contains(&e.data.column(t.attr)[r]))
+                })
+                .count() as u64;
+            // Driver sets past the cap legitimately return None; these
+            // selectivities stay far below it, so the result must be exact.
+            assert_eq!(got, Some(want));
+        }
+        // One empty term empties the conjunction.
+        let terms = vec![
+            QuerySpec {
+                attr: 0,
+                lo: 0,
+                hi: 1_000_000,
+            },
+            QuerySpec {
+                attr: 1,
+                lo: 500,
+                hi: 500,
+            },
+        ];
+        assert_eq!(e.execute_conjunction(&terms), Some(0));
+        assert_eq!(e.execute_conjunction(&[]), Some(0));
         e.stop();
     }
 

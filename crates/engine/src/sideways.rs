@@ -130,6 +130,29 @@ impl CrackerMap {
         f(&g.head[a..b], &tails)
     }
 
+    /// Counts tuples satisfying `lo <= head < hi` **and** every tail
+    /// predicate `(tail index, lo, hi)` — a conjunction answered from one
+    /// cracked range: the head bounds crack into boundaries (so repeated
+    /// conjunctions on the same head range pay nothing after the first),
+    /// and the tail terms filter positionally inside the contiguous
+    /// qualifying slice, never touching tuples the head term excluded.
+    /// This is the seed of `HolisticEngine::execute_conjunction`: pick one
+    /// driver term for the crack, intersect the rest by aligned lookup.
+    pub fn conjunction_count(&self, lo: i64, hi: i64, tail_preds: &[(usize, i64, i64)]) -> u64 {
+        if lo >= hi {
+            return 0; // degenerate head term: empty everywhere, no crack
+        }
+        self.with_range(lo, hi, |head, tails| {
+            (0..head.len())
+                .filter(|&i| {
+                    tail_preds
+                        .iter()
+                        .all(|&(t, tlo, thi)| (tlo..thi).contains(&tails[t][i]))
+                })
+                .count() as u64
+        })
+    }
+
     /// One background refinement at a random pivot; `false` when the map is
     /// busy (the refiner then yields, like a holistic worker re-picking).
     pub fn refine_random(&self, rng: &mut impl Rng) -> bool {
@@ -220,6 +243,30 @@ mod tests {
             }
             assert_eq!(h.len(), 2); // 5 and 3
         });
+    }
+
+    #[test]
+    fn conjunction_count_matches_two_column_oracle() {
+        let (head, tail, m) = map(20_000, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let a = rng.random_range(0..10_000);
+            let b = rng.random_range(0..10_000);
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (tlo, thi) = (20i64, 70);
+            let got = m.conjunction_count(lo, hi, &[(0, tlo, thi)]);
+            let want = head
+                .iter()
+                .zip(&tail)
+                .filter(|&(&h, &t)| (lo..hi).contains(&h) && (tlo..thi).contains(&t))
+                .count() as u64;
+            assert_eq!(got, want);
+        }
+        // Degenerate head range: zero, and no boundary is inserted.
+        let pieces = m.piece_count();
+        assert_eq!(m.conjunction_count(5, 5, &[(0, 0, 100)]), 0);
+        assert_eq!(m.conjunction_count(9, 3, &[]), 0);
+        assert_eq!(m.piece_count(), pieces);
     }
 
     #[test]

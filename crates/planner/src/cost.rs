@@ -64,6 +64,11 @@ pub struct PlanCost {
     /// Every bound was already a piece boundary in every touched shard
     /// (the paper's `f_Ih` exact hit — zero crack work).
     pub exact_hit: bool,
+    /// A published per-shard membership filter answered the probe
+    /// negatively: the query touches no data at all — cheaper than any
+    /// exact hit (which still walks piece bounds). Only point probes can
+    /// be screened.
+    pub screened: bool,
     /// Shards the predicate fans out to.
     pub shards_touched: u32,
 }
@@ -79,37 +84,64 @@ impl PlanCost {
             merge_backlog: 0,
             snapshot_filter: None,
             exact_hit: false,
+            screened: false,
             shards_touched: 1,
         }
     }
 
+    /// The price of a point probe a per-shard membership filter answered
+    /// negatively: nothing is touched, nothing can crack. The cheapest
+    /// plan the model can produce.
+    pub fn screened_point() -> Self {
+        PlanCost {
+            exact_hit: true,
+            screened: true,
+            shards_touched: 1,
+            ..PlanCost::default()
+        }
+    }
+
     /// Folds another shard's cost into this one (fan-out merge).
+    ///
+    /// All arithmetic saturates: the per-shard terms are conservative
+    /// *over*-estimates (a sampled stats summary can report up to the
+    /// whole shard per bound), so a wide fan-out over adversarial
+    /// summaries must pin at `u64::MAX` — not wrap around to a price of
+    /// nearly zero and sail through admission.
     pub fn merge(&mut self, other: PlanCost) {
         if self.shards_touched == 0 {
             *self = other;
             return;
         }
-        self.crack_values += other.crack_values;
-        self.scan_rows += other.scan_rows;
-        self.merge_backlog += other.merge_backlog;
+        self.crack_values = self.crack_values.saturating_add(other.crack_values);
+        self.scan_rows = self.scan_rows.saturating_add(other.scan_rows);
+        self.merge_backlog = self.merge_backlog.saturating_add(other.merge_backlog);
         self.snapshot_filter = match (self.snapshot_filter, other.snapshot_filter) {
-            (Some(a), Some(b)) => Some(a + b),
+            (Some(a), Some(b)) => Some(a.saturating_add(b)),
             _ => None,
         };
         self.exact_hit &= other.exact_hit;
-        self.shards_touched += other.shards_touched;
+        self.screened &= other.screened;
+        self.shards_touched = self.shards_touched.saturating_add(other.shards_touched);
     }
 
-    /// Touched-value cost of answering through the locked crack path.
+    /// Touched-value cost of answering through the locked crack path
+    /// (saturating: see [`PlanCost::merge`]).
     pub fn locked_cost(&self, model: &CostModel) -> u64 {
-        self.crack_values + self.merge_backlog * model.merge_weight
+        self.crack_values
+            .saturating_add(self.merge_backlog.saturating_mul(model.merge_weight))
     }
 
     /// Touched-value cost of answering through the snapshot path (`None`
-    /// when a touched shard has never published a snapshot).
+    /// when a touched shard has never published a snapshot; saturating).
     pub fn snapshot_cost(&self, model: &CostModel) -> Option<u64> {
-        self.snapshot_filter
-            .map(|f| f + model.snapshot_fixed * self.shards_touched as u64)
+        self.snapshot_filter.map(|f| {
+            f.saturating_add(
+                model
+                    .snapshot_fixed
+                    .saturating_mul(self.shards_touched as u64),
+            )
+        })
     }
 
     /// The route the model prefers for a read-only query: snapshot exactly
@@ -125,7 +157,9 @@ impl PlanCost {
 
     /// Admission price class (see [`QueryPrice`]).
     pub fn price(&self, model: &CostModel) -> QueryPrice {
-        if self.exact_hit || self.locked_cost(model) <= model.cheap_budget {
+        if self.screened {
+            QueryPrice::Screened
+        } else if self.exact_hit || self.locked_cost(model) <= model.cheap_budget {
             QueryPrice::Cheap
         } else {
             QueryPrice::Expensive
@@ -156,6 +190,10 @@ pub enum Route {
 /// Admission price class of one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryPrice {
+    /// A point probe screened out by a per-shard membership filter: the
+    /// answer is already known to be zero for the touched shard — near
+    /// free, admission executes it inline rather than spend a queue slot.
+    Screened,
     /// Exact hit or near-optimal edges: admission must never shed it.
     Cheap,
     /// A cold or wide crack: sheddable (or downgradable to the snapshot
@@ -177,13 +215,14 @@ pub fn estimate<V: CrackValue>(stats: &PieceStats<V>, pred: Predicate<V>) -> Pla
     let (lo_edge, lo_exact) = stats.edge(pred.lo);
     let (hi_edge, hi_exact) = stats.edge(pred.hi);
     PlanCost {
-        crack_values: (lo_edge + hi_edge) as u64,
+        crack_values: (lo_edge as u64).saturating_add(hi_edge as u64),
         scan_rows: stats.range_rows(pred.lo, pred.hi),
         merge_backlog: stats.pending as u64,
         snapshot_filter: stats
             .snapshot_edge_filter(pred.lo, pred.hi)
             .map(|f| f as u64),
         exact_hit: lo_exact && hi_exact,
+        screened: false,
         shards_touched: 1,
     }
 }
@@ -284,5 +323,102 @@ mod tests {
         assert!(c.exact_hit, "bounds still exact");
         assert_eq!(c.locked_cost(&model), 1_000 * model.merge_weight);
         assert_eq!(c.price(&model), QueryPrice::Cheap, "exact hits stay cheap");
+    }
+
+    #[test]
+    fn screened_points_are_the_cheapest_price_class() {
+        let model = CostModel::default();
+        let c = PlanCost::screened_point();
+        assert_eq!(c.price(&model), QueryPrice::Screened);
+        assert_eq!(c.locked_cost(&model), 0);
+        assert_eq!(c.preferred_route(&model), Route::Locked);
+        // Folding a screened probe into a real fan-out loses the class:
+        // only an all-shards-screened plan is free.
+        let mut folded = PlanCost::screened_point();
+        folded.merge(PlanCost::cold(1_000_000));
+        assert_eq!(folded.price(&model), QueryPrice::Expensive);
+        let mut both = PlanCost::screened_point();
+        both.merge(PlanCost::screened_point());
+        assert_eq!(both.price(&model), QueryPrice::Screened);
+        assert_eq!(both.shards_touched, 2);
+    }
+
+    #[test]
+    fn adversarial_merges_saturate_instead_of_wrapping() {
+        // Regression: `merge`/`locked_cost`/`snapshot_cost` used unchecked
+        // `+`/`*`. PieceStats sizes only promise *over*-estimates, so a
+        // multi-shard fold of near-MAX per-shard costs overflowed u64
+        // (panic in debug, a near-zero admission-fooling wrap in release).
+        let model = CostModel::default();
+        let huge = PlanCost {
+            crack_values: u64::MAX - 1,
+            scan_rows: u64::MAX - 1,
+            merge_backlog: u64::MAX / 4,
+            snapshot_filter: Some(u64::MAX - 1),
+            exact_hit: false,
+            screened: false,
+            shards_touched: u32::MAX,
+        };
+        let mut folded = huge;
+        folded.merge(huge);
+        assert_eq!(folded.crack_values, u64::MAX);
+        assert_eq!(folded.scan_rows, u64::MAX);
+        assert_eq!(folded.snapshot_filter, Some(u64::MAX));
+        assert_eq!(folded.shards_touched, u32::MAX);
+        assert_eq!(folded.locked_cost(&model), u64::MAX);
+        assert_eq!(folded.snapshot_cost(&model), Some(u64::MAX));
+        assert_eq!(folded.price(&model), QueryPrice::Expensive);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_cost() -> impl Strategy<Value = PlanCost> {
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v)),
+                any::<bool>(),
+            )
+                .prop_map(|(crack, scan, backlog, snap, exact)| PlanCost {
+                    crack_values: crack,
+                    scan_rows: scan,
+                    merge_backlog: backlog,
+                    snapshot_filter: snap,
+                    exact_hit: exact,
+                    screened: false,
+                    shards_touched: 1,
+                })
+        }
+
+        proptest! {
+            // Folding more shards into a plan can only raise (or hold) its
+            // costs — with unchecked arithmetic, a wrap made a wider
+            // fan-out *cheaper*, inverting every admission decision built
+            // on the estimate.
+            #[test]
+            fn merged_costs_are_monotone_in_shard_count(
+                shards in proptest::collection::vec(arb_cost(), 1..12),
+            ) {
+                let model = CostModel::default();
+                let mut folded = PlanCost::default();
+                let mut prev_locked = 0u64;
+                let mut prev_scan = 0u64;
+                for (i, shard) in shards.into_iter().enumerate() {
+                    folded.merge(shard);
+                    prop_assert_eq!(folded.shards_touched as usize, i + 1);
+                    let locked = folded.locked_cost(&model);
+                    prop_assert!(locked >= prev_locked, "locked cost shrank");
+                    prop_assert!(folded.scan_rows >= prev_scan, "scan rows shrank");
+                    if let Some(snap) = folded.snapshot_cost(&model) {
+                        prop_assert!(snap >= folded.snapshot_filter.unwrap_or(0));
+                    }
+                    prev_locked = locked;
+                    prev_scan = folded.scan_rows;
+                }
+            }
+        }
     }
 }

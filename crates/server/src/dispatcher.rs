@@ -380,7 +380,9 @@ impl Session {
                             .estimate_cost(&spec)
                             .map(|c| c.price(&self.cost))
                         {
-                            Some(QueryPrice::Cheap) => PlanDecision::ShedCheap,
+                            Some(QueryPrice::Cheap) | Some(QueryPrice::Screened) => {
+                                PlanDecision::ShedCheap
+                            }
                             _ => PlanDecision::ShedExpensive,
                         };
                         self.stats.record_decision(decision);
@@ -462,6 +464,17 @@ impl Session {
             .map(|c| c.price(&self.cost))
             .unwrap_or(QueryPrice::Expensive);
         match price {
+            QueryPrice::Screened => {
+                // The membership filter already proved the probe's shard
+                // non-containing: execution is a lock-free filter probe
+                // plus bookkeeping, cheaper than any queue handoff — so a
+                // screened probe never spends a queue slot, even when the
+                // queue has room for it on retry. Near-free by
+                // construction, never shed.
+                self.stats.record_decision(PlanDecision::ScreenedInline);
+                self.execute_inline(queued, Route::Locked);
+                Ok(())
+            }
             QueryPrice::Cheap => {
                 let slack = (queue.capacity() / 4).max(1);
                 match queue.push_with_slack(queued, slack) {
@@ -974,6 +987,126 @@ mod tests {
         // recorded as expensive.
         assert!(summary.shed_expensive + summary.downgraded_snapshot + summary.rejected > 0);
         assert_eq!(summary.rejected, expensive_outcomes);
+    }
+
+    #[test]
+    fn duplicate_point_probes_coalesce_in_the_batcher() {
+        // Point-heavy clients repeat the same equality probes; the
+        // crack-aware batcher must coalesce identical unit ranges into one
+        // engine execution exactly like duplicate range predicates.
+        let base: Vec<i64> = (0..30_000).map(|i| (i % 10_000) * 2).collect();
+        let data = Dataset::new(vec![base]);
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data, cfg));
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                scheduling: Scheduling::CrackAware,
+                batch_max: 128,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        let absent = QuerySpec {
+            attr: 0,
+            lo: 4_001, // odd → provably absent
+            hi: 4_002,
+        };
+        let present = QuerySpec {
+            attr: 0,
+            lo: 4_000,
+            hi: 4_001,
+        };
+        let mut tickets = Vec::new();
+        for _ in 0..16 {
+            tickets.push((0u64, session.submit(absent).unwrap()));
+            tickets.push((3u64, session.submit(present).unwrap()));
+        }
+        for (want, t) in &tickets {
+            assert_eq!(t.wait().count, *want);
+        }
+        let summary = service.shutdown();
+        eng.stop();
+        assert_eq!(summary.completed, 32);
+        assert!(
+            summary.executed < 32,
+            "duplicate point probes were not coalesced (executed={})",
+            summary.executed
+        );
+    }
+
+    #[test]
+    fn screened_point_probes_execute_inline_under_overload() {
+        // Cost-aware admission with a full queue: a point probe the
+        // membership filter prices Screened must execute inline — never
+        // queued, never shed — while expensive cold ranges are priced out.
+        let base: Vec<i64> = (0..200_000).map(|i| (i % 50_000) * 2).collect();
+        let data = Dataset::new(vec![base]);
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data, cfg));
+        // Build the filter (one probe pays it) and publish fresh stats so
+        // plan-time screening sees the published filter.
+        assert_eq!(
+            eng.execute(&QuerySpec {
+                attr: 0,
+                lo: 1,
+                hi: 2
+            }),
+            0
+        );
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                admission: AdmissionPolicy::CostAware,
+                scheduling: Scheduling::Fifo,
+                batch_max: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        let mut probe_tickets = Vec::new();
+        let mut lo = 11_i64;
+        for i in 0..128 {
+            if i % 2 == 0 {
+                // Expensive cold range keeping the queue and worker busy.
+                lo = (lo.wrapping_mul(48_271)) % (1 << 16);
+                let q = QuerySpec {
+                    attr: 0,
+                    lo: lo.abs(),
+                    hi: lo.abs() + 60_000,
+                };
+                let _ = session.submit(q); // shed / downgraded / queued — all fine
+            } else {
+                // Odd value → filter-negative: must always be admitted.
+                let v = ((i * 97) % 100_000) | 1;
+                let t = session
+                    .submit(QuerySpec {
+                        attr: 0,
+                        lo: v,
+                        hi: v + 1,
+                    })
+                    .expect("screened point probe was shed");
+                probe_tickets.push(t);
+            }
+        }
+        for t in &probe_tickets {
+            assert_eq!(t.wait().count, 0);
+        }
+        let summary = service.shutdown();
+        eng.stop();
+        assert_eq!(probe_tickets.len(), 64);
+        assert!(
+            summary.screened_inline > 0,
+            "no probe was screened inline (screened_inline=0, rejected={})",
+            summary.rejected
+        );
     }
 
     #[test]

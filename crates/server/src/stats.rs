@@ -35,8 +35,12 @@ macro_rules! counters {
 
         impl Counters {
             /// Copies every live value into `base` (starts a new window).
+            /// Release stores pair with the Acquire loads in
+            /// [`ServiceStats::summary`]'s `windowed` closure: a summary
+            /// that observes the new baseline also observes every live
+            /// increment the baseline covered.
             fn store_into(&self, base: &Counters) {
-                $(base.$name.store(self.$name.load(Ordering::Relaxed), Ordering::Relaxed);)*
+                $(base.$name.store(self.$name.load(Ordering::Acquire), Ordering::Release);)*
             }
         }
     };
@@ -72,6 +76,10 @@ counters! {
     /// queue — the "never shed" guarantee, via overflow slack or inline
     /// execution.
     admitted_cheap,
+    /// Filter-screened point probes executed inline at submission: the
+    /// membership filter priced them near-free, so they never spend a
+    /// queue slot even under overload.
+    screened_inline,
     /// Expensive queries served inline from the lock-free snapshot path
     /// instead of being shed (cost-based admission's downgrade).
     downgraded_snapshot,
@@ -130,6 +138,9 @@ pub enum PlanDecision {
     /// A cheap query admitted past a full queue (overflow slack or
     /// inline execution) — never shed.
     CheapAdmitted,
+    /// A filter-screened point probe executed inline at submission
+    /// (near-free: the membership filter proves the typical probe empty).
+    ScreenedInline,
     /// An expensive query served inline from the snapshot path instead of
     /// being shed.
     DowngradedSnapshot,
@@ -200,6 +211,7 @@ impl ServiceStats {
     pub fn record_decision(&self, decision: PlanDecision) {
         let counter = match decision {
             PlanDecision::CheapAdmitted => &self.live.admitted_cheap,
+            PlanDecision::ScreenedInline => &self.live.screened_inline,
             PlanDecision::DowngradedSnapshot => &self.live.downgraded_snapshot,
             PlanDecision::ShedExpensive => &self.live.shed_expensive,
             PlanDecision::ShedCheap => &self.live.shed_cheap,
@@ -256,9 +268,17 @@ impl ServiceStats {
             .samples
             .clone();
         lat.sort_unstable();
+        // Baseline FIRST, live second: live counters only grow, and any
+        // baseline is a past value of its live counter, so this order
+        // guarantees `live >= base` even when a `reset_window` races the
+        // two loads — the other order let a racing reset store a *newer,
+        // larger* baseline between them, and the subtraction (saturating
+        // today, wrapping originally) collapsed the window to zero or to
+        // garbage. The `saturating_sub` stays as a belt for the one case
+        // order cannot fix: two resets racing each other mid-summary.
         let windowed = |live: &AtomicU64, base: &AtomicU64| {
-            live.load(Ordering::Relaxed)
-                .saturating_sub(base.load(Ordering::Relaxed))
+            let base = base.load(Ordering::Acquire);
+            live.load(Ordering::Acquire).saturating_sub(base)
         };
         let completed = windowed(&self.live.completed, &self.window.completed);
         StatsSummary {
@@ -273,6 +293,7 @@ impl ServiceStats {
             decomposed_parts: windowed(&self.live.decomposed_parts, &self.window.decomposed_parts),
             decomp_inline: windowed(&self.live.decomp_inline, &self.window.decomp_inline),
             admitted_cheap: windowed(&self.live.admitted_cheap, &self.window.admitted_cheap),
+            screened_inline: windowed(&self.live.screened_inline, &self.window.screened_inline),
             downgraded_snapshot: windowed(
                 &self.live.downgraded_snapshot,
                 &self.window.downgraded_snapshot,
@@ -320,6 +341,8 @@ pub struct StatsSummary {
     pub decomp_inline: u64,
     /// Cheap queries admitted past a full queue (never shed).
     pub admitted_cheap: u64,
+    /// Filter-screened point probes executed inline at submission.
+    pub screened_inline: u64,
     /// Expensive queries downgraded to an inline snapshot read.
     pub downgraded_snapshot: u64,
     /// Rejections priced Expensive at shed time.
@@ -450,6 +473,56 @@ mod tests {
         let s = stats.summary(Duration::from_secs(1));
         assert_eq!((s.completed, s.containment), (1, 1));
         assert_eq!(s.p50, ms(7));
+    }
+
+    #[test]
+    fn summary_racing_reset_never_wraps_or_overshoots() {
+        // Regression for the summary/reset window race: `windowed` used to
+        // load the live counter BEFORE the baseline, so a reset storing a
+        // newer, larger baseline between the two loads made the window
+        // subtraction wrap (or, saturated, collapse spuriously). Loading
+        // the baseline first keeps `live >= base` under any interleaving;
+        // the hammer asserts every windowed count stays within the
+        // lifetime total — a wrapped subtraction lands near `u64::MAX`
+        // and trips the bound immediately.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let stats = Arc::new(ServiceStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        const TOTAL: u64 = 200_000;
+
+        let writer = {
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                for _ in 0..TOTAL {
+                    stats.record_submitted();
+                    stats.record_executed();
+                }
+            })
+        };
+        let resetter = {
+            let (stats, stop) = (Arc::clone(&stats), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    stats.reset_window();
+                }
+            })
+        };
+        let mut summaries = 0u64;
+        while !writer.is_finished() {
+            let s = stats.summary(Duration::from_secs(1));
+            assert!(
+                s.submitted <= TOTAL && s.executed <= TOTAL,
+                "windowed count exceeds lifetime total (wrapped subtraction): {s:?}"
+            );
+            summaries += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        resetter.join().unwrap();
+        assert!(summaries > 0, "hammer produced no concurrent summaries");
+        assert_eq!(stats.submitted(), TOTAL, "lifetime totals stay exact");
     }
 
     #[test]

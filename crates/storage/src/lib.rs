@@ -26,6 +26,7 @@ pub mod column;
 pub mod error;
 pub mod hash;
 pub mod join;
+pub mod predicate;
 pub mod project;
 pub mod pscan;
 pub mod psort;
@@ -36,6 +37,7 @@ pub mod types;
 
 pub use column::Column;
 pub use error::StorageError;
+pub use predicate::ValuePredicate;
 pub use select::{Predicate, RangeStats};
 pub use sort::SortedColumn;
 pub use table::{AnyColumn, Table};

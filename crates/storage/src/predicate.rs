@@ -1,0 +1,174 @@
+//! Richer value predicates on top of the range kernel: equality, IN-lists
+//! and their normalisation down to half-open ranges.
+//!
+//! The range form `lo <= v < hi` stays the *wire* representation everywhere
+//! (cracked selects, snapshot scans, the service protocol): an equality
+//! probe `v == x` lowers to the unit range `[x, succ(x))` and an IN-list to
+//! one unit range per distinct member. This module owns that lowering plus
+//! direct scan kernels for the un-lowered forms, so the scan baseline and
+//! the oracle tests can evaluate point predicates without first converting
+//! them. Multi-attribute conjunctions live one layer up (in `holix-engine`,
+//! where per-attribute indexes can be intersected); a single column only
+//! ever sees the per-attribute forms defined here.
+
+use crate::select::{scan_stats, Predicate, RangeStats};
+use crate::types::CrackValue;
+
+/// A single-attribute predicate in its richest form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValuePredicate<V> {
+    /// Half-open range `lo <= v < hi`.
+    Range(Predicate<V>),
+    /// Equality probe `v == x`.
+    Eq(V),
+    /// Membership probe `v ∈ set` (members need not be sorted or unique).
+    In(Vec<V>),
+}
+
+impl<V: CrackValue> ValuePredicate<V> {
+    /// Does `v` satisfy the predicate?
+    pub fn matches(&self, v: V) -> bool {
+        match self {
+            ValuePredicate::Range(p) => p.matches(v),
+            ValuePredicate::Eq(x) => v == *x,
+            ValuePredicate::In(set) => set.contains(&v),
+        }
+    }
+
+    /// `true` when no value can qualify.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ValuePredicate::Range(p) => p.is_empty(),
+            ValuePredicate::Eq(_) => false,
+            ValuePredicate::In(set) => set.is_empty(),
+        }
+    }
+
+    /// The distinct point values of a point-shaped predicate (`Eq`, `In`,
+    /// or a `Range` that covers exactly one value), sorted ascending —
+    /// `None` for genuine ranges. This is what fans out to the per-shard
+    /// membership filters: each returned value probes exactly one shard.
+    pub fn points(&self) -> Option<Vec<V>> {
+        match self {
+            ValuePredicate::Eq(x) => Some(vec![*x]),
+            ValuePredicate::In(set) => {
+                let mut points = set.clone();
+                points.sort_unstable();
+                points.dedup();
+                Some(points)
+            }
+            ValuePredicate::Range(p) => p.as_point().map(|v| vec![v]),
+        }
+    }
+
+    /// Normalises to the half-open ranges the cracked kernels execute:
+    /// one range for `Range`, one unit range per distinct member for
+    /// `Eq`/`In` (empty members and the unprobeable `MAX_VALUE` sentinel
+    /// drop out). The ranges are disjoint and sorted ascending.
+    pub fn to_ranges(&self) -> Vec<Predicate<V>> {
+        let ranges: Vec<Predicate<V>> = match self {
+            ValuePredicate::Range(p) => vec![*p],
+            ValuePredicate::Eq(x) => vec![Predicate::point(*x)],
+            ValuePredicate::In(_) => self
+                .points()
+                .unwrap_or_default()
+                .into_iter()
+                .map(Predicate::point)
+                .collect(),
+        };
+        ranges.into_iter().filter(|r| !r.is_empty()).collect()
+    }
+}
+
+/// Scans `values` under any predicate form — the "no indexing support"
+/// baseline and the oracle the adaptive paths are verified against. `In`
+/// membership is evaluated via binary search over a sorted copy of the set,
+/// so wide IN-lists stay O(N log m) instead of O(N·m).
+pub fn scan_stats_value<V: CrackValue>(values: &[V], pred: &ValuePredicate<V>) -> RangeStats {
+    match pred {
+        ValuePredicate::Range(p) => scan_stats(values, *p),
+        ValuePredicate::Eq(x) => {
+            let mut stats = RangeStats::default();
+            for &v in values {
+                if v == *x {
+                    stats.count += 1;
+                    stats.sum += v.as_i64() as i128;
+                }
+            }
+            stats
+        }
+        ValuePredicate::In(set) => {
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let mut stats = RangeStats::default();
+            for &v in values {
+                if sorted.binary_search(&v).is_ok() {
+                    stats.count += 1;
+                    stats.sum += v.as_i64() as i128;
+                }
+            }
+            stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_lowers_to_unit_range() {
+        let p = ValuePredicate::Eq(7i64);
+        assert_eq!(p.to_ranges(), vec![Predicate::range(7, 8)]);
+        assert_eq!(p.points(), Some(vec![7]));
+        assert!(p.matches(7) && !p.matches(8));
+    }
+
+    #[test]
+    fn in_list_dedupes_and_sorts() {
+        let p = ValuePredicate::In(vec![9i64, 3, 9, 5]);
+        assert_eq!(p.points(), Some(vec![3, 5, 9]));
+        assert_eq!(
+            p.to_ranges(),
+            vec![
+                Predicate::range(3, 4),
+                Predicate::range(5, 6),
+                Predicate::range(9, 10)
+            ]
+        );
+        assert!(p.matches(5) && !p.matches(4));
+        assert!(ValuePredicate::In(Vec::<i64>::new()).is_empty());
+    }
+
+    #[test]
+    fn unit_range_is_a_point() {
+        let p = ValuePredicate::Range(Predicate::range(4i64, 5));
+        assert_eq!(p.points(), Some(vec![4]));
+        let wide = ValuePredicate::Range(Predicate::range(4i64, 6));
+        assert_eq!(wide.points(), None);
+    }
+
+    #[test]
+    fn sentinel_point_drops_out() {
+        let p = ValuePredicate::Eq(i64::MAX);
+        assert!(p.to_ranges().is_empty(), "MAX_VALUE cannot be probed");
+    }
+
+    #[test]
+    fn scan_matches_lowered_ranges() {
+        let vals = [1i64, 5, 3, 9, 5, 0, 9];
+        for pred in [
+            ValuePredicate::Eq(5),
+            ValuePredicate::In(vec![9, 0, 9]),
+            ValuePredicate::Range(Predicate::range(2, 6)),
+        ] {
+            let direct = scan_stats_value(&vals, &pred);
+            let mut lowered = RangeStats::default();
+            for r in pred.to_ranges() {
+                lowered.merge(scan_stats(&vals, r));
+            }
+            assert_eq!(direct, lowered, "{pred:?}");
+        }
+    }
+}

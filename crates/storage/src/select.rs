@@ -4,7 +4,7 @@
 //! `lo <= v < hi`; the paper's `A < v` queries become `[MIN_VALUE, v)` and its
 //! `low <= A < high` queries map directly.
 
-use crate::types::{CrackValue, RowId};
+use crate::types::{succ, CrackValue, RowId};
 
 /// Half-open range predicate `lo <= v < hi`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,27 @@ impl<V: CrackValue> Predicate<V> {
         }
     }
 
+    /// Equality probe `v == value` as the unit half-open range
+    /// `[value, succ(value))` — the lowering every point predicate takes
+    /// through the range-only kernels. `point(MAX_VALUE)` degenerates to an
+    /// empty predicate (the sentinel cannot be probed; synthetic domains
+    /// never generate it).
+    pub fn point(value: V) -> Self {
+        Predicate {
+            lo: value,
+            hi: succ(value),
+        }
+    }
+
+    /// Inverse of [`Predicate::point`]: `Some(v)` when this predicate is a
+    /// unit range `[v, succ(v))`. Ranges touching the domain sentinels are
+    /// never points (a `hi == MAX_VALUE` bound means *unbounded*, not
+    /// "up to the sentinel").
+    pub fn as_point(&self) -> Option<V> {
+        (self.lo != V::MAX_VALUE && self.hi != V::MAX_VALUE && self.hi == succ(self.lo))
+            .then_some(self.lo)
+    }
+
     /// Does `v` satisfy the predicate?
     #[inline(always)]
     pub fn matches(&self, v: V) -> bool {
@@ -54,9 +75,16 @@ impl<V: CrackValue> Predicate<V> {
     /// unbounded upper end (where `matches` would exclude it). The
     /// snapshot read path filters edge pieces and folds pending-update
     /// overlays through this one definition.
+    ///
+    /// Degenerate predicates (`lo >= hi`, including sentinel-valued ones
+    /// like `[MAX, MAX)`) match nothing — the same "empty result, zero
+    /// cracks" rule the cracked select and the sharded fan-out apply, so
+    /// the three paths can never disagree on a pathological range.
     #[inline(always)]
     pub fn matches_unbounded(&self, v: V) -> bool {
-        (self.lo == V::MIN_VALUE || v >= self.lo) && (self.hi == V::MAX_VALUE || v < self.hi)
+        !self.is_empty()
+            && (self.lo == V::MIN_VALUE || v >= self.lo)
+            && (self.hi == V::MAX_VALUE || v < self.hi)
     }
 }
 
@@ -152,6 +180,40 @@ mod tests {
         assert!(Predicate::range(5i32, 5).is_empty());
         assert!(Predicate::range(6i32, 5).is_empty());
         assert!(!Predicate::range(5i32, 6).is_empty());
+    }
+
+    #[test]
+    fn point_round_trips_through_unit_range() {
+        let p = Predicate::point(7i64);
+        assert_eq!(p, Predicate::range(7, 8));
+        assert_eq!(p.as_point(), Some(7));
+        assert!(Predicate::range(7i64, 9).as_point().is_none());
+        // Sentinel-adjacent ranges are never points: hi == MAX means
+        // *unbounded*, and the sentinel itself cannot be probed.
+        assert!(Predicate::range(i64::MAX - 1, i64::MAX)
+            .as_point()
+            .is_none());
+        assert!(Predicate::point(i64::MAX).is_empty());
+    }
+
+    #[test]
+    fn degenerate_predicates_match_nothing_even_with_sentinel_bounds() {
+        // Regression: `[MAX, MAX)` is empty under `is_empty`/`matches` but
+        // the sentinel-aware form used to read it as "unbounded above,
+        // v >= MAX" and match the sentinel — so the snapshot path counted
+        // a value the cracked path refused. Empty must mean empty on every
+        // path.
+        let top = Predicate::range(i64::MAX, i64::MAX);
+        assert!(top.is_empty());
+        assert!(!top.matches_unbounded(i64::MAX));
+        let bottom = Predicate::range(i64::MIN, i64::MIN);
+        assert!(bottom.is_empty());
+        assert!(!bottom.matches_unbounded(i64::MIN));
+        let inverted = Predicate::range(9i64, 3);
+        assert!(!inverted.matches_unbounded(5));
+        // Non-degenerate sentinel bounds keep their unbounded meaning.
+        assert!(Predicate::range(0i64, i64::MAX).matches_unbounded(i64::MAX));
+        assert!(Predicate::range(i64::MIN, 5).matches_unbounded(i64::MIN));
     }
 
     #[test]

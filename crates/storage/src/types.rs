@@ -35,6 +35,18 @@ pub trait CrackValue:
     }
 }
 
+/// Smallest representable value strictly greater than `v`, saturating at the
+/// top of the domain (`succ(MAX_VALUE) == MAX_VALUE`). Equality probes lower
+/// to the unit half-open range `[v, succ(v))` through this one definition.
+#[inline(always)]
+pub fn succ<V: CrackValue>(v: V) -> V {
+    if v == V::MAX_VALUE {
+        v
+    } else {
+        V::from_i64(v.as_i64() + 1)
+    }
+}
+
 macro_rules! impl_crack_value_signed {
     ($($t:ty),*) => {$(
         impl CrackValue for $t {

@@ -82,6 +82,20 @@ pub enum ClientFocus {
         /// Probability that a query is a wide spanning scan instead.
         wide_prob: f64,
     },
+    /// The point-filter harness's serving mix: with probability
+    /// `point_prob` a query is a unit-range equality probe on a
+    /// Zipf-ranked hot key (key-value-style exact-match lookups — the
+    /// traffic the per-shard membership filters screen), the remainder
+    /// is [`ClientFocus::HotRegions`]-style range traffic over the same
+    /// hot set. Probes repeat heavily across the fleet, so duplicate
+    /// coalescing and filter screening both engage.
+    PointHeavy {
+        /// Number of distinct hot keys (and regions) in the fleet-wide
+        /// set.
+        points: usize,
+        /// Probability that a query is an equality probe.
+        point_prob: f64,
+    },
 }
 
 /// One entry of a client's stream.
@@ -152,6 +166,7 @@ impl TrafficSpec {
             ClientFocus::HotRegions { regions, .. } | ClientFocus::SpanningMix { regions, .. } => {
                 regions
             }
+            ClientFocus::PointHeavy { points, .. } => points,
             _ => return Vec::new(),
         };
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9077_F00D);
@@ -186,6 +201,7 @@ impl TrafficSpec {
             ClientFocus::HotRegions { regions, .. } | ClientFocus::SpanningMix { regions, .. } => {
                 harmonic(regions)
             }
+            ClientFocus::PointHeavy { points, .. } => harmonic(points),
             _ => 0.0,
         };
         let domain = self.domain.max(2);
@@ -242,6 +258,23 @@ impl TrafficSpec {
                             }
                         } else {
                             region_query(&mut rng, &hot, client, regions, exact_prob, hot_h, domain)
+                        }
+                    }
+                    ClientFocus::PointHeavy { points, point_prob } => {
+                        if rng.random_range(0.0..1.0) < point_prob {
+                            // Equality probe on a Zipf-ranked hot key
+                            // (the canonical window's low bound), lowered
+                            // to the unit range the engine screens.
+                            let n = points.max(1);
+                            let rank = zipf_rank(&mut rng, n, hot_h);
+                            let w = hot[(rank + client) % n];
+                            QuerySpec {
+                                attr: w.attr,
+                                lo: w.lo,
+                                hi: w.lo + 1,
+                            }
+                        } else {
+                            region_query(&mut rng, &hot, client, points, 0.5, hot_h, domain)
                         }
                     }
                 };
@@ -484,6 +517,50 @@ mod tests {
         let hot = s.hot_windows();
         let exact = stream.iter().filter(|t| hot.contains(&t.spec)).count();
         assert!(exact > 40, "exact hot repeats: {exact}");
+    }
+
+    #[test]
+    fn point_heavy_mixes_repeated_unit_probes_with_ranges() {
+        let s = spec(
+            ArrivalProcess::Closed {
+                think: Duration::ZERO,
+            },
+            ClientFocus::PointHeavy {
+                points: 8,
+                point_prob: 0.6,
+            },
+        );
+        let hot = s.hot_windows();
+        assert_eq!(hot.len(), 8);
+        let stream = s.client_stream(0);
+        let probes: Vec<_> = stream
+            .iter()
+            .filter(|t| t.spec.hi == t.spec.lo + 1)
+            .collect();
+        // ~60% equality probes (loose band over 200 draws).
+        assert!(
+            (80..=160).contains(&probes.len()),
+            "probes: {}",
+            probes.len()
+        );
+        // Every probe hits one of the 8 hot keys, so duplicates abound.
+        for t in &probes {
+            assert!(
+                hot.iter()
+                    .any(|w| w.attr == t.spec.attr && w.lo == t.spec.lo),
+                "{:?} not a hot key",
+                t.spec
+            );
+        }
+        let mut uniq: Vec<QuerySpec> = probes.iter().map(|t| t.spec).collect();
+        uniq.sort_by_key(|q| (q.attr, q.lo));
+        uniq.dedup();
+        assert!(uniq.len() <= 8);
+        // The range remainder is valid HotRegions-style traffic.
+        for t in &stream {
+            assert!(t.spec.lo < t.spec.hi);
+            assert!(t.spec.lo >= 0 && t.spec.hi <= s.domain);
+        }
     }
 
     #[test]

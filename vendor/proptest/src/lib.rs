@@ -50,6 +50,28 @@ pub fn test_rng(test_name: &str) -> SmallRng {
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (real proptest's `prop_map`,
+    /// without shrinking back through the mapping).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
 }
 
 macro_rules! impl_range_strategy {
