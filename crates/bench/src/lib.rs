@@ -18,6 +18,7 @@
 //! | `HOLIX_UPDATERS` | Ripple updater threads (snapshot-interference harness sweeps this and 2×it) | `2` |
 //! | `HOLIX_POINTS` | distinct hot keys in the point-probe mix (filter harness) | `64` |
 //! | `HOLIX_POINT_PROB` | equality-probe fraction of the point-heavy mix | `0.8` |
+//! | `HOLIX_PHASES` | drift phases — distinct hot regions the workload visits in turn (replan harness) | `3` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but
@@ -44,6 +45,7 @@ pub struct BenchEnv {
     pub updaters: usize,
     pub points: usize,
     pub point_prob: f64,
+    pub phases: usize,
 }
 
 /// Resolves an integer knob; a set-but-unparsable value panics with the
@@ -105,6 +107,7 @@ impl BenchEnv {
             updaters: env_usize("HOLIX_UPDATERS", 2).max(1),
             points: env_usize("HOLIX_POINTS", 64).max(1),
             point_prob: env_f64("HOLIX_POINT_PROB", 0.8).clamp(0.0, 1.0),
+            phases: env_usize("HOLIX_PHASES", 3).max(1),
         }
     }
 
@@ -112,7 +115,7 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={} points={} point_prob={}",
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={} points={} point_prob={} phases={}",
             self.n,
             self.queries,
             self.attrs,
@@ -125,7 +128,8 @@ impl BenchEnv {
             self.reps,
             self.updaters,
             self.points,
-            self.point_prob
+            self.point_prob,
+            self.phases
         );
         if !notes.is_empty() {
             println!("# {notes}");

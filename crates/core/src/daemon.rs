@@ -34,6 +34,8 @@ pub struct CycleRecord {
     pub busy: u64,
     /// Stale snapshot pieces refreshed in the background this cycle.
     pub snapshot_refreshes: u64,
+    /// Point membership filters rebuilt after delete churn this cycle.
+    pub filter_rebuilds: u64,
 }
 
 /// Handle to the running holistic indexing thread.
@@ -175,6 +177,7 @@ fn daemon_loop(
             refinements: reports.iter().map(|r| r.refinements).sum(),
             busy: reports.iter().map(|r| r.busy).sum(),
             snapshot_refreshes: reports.iter().map(|r| r.snapshot_refreshes).sum(),
+            filter_rebuilds: reports.iter().map(|r| r.filter_rebuilds).sum(),
         };
         total_refinements.fetch_add(record.refinements, Ordering::Relaxed);
         cycles.lock().push(record);

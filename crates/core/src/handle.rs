@@ -53,6 +53,13 @@ pub trait RefinableIndex: Send + Sync {
     fn refresh_snapshot(&self) -> bool {
         false
     }
+    /// Background membership-filter maintenance: rebuild the point filter
+    /// when delete churn has degraded its false-positive rate (deletes
+    /// stay in a Bloom filter until rebuilt). Returns `true` when a
+    /// rebuild ran. Default: no filter surface.
+    fn maybe_rebuild_filter(&self) -> bool {
+        false
+    }
 }
 
 /// [`RefinableIndex`] adapter around a [`CrackerColumn`].
@@ -128,6 +135,10 @@ impl<V: CrackValue> RefinableIndex for CrackerHandle<V> {
 
     fn refresh_snapshot(&self) -> bool {
         self.col.refresh_stale_snapshot()
+    }
+
+    fn maybe_rebuild_filter(&self) -> bool {
+        self.col.maybe_rebuild_point_filter()
     }
 }
 

@@ -23,6 +23,9 @@ pub struct WorkerReport {
     /// Stale snapshot pieces refreshed to live granularity in the
     /// background (snapshot follow-up (b)).
     pub snapshot_refreshes: u64,
+    /// Point membership filters rebuilt after delete churn degraded
+    /// their false-positive rate.
+    pub filter_rebuilds: u64,
     /// Wall time spent in the IdleFunction.
     pub duration: Duration,
     /// Whether an index was available to work on.
@@ -59,10 +62,14 @@ pub fn idle_function(
         }
     }
     // End-of-activation maintenance: refresh one stale snapshot piece (so
-    // the first unlucky reader stops paying the copy) and republish the
+    // the first unlucky reader stops paying the copy), rebuild the point
+    // membership filter if delete churn degraded it, and republish the
     // plan-time statistics the refinements invalidated.
     if handle.refresh_snapshot() {
         report.snapshot_refreshes += 1;
+    }
+    if handle.maybe_rebuild_filter() {
+        report.filter_rebuilds += 1;
     }
     handle.publish_plan_stats();
     report.duration = start.elapsed();
@@ -162,6 +169,40 @@ mod tests {
              ({} vs coarse {coarse})",
             col.snapshot_piece_count()
         );
+    }
+
+    #[test]
+    fn idle_function_rebuilds_a_churned_point_filter() {
+        // A published point filter over a column that then absorbs heavy
+        // delete churn: end-of-activation maintenance must rebuild the
+        // filter (deleted keys never leave a Bloom filter) and reset the
+        // churn accounting.
+        let space = IndexSpace::new(HolisticConfig::default());
+        let base: Vec<i64> = (0..100_000i64).rev().collect();
+        let col = Arc::new(CrackerColumn::from_base("a", &base));
+        col.ensure_point_filter();
+        for v in 0..30_000i64 {
+            col.queue_delete(v, v as u32);
+        }
+        assert!(col.point_filter_staleness() >= 30_000);
+        space.register_actual(Arc::new(CrackerHandle::new(Arc::clone(&col))));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rebuilds = 0;
+        for _ in 0..50 {
+            let r = idle_function(&space, 8, 8, &mut rng);
+            rebuilds += r.filter_rebuilds;
+            if !r.picked {
+                break;
+            }
+        }
+        assert!(rebuilds > 0, "workers never rebuilt the churned filter");
+        assert_eq!(
+            col.point_filter_staleness(),
+            0,
+            "rebuild did not reset the churn accounting"
+        );
+        // The fresh filter still proves absence for never-inserted values.
+        assert_eq!(col.probe_point(-5), Some(false));
     }
 
     #[test]

@@ -173,6 +173,10 @@ pub struct CrackerColumn<V> {
     /// Serialises filter builders so racing point probes don't each pay the
     /// O(N) snapshot walk.
     filter_build: Mutex<()>,
+    /// Deletes absorbed since the point filter was last (re)built — stale
+    /// keys never leave a Bloom filter, so this counts accumulated
+    /// false-positive pressure until a rebuild resets it.
+    filter_deletes: AtomicUsize,
 }
 
 impl<V: CrackValue> CrackerColumn<V> {
@@ -313,6 +317,7 @@ impl<V: CrackValue> CrackerColumn<V> {
             stats_publish: Mutex::new(()),
             filter: EpochCell::new(),
             filter_build: Mutex::new(()),
+            filter_deletes: AtomicUsize::new(0),
         };
         // Cold columns still plan: publish the initial one-piece summary.
         col.publish_stats();
@@ -724,16 +729,15 @@ impl<V: CrackValue> CrackerColumn<V> {
     // ------------------------------------------------------------------
 
     /// Queues an insertion; it is merged when a query or worker touches its
-    /// value range.
-    pub fn queue_insert(&self, v: V, row: RowId) {
-        let mut dom = self.domain.lock();
-        *dom = Some(match *dom {
-            None => (v, v),
-            Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
-        });
-        drop(dom);
+    /// value range. Returns `false` — queueing nothing — once the column is
+    /// sealed for shard migration; the caller re-routes the update through
+    /// the successor plan.
+    pub fn queue_insert(&self, v: V, row: RowId) -> bool {
         {
             let mut p = self.pending.lock();
+            if p.is_sealed() {
+                return false;
+            }
             p.queue_insert(v, row);
             // Same critical section that the filter build's catch-up +
             // publish runs in, so this insert lands in the filter exactly
@@ -743,17 +747,37 @@ impl<V: CrackValue> CrackerColumn<V> {
                 f.insert(v.as_i64());
             }
         }
+        let mut dom = self.domain.lock();
+        *dom = Some(match *dom {
+            None => (v, v),
+            Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+        });
+        drop(dom);
         self.bump_stats();
+        true
     }
 
     /// Queues a deletion of the value previously inserted for `row`. The
     /// target must be a tuple that is merged or has a matching pending
     /// insert (which the queue cancels): `ripple_delete` silently drops a
     /// delete whose target is absent, and until that happens the snapshot
-    /// overlay counts the delete against the aggregates.
-    pub fn queue_delete(&self, v: V, row: RowId) {
-        self.pending.lock().queue_delete(v, row);
+    /// overlay counts the delete against the aggregates. Returns `false` —
+    /// queueing nothing — once the column is sealed for shard migration.
+    pub fn queue_delete(&self, v: V, row: RowId) -> bool {
+        {
+            let mut p = self.pending.lock();
+            if p.is_sealed() {
+                return false;
+            }
+            p.queue_delete(v, row);
+        }
+        // Deletes never leave a Bloom filter: account the churn so idle
+        // workers can rebuild once it overwhelms the published filter.
+        if self.filter.is_published() {
+            self.filter_deletes.fetch_add(1, Relaxed);
+        }
         self.bump_stats();
+        true
     }
 
     /// Number of unmerged pending operations.
@@ -874,6 +898,99 @@ impl<V: CrackValue> CrackerColumn<V> {
         let lo = lo_key.unwrap_or(V::MIN_VALUE);
         let hi = hi_key.unwrap_or(V::MAX_VALUE);
         self.merge_pending_range(lo, hi);
+    }
+
+    // ------------------------------------------------------------------
+    // Shard migration (dynamic replanning)
+    // ------------------------------------------------------------------
+
+    /// Seals the update ingress: every later [`CrackerColumn::queue_insert`]
+    /// / [`CrackerColumn::queue_delete`] returns `false` so shard routers
+    /// re-route through the successor plan. Reads — selects, snapshot
+    /// scans, point probes — keep working; sealing freezes only the
+    /// pending queue's intake.
+    pub fn seal_for_migration(&self) {
+        self.pending.lock().seal();
+    }
+
+    /// `true` once [`CrackerColumn::seal_for_migration`] ran.
+    pub fn is_sealed(&self) -> bool {
+        self.pending.lock().is_sealed()
+    }
+
+    /// Reopens the update ingress after an *aborted* migration (no
+    /// successor plan was ever published — e.g. a split found the shard's
+    /// values all equal). Updates rejected during the sealed window are
+    /// retried by the shard router and land here again.
+    pub fn unseal_after_aborted_migration(&self) {
+        self.pending.lock().unseal();
+    }
+
+    /// Drains the column for a shard replan: seals the update ingress,
+    /// Ripple-merges **every** pending update — republishing the snapshot
+    /// in the same critical section, so readers still pinned to the old
+    /// plan keep answering exactly — and returns a copy of the merged
+    /// values and row ids in cracked order. The column stays fully
+    /// readable afterwards (in-flight old-plan queries finish against it)
+    /// but accepts no new updates.
+    pub fn extract_for_migration(&self) -> (Vec<V>, Vec<RowId>) {
+        self.seal_for_migration();
+        loop {
+            let _exclusive = self.structure.write();
+            let taken = {
+                let mut p = self.pending.lock();
+                if p.has_in_flight() {
+                    // A concurrent merge took its batch before we won the
+                    // structure lock and is parked right behind us; let it
+                    // finish its splice, then retry.
+                    None
+                } else if p.is_empty() {
+                    Some(None)
+                } else {
+                    Some(Some(p.take_all_tracked()))
+                }
+            };
+            let Some(taken) = taken else {
+                drop(_exclusive);
+                std::thread::yield_now();
+                continue;
+            };
+            if let Some((token, ins, del)) = taken {
+                {
+                    let mut idx = self.index.write();
+                    // SAFETY: `structure` held exclusively — no piece guard
+                    // can be live and no reader observes the vectors while
+                    // they move.
+                    unsafe {
+                        self.vals.with_vec_mut(|vals| {
+                            self.rows.with_vec_mut(|rows| {
+                                for &(v, r) in del.iter() {
+                                    ripple_delete(vals, rows, &mut idx, v, r);
+                                }
+                                for &(v, r) in ins.iter() {
+                                    ripple_insert(vals, rows, &mut idx, v, r);
+                                }
+                            })
+                        });
+                    }
+                }
+                // Old-plan snapshot readers must stay exact: the batch
+                // leaves the pending overlay only together with a
+                // republished snapshot that already contains it.
+                if self.snap.is_published() {
+                    let pieces = self.copy_live_pieces(None, None, false);
+                    self.splice_and_publish(None, None, pieces, Some(token));
+                } else {
+                    self.pending.lock().finish_merge(token);
+                }
+            }
+            let n = self.index.read().len();
+            // SAFETY: exclusive structure lock — no live mutators.
+            let vals = unsafe { self.vals.read_range(0, n) }.to_vec();
+            let rows = unsafe { self.rows.read_range(0, n) }.to_vec();
+            self.bump_stats();
+            return (vals, rows);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1098,14 +1215,59 @@ impl<V: CrackValue> CrackerColumn<V> {
         if self.filter.is_published() {
             return; // lost the build race
         }
+        self.build_and_publish_filter();
+    }
+
+    /// Deletes absorbed since the point filter was last (re)built (stale
+    /// keys never leave a Bloom filter, so this measures accumulated
+    /// false-positive pressure).
+    pub fn point_filter_staleness(&self) -> usize {
+        self.filter_deletes.load(Relaxed)
+    }
+
+    /// Delete-churn floor below which a filter rebuild is never attempted.
+    pub const FILTER_REBUILD_MIN_DELETES: usize = 64;
+
+    /// Rebuilds the published point filter once delete churn since the last
+    /// (re)build reaches a quarter of the merged column: deleted keys stay
+    /// resident in a Bloom filter, so churn monotonically raises its
+    /// false-positive rate until a rebuild from the current snapshot resets
+    /// it. Pending updates are Ripple-merged first — the build walk ignores
+    /// unmerged deletes, so rebuilding around them would change nothing.
+    /// Idle daemon workers call this; returns `true` when a fresh filter
+    /// was published.
+    pub fn maybe_rebuild_point_filter(&self) -> bool {
+        if !self.filter.is_published() {
+            return false;
+        }
+        let d = self.filter_deletes.load(Relaxed);
+        if d < Self::FILTER_REBUILD_MIN_DELETES || d * 4 < self.len() {
+            return false;
+        }
+        let Some(_build) = self.filter_build.try_lock() else {
+            return false; // a (re)build is already running
+        };
+        self.merge_pending_range(V::MIN_VALUE, V::MAX_VALUE);
+        self.build_and_publish_filter();
+        true
+    }
+
+    /// The shared filter (re)build: walks the published snapshot plus the
+    /// unmerged pending inserts into a fresh filter and publishes it
+    /// (replacing any previous filter through the epoch cell). Caller
+    /// holds `filter_build`.
+    fn build_and_publish_filter(&self) {
+        // Deletes queued from here on count against the *new* filter.
+        self.filter_deletes.store(0, Relaxed);
         self.ensure_snapshot();
         let _shared = self.structure.read();
         let guard = self.snap.epochs().pin();
         let Some(snap) = self.snap.load(&guard) else {
             return; // unreachable: ensure_snapshot just published
         };
-        // Slack covers the pending backlog plus a churn allowance; the
-        // filter is never resized (rebuild policy is a ROADMAP follow-up).
+        // Slack covers the pending backlog plus a churn allowance; a filter
+        // overwhelmed by delete churn is replaced wholesale by
+        // [`CrackerColumn::maybe_rebuild_point_filter`], never resized.
         let expected = snap.len() + self.pending.lock().len() + 1024;
         let filter = Arc::new(PointFilter::with_capacity(expected));
         for piece in snap.pieces() {
@@ -2131,6 +2293,88 @@ mod tests {
         assert_eq!(col.piece_stats().unwrap().piece_count, 3, "delta too small");
         col.maybe_publish_stats(1);
         assert!(col.piece_stats().unwrap().piece_count > 3);
+    }
+
+    #[test]
+    fn sealed_column_rejects_updates_but_keeps_reading() {
+        let (base, col) = column(5_000, 60);
+        let mut scratch = CrackScratch::new();
+        assert!(col.queue_insert(250, 5_000));
+        col.seal_for_migration();
+        assert!(col.is_sealed());
+        assert!(!col.queue_insert(300, 5_001));
+        assert!(!col.queue_delete(250, 5_000));
+        // Reads (and the merge of the already-accepted insert) still work.
+        let pred = Predicate::range(100, 400);
+        let (_, stats) = col.select_verified(pred, &mut scratch);
+        let mut expect = scan_stats(&base, pred);
+        expect.count += 1;
+        expect.sum += 250;
+        assert_eq!(stats, expect);
+    }
+
+    #[test]
+    fn extract_for_migration_merges_pending_and_keeps_snapshot_exact() {
+        let (mut base, col) = column(10_000, 61);
+        let mut scratch = CrackScratch::new();
+        col.select(Predicate::range(200, 700), &mut scratch);
+        let full = Predicate::range(0, 1_001);
+        col.snapshot_scan(full, &mut scratch); // publish a snapshot
+        let n = base.len() as RowId;
+        assert!(col.queue_insert(431, n));
+        base.push(431);
+        assert!(col.queue_delete(base[0], 0));
+        base.remove(0);
+        let (vals, rows) = col.extract_for_migration();
+        assert_eq!(vals.len(), base.len());
+        assert_eq!(rows.len(), vals.len());
+        let mut got = vals.clone();
+        got.sort_unstable();
+        let mut want = base.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Old-plan readers still answer exactly from the republished
+        // snapshot, and new updates bounce.
+        let scan = col.snapshot_scan(full, &mut scratch);
+        let oracle = scan_stats(&base, full);
+        assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        assert!(!col.queue_insert(1, 999_999));
+        col.check_invariants(None);
+    }
+
+    #[test]
+    fn point_filter_rebuild_recovers_fpr_after_mass_deletes() {
+        let n = 4_096usize;
+        let base: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
+        let col = CrackerColumn::from_base("f", &base);
+        col.ensure_point_filter();
+        assert!(!col.maybe_rebuild_point_filter(), "no churn yet");
+        // Delete the top three quarters of the keys.
+        let cut = (n as i64 / 4) * 2;
+        for (i, &v) in base.iter().enumerate() {
+            if v >= cut {
+                assert!(col.queue_delete(v, i as RowId));
+            }
+        }
+        // The stale filter still claims every deleted key is present.
+        assert_eq!(col.probe_point(cut), Some(true));
+        assert!(col.point_filter_staleness() * 4 >= col.len());
+        assert!(col.maybe_rebuild_point_filter());
+        assert_eq!(col.point_filter_staleness(), 0);
+        // Surviving keys keep probing present (no false negatives) …
+        for &v in &base[..n / 4] {
+            assert_eq!(col.probe_point(v), Some(true));
+        }
+        // … and the deleted keys' false-positive rate collapses.
+        let fp = base[n / 4..]
+            .iter()
+            .filter(|&&v| col.probe_point(v) == Some(true))
+            .count();
+        assert!(
+            fp * 10 < n - n / 4,
+            "rebuild left {fp}/{} stale keys probing present",
+            n - n / 4
+        );
     }
 
     #[test]

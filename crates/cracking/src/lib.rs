@@ -21,7 +21,9 @@
 //!   Ripple algorithm ([28]),
 //! - [`sharding`] — horizontal range shards: one attribute split into S
 //!   independently crackable [`CrackerColumn`]s with per-shard Ripple
-//!   buffers, predicate fan-out and value-routed updates,
+//!   buffers, predicate fan-out, value-routed updates and versioned
+//!   replans ([`PlanEpoch`] / [`ReplanAction`]) that rebuild only the
+//!   split or merged shards,
 //! - [`epoch`] — per-shard snapshot epochs: immutable piece-table
 //!   snapshots published copy-on-write at piece granularity and reclaimed
 //!   with epoch-based GC, so count/sum/collect scans run without the
@@ -55,5 +57,5 @@ pub use filter::PointFilter;
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
 pub use piece_stats::PieceStats;
-pub use sharding::{ShardPlan, ShardedColumn};
+pub use sharding::{PlanEpoch, ReplanAction, ShardPlan, ShardedColumn};
 pub use vectorized::CrackScratch;

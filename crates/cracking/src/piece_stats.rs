@@ -98,6 +98,63 @@ impl<V: CrackValue> PieceStats<V> {
         end.saturating_sub(start) as u64
     }
 
+    /// Equi-depth cardinality estimate of rows in `[lo, hi)`: like
+    /// [`PieceStats::range_rows`] but interpolating *within* the two edge
+    /// pieces under a uniform-within-piece assumption — the boundary
+    /// table is a free equi-depth sketch, piece sizes are its depths.
+    /// Unlike `range_rows` this is a best-effort selectivity estimate,
+    /// not a conservative bound; the planner uses it for driver-term
+    /// election and admission pricing, never for safety decisions. Edge
+    /// pieces whose outer key is unknown (the column-edge pieces) fall
+    /// back to the conservative full-piece span.
+    pub fn estimated_rows(&self, lo: V, hi: V) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        let est = self.interpolated_pos(hi, false) - self.interpolated_pos(lo, true);
+        est.max(0.0).round() as u64
+    }
+
+    /// The interpolated position of `v` in cracked-position space:
+    /// boundary keys map to their exact position, interior values to a
+    /// linear interpolation across their piece's key range. `low_side`
+    /// picks the conservative fallback edge (piece start for a lower
+    /// bound, piece end for an upper bound) when the piece has no known
+    /// outer key to interpolate against.
+    fn interpolated_pos(&self, v: V, low_side: bool) -> f64 {
+        if v == V::MIN_VALUE {
+            return 0.0;
+        }
+        if v == V::MAX_VALUE {
+            return self.len as f64;
+        }
+        let i = self.bounds.partition_point(|&(k, _)| k <= v);
+        if i > 0 && self.bounds[i - 1].0 == v {
+            return self.bounds[i - 1].1 as f64;
+        }
+        let (a_key, start) = if i == 0 {
+            (None, 0)
+        } else {
+            (Some(self.bounds[i - 1].0), self.bounds[i - 1].1)
+        };
+        let (b_key, end) = if i < self.bounds.len() {
+            (Some(self.bounds[i].0), self.bounds[i].1)
+        } else {
+            (None, self.len)
+        };
+        match (a_key, b_key) {
+            (Some(a), Some(b)) if b > a => {
+                let num = (v.as_i64() as i128 - a.as_i64() as i128) as f64;
+                let den = (b.as_i64() as i128 - a.as_i64() as i128) as f64;
+                start as f64 + (end - start) as f64 * (num / den).clamp(0.0, 1.0)
+            }
+            // Column-edge piece with an unknown outer key: no basis to
+            // interpolate — degrade to the `range_rows` full-piece span.
+            _ if low_side => start as f64,
+            _ => end as f64,
+        }
+    }
+
     /// The edge-filter work a snapshot scan of `[lo, hi)` would pay: the
     /// summed sizes of the snapshot pieces containing the two bounds
     /// (interior pieces answer O(1) from their aggregates). `None` when no
@@ -189,6 +246,25 @@ mod tests {
         assert_eq!(s.range_rows(i64::MIN, i64::MAX), 100);
         assert_eq!(s.range_rows(12, 12), 0);
         assert_eq!(s.range_rows(25, i64::MAX), 40);
+    }
+
+    #[test]
+    fn estimated_rows_interpolates_within_edge_pieces() {
+        // Pieces: [min,10)@[0,25), [10,20)@[25,60), [20,max)@[60,100).
+        let s = stats(100, vec![(10, 25), (20, 60)], None);
+        // Exact boundaries reproduce the positional span.
+        assert_eq!(s.estimated_rows(10, 20), 35);
+        assert_eq!(s.estimated_rows(i64::MIN, i64::MAX), 100);
+        // Interior bound: half the keys of [10,20) → half its depth.
+        let half = s.estimated_rows(10, 15);
+        assert!((17..=18).contains(&half), "est {half}");
+        assert!(half < s.range_rows(10, 15), "estimate must beat the span");
+        // Unknown-key column-edge piece: conservative full-span fallback.
+        let edged = s.estimated_rows(5, 15);
+        assert!((42..=43).contains(&edged), "est {edged}");
+        // Degenerate predicates estimate zero.
+        assert_eq!(s.estimated_rows(15, 5), 0);
+        assert_eq!(s.estimated_rows(i64::MIN, i64::MIN), 0);
     }
 
     #[test]

@@ -11,11 +11,20 @@
 //! with *no crack at all* (their whole value range qualifies), and
 //! updates route to exactly one shard's pending buffer.
 //!
-//! The shard plan is chosen once from the base data: cut values at
+//! The *initial* shard plan is chosen from the base data: cut values at
 //! equi-depth quantiles of a sorted sample, so skewed bases still get
-//! balanced shards. The plan is immutable for the column's lifetime —
-//! routing keys derived from it (shard-affine dispatch in `holix-server`)
-//! stay stable across index eviction and re-creation.
+//! balanced shards. A plan is an immutable value, but it is no longer
+//! frozen for the column's lifetime: a replan
+//! ([`ShardedColumn::apply_replan`]) builds a **versioned successor**
+//! column that shares the `Arc`s of every untouched shard — their cracker
+//! indices, latches, snapshots and point filters survive — and rebuilds
+//! only the split or merged shards, draining them through
+//! [`CrackerColumn::extract_for_migration`] (seal ingress → Ripple-merge
+//! everything with a snapshot republish → copy out). The engine publishes
+//! the successor through an epoch cell ([`PlanEpoch`]), so in-flight
+//! queries finish against the plan version they started with; updates
+//! that raced into a sealed predecessor shard are rejected (`false` from
+//! the queue ops) and re-routed through the successor plan.
 
 use crate::column::{CrackerColumn, PartitionFn, Selection};
 use crate::epoch::SnapshotScan;
@@ -127,11 +136,47 @@ impl<V: CrackValue> ShardPlan<V> {
     }
 }
 
+/// A versioned shard plan, published through an epoch cell: readers load
+/// one `Arc<PlanEpoch>` and use `plan` + `version` consistently for the
+/// whole query, even while a replan publishes a successor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEpoch<V> {
+    /// Monotonic plan version (0 = the build-time plan).
+    pub version: u64,
+    /// The partitioning in force at this version.
+    pub plan: ShardPlan<V>,
+}
+
+/// One shard-plan change, proposed by the planner from published
+/// [`crate::PieceStats`] skew and applied by
+/// [`ShardedColumn::apply_replan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanAction {
+    /// Split the named hot shard at its median value.
+    Split {
+        /// Index of the shard to split.
+        shard: usize,
+    },
+    /// Merge the named cold shard with its right neighbour.
+    Merge {
+        /// Index of the left shard of the merged pair.
+        left: usize,
+    },
+}
+
 /// One attribute split into S range shards, each an independent
 /// [`CrackerColumn`] with its own index, latches and pending updates.
 pub struct ShardedColumn<V> {
     plan: ShardPlan<V>,
     shards: Vec<Arc<CrackerColumn<V>>>,
+    /// Base name; rebuilt shards of plan version `v` are named
+    /// `{name}/v{v}/s{k}`.
+    name: String,
+    /// Kernels to install on shards rebuilt by a replan (the build-time
+    /// choice carries over to successors).
+    kernels: Option<(PartitionFn<V>, PartitionFn<V>)>,
+    /// Plan version (0 at build; +1 per applied replan).
+    version: u64,
 }
 
 impl<V: CrackValue> ShardedColumn<V> {
@@ -196,7 +241,13 @@ impl<V: CrackValue> ShardedColumn<V> {
                 })
             })
             .collect();
-        ShardedColumn { plan, shards }
+        ShardedColumn {
+            plan,
+            shards,
+            name: name.to_string(),
+            kernels,
+            version: 0,
+        }
     }
 
     /// The partitioning plan.
@@ -297,14 +348,151 @@ impl<V: CrackValue> ShardedColumn<V> {
         self.shards[self.plan.shard_of(v)].ensure_point_filter();
     }
 
-    /// Routes an insertion to the shard owning `v`'s value range.
-    pub fn queue_insert(&self, v: V, row: RowId) {
-        self.shards[self.plan.shard_of(v)].queue_insert(v, row);
+    /// Routes an insertion to the shard owning `v`'s value range. `false`
+    /// when that shard is sealed for migration — the caller retries
+    /// against the successor plan.
+    pub fn queue_insert(&self, v: V, row: RowId) -> bool {
+        self.shards[self.plan.shard_of(v)].queue_insert(v, row)
     }
 
-    /// Routes a deletion to the shard owning `v`'s value range.
-    pub fn queue_delete(&self, v: V, row: RowId) {
-        self.shards[self.plan.shard_of(v)].queue_delete(v, row);
+    /// Routes a deletion to the shard owning `v`'s value range. `false`
+    /// when that shard is sealed for migration.
+    pub fn queue_delete(&self, v: V, row: RowId) -> bool {
+        self.shards[self.plan.shard_of(v)].queue_delete(v, row)
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic replanning
+    // ------------------------------------------------------------------
+
+    /// Plan version: 0 at build, +1 per applied replan.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Base attribute name this sharded column was built under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the successor column for one replan action. Shards the
+    /// action does not name keep their `Arc`s — indices, latches,
+    /// snapshots and point filters survive untouched — while the named
+    /// shard(s) are sealed, drained via
+    /// [`CrackerColumn::extract_for_migration`] and rebuilt under the
+    /// successor plan. The predecessor stays fully readable (in-flight
+    /// old-plan queries finish against it) but its migrated shards reject
+    /// updates. Returns `None` when the action cannot produce a valid
+    /// plan (splitting a shard whose values are all equal, or an
+    /// out-of-range index); an aborted split unseals its shard so the
+    /// predecessor keeps accepting updates.
+    pub fn apply_replan(&self, action: ReplanAction) -> Option<ShardedColumn<V>> {
+        match action {
+            ReplanAction::Split { shard } => self.split_shard(shard),
+            ReplanAction::Merge { left } => self.merge_shards(left),
+        }
+    }
+
+    /// A fresh shard column for the successor plan, carrying over the
+    /// build-time kernel choice.
+    fn rebuilt(
+        &self,
+        k: usize,
+        vals: Vec<V>,
+        rows: Vec<RowId>,
+        version: u64,
+    ) -> Arc<CrackerColumn<V>> {
+        let shard_name = format!("{}/v{version}/s{k}", self.name);
+        Arc::new(match &self.kernels {
+            Some((sel, refi)) => CrackerColumn::from_parts_with_partition_fns(
+                shard_name,
+                vals,
+                rows,
+                Arc::clone(sel),
+                Arc::clone(refi),
+            ),
+            None => CrackerColumn::from_parts(shard_name, vals, rows),
+        })
+    }
+
+    /// Split shard `k` at its median value (falling back to the smallest
+    /// value above the shard minimum under heavy duplication, so both
+    /// halves stay non-empty).
+    fn split_shard(&self, k: usize) -> Option<ShardedColumn<V>> {
+        if k >= self.shards.len() {
+            return None;
+        }
+        let (vals, rows) = self.shards[k].extract_for_migration();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let cut = sorted.first().and_then(|&min| {
+            let mid = sorted[sorted.len() / 2];
+            if mid > min {
+                Some(mid)
+            } else {
+                sorted.iter().copied().find(|&v| v > min)
+            }
+        });
+        let Some(cut) = cut else {
+            // All values equal (or the shard is empty): no interior cut
+            // exists. Reopen the shard — no successor will be published.
+            self.shards[k].unseal_after_aborted_migration();
+            return None;
+        };
+        // `cut` lies strictly between the shard's neighbouring plan cuts
+        // (it is a shard value above the shard minimum), so the new cut
+        // vector stays strictly increasing.
+        let version = self.version + 1;
+        let (mut lv, mut lr) = (Vec::new(), Vec::new());
+        let (mut rv, mut rr) = (Vec::new(), Vec::new());
+        for (v, r) in vals.into_iter().zip(rows) {
+            if v < cut {
+                lv.push(v);
+                lr.push(r);
+            } else {
+                rv.push(v);
+                rr.push(r);
+            }
+        }
+        let mut cuts = self.plan.cuts().to_vec();
+        cuts.insert(k, cut);
+        let mut shards = Vec::with_capacity(self.shards.len() + 1);
+        shards.extend(self.shards[..k].iter().cloned());
+        shards.push(self.rebuilt(k, lv, lr, version));
+        shards.push(self.rebuilt(k + 1, rv, rr, version));
+        shards.extend(self.shards[k + 1..].iter().cloned());
+        Some(ShardedColumn {
+            plan: ShardPlan::from_cuts(cuts),
+            shards,
+            name: self.name.clone(),
+            kernels: self.kernels.clone(),
+            version,
+        })
+    }
+
+    /// Merge shards `left` and `left + 1` into one.
+    fn merge_shards(&self, left: usize) -> Option<ShardedColumn<V>> {
+        if left + 1 >= self.shards.len() {
+            return None;
+        }
+        let version = self.version + 1;
+        let (mut vals, mut rows) = self.shards[left].extract_for_migration();
+        let (rv, rr) = self.shards[left + 1].extract_for_migration();
+        vals.extend(rv);
+        rows.extend(rr);
+        let mut cuts = self.plan.cuts().to_vec();
+        cuts.remove(left);
+        let mut shards = Vec::with_capacity(self.shards.len() - 1);
+        shards.extend(self.shards[..left].iter().cloned());
+        shards.push(self.rebuilt(left, vals, rows, version));
+        shards.extend(self.shards[left + 2..].iter().cloned());
+        Some(ShardedColumn {
+            plan: ShardPlan::from_cuts(cuts),
+            shards,
+            name: self.name.clone(),
+            kernels: self.kernels.clone(),
+            version,
+        })
     }
 
     /// Merged tuples across shards (excludes pending inserts).
@@ -592,6 +780,65 @@ mod tests {
                 assert_eq!(col.probe_point(v), Some(true), "racing insert {v} dropped");
             }
         }
+    }
+
+    #[test]
+    fn split_replan_preserves_data_and_shares_untouched_shards() {
+        let b = base(40_000, 1_000, 20);
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        let next = col.apply_replan(ReplanAction::Split { shard: 1 }).unwrap();
+        assert_eq!(next.shard_count(), 5);
+        assert_eq!(next.version(), 1);
+        // Untouched shards share their Arcs (indices/snapshots survive).
+        assert!(Arc::ptr_eq(col.shard(0), next.shard(0)));
+        assert!(Arc::ptr_eq(col.shard(2), next.shard(3)));
+        assert!(Arc::ptr_eq(col.shard(3), next.shard(4)));
+        // The predecessor's shard 1 is sealed; its successors are open.
+        assert!(col.shard(1).is_sealed());
+        assert!(!next.shard(1).is_sealed() && !next.shard(2).is_sealed());
+        assert_eq!(next.len(), b.len());
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(100, 900);
+        let (_, stats) = next.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&b, pred));
+        // An update into the migrated range bounces off the predecessor
+        // and lands through the successor plan.
+        let cut_lo = col.plan().cuts()[0];
+        assert!(!col.queue_insert(cut_lo, 40_000), "sealed shard accepted");
+        assert!(next.queue_insert(cut_lo, 40_000));
+    }
+
+    #[test]
+    fn merge_replan_concatenates_neighbours_and_drains_pending() {
+        let mut b = base(30_000, 1_000, 21);
+        let plan = ShardPlan::from_values(&b, 4);
+        let col = ShardedColumn::from_base_with_plan("a", &b, plan);
+        // A pending update on a victim shard: the drain must merge it.
+        let v0 = col.plan().cuts()[0];
+        assert!(col.queue_insert(v0, 30_000));
+        b.push(v0);
+        let next = col.apply_replan(ReplanAction::Merge { left: 1 }).unwrap();
+        assert_eq!(next.shard_count(), 3);
+        assert!(Arc::ptr_eq(col.shard(0), next.shard(0)));
+        assert!(Arc::ptr_eq(col.shard(3), next.shard(2)));
+        assert_eq!(next.len(), b.len());
+        let mut scratch = CrackScratch::new();
+        let pred = Predicate::range(0, 1_000);
+        let (_, stats) = next.select_verified(pred, &mut scratch);
+        assert_eq!(stats, scan_stats(&b, pred));
+        // Out-of-range actions are rejected outright.
+        assert!(col.apply_replan(ReplanAction::Merge { left: 3 }).is_none());
+        assert!(col.apply_replan(ReplanAction::Split { shard: 9 }).is_none());
+    }
+
+    #[test]
+    fn split_of_constant_shard_aborts_and_unseals() {
+        let b: Vec<i64> = vec![5; 1_000];
+        let col = ShardedColumn::from_base_with_plan("a", &b, ShardPlan::single());
+        assert!(col.apply_replan(ReplanAction::Split { shard: 0 }).is_none());
+        assert!(!col.shard(0).is_sealed(), "aborted split left shard sealed");
+        assert!(col.queue_insert(5, 1_000), "aborted split lost the ingress");
     }
 
     #[test]

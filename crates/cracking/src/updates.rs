@@ -38,6 +38,11 @@ pub struct PendingUpdates<V> {
     /// costs two refcount bumps, not two buffer copies.
     in_flight: Vec<InFlightBatch<V>>,
     next_token: u64,
+    /// Set by shard migration: the column is being drained into its
+    /// replan successors, so new updates must be rejected and re-routed
+    /// through the successor plan (checked under the pending mutex —
+    /// the same lock every queueing path already takes).
+    sealed: bool,
 }
 
 /// One merge's taken batch: `(token, inserts, deletes)`.
@@ -51,7 +56,32 @@ impl<V: CrackValue> PendingUpdates<V> {
             deletes: Vec::new(),
             in_flight: Vec::new(),
             next_token: 0,
+            sealed: false,
         }
+    }
+
+    /// Marks the queue sealed: the owning column is migrating into replan
+    /// successors and accepts no further updates.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// `true` once [`PendingUpdates::seal`] ran.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Reopens a sealed queue — only legal while no successor plan was
+    /// published (an aborted migration; rejected updates in the window are
+    /// retried by the shard router and land here again).
+    pub fn unseal(&mut self) {
+        self.sealed = false;
+    }
+
+    /// Any merge batch taken but not yet published? Migration must wait
+    /// these out: their items live in neither the column nor the queues.
+    pub fn has_in_flight(&self) -> bool {
+        !self.in_flight.is_empty()
     }
 
     /// Queues an insertion.
@@ -117,6 +147,22 @@ impl<V: CrackValue> PendingUpdates<V> {
     ) -> (u64, Arc<UpdateList<V>>, Arc<UpdateList<V>>) {
         let (ins, del) = self.take_range(lo, hi);
         let (ins, del) = (Arc::new(ins), Arc::new(del));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.in_flight
+            .push((token, Arc::clone(&ins), Arc::clone(&del)));
+        (token, ins, del)
+    }
+
+    /// Takes *every* queued update — including `MAX_VALUE` sentinels that a
+    /// `take_range(MIN, MAX)` would exclude (half-open upper bound) — and
+    /// registers the batch as in-flight like
+    /// [`PendingUpdates::take_range_tracked`]. Shard migration drains the
+    /// whole queue through this before copying the column out.
+    #[allow(clippy::type_complexity)]
+    pub fn take_all_tracked(&mut self) -> (u64, Arc<UpdateList<V>>, Arc<UpdateList<V>>) {
+        let ins = Arc::new(std::mem::take(&mut self.inserts));
+        let del = Arc::new(std::mem::take(&mut self.deletes));
         let token = self.next_token;
         self.next_token += 1;
         self.in_flight
@@ -358,6 +404,30 @@ mod tests {
         assert_eq!(uv_ins, vec![50], "queued insert outside the merge survives");
         assert!(uv_del.is_empty());
         q.finish_merge(token); // idempotent
+    }
+
+    #[test]
+    fn take_all_tracked_drains_sentinels_and_tracks_in_flight() {
+        let mut q = PendingUpdates::new();
+        q.queue_insert(i64::MAX, 1); // excluded by any half-open take_range
+        q.queue_insert(5, 2);
+        q.queue_delete(7, 3);
+        assert!(!q.has_in_flight());
+        let (token, ins, del) = q.take_all_tracked();
+        assert_eq!(ins.len(), 2, "sentinel insert must be taken too");
+        assert_eq!(del.len(), 1);
+        assert!(q.is_empty());
+        assert!(q.has_in_flight());
+        q.finish_merge(token);
+        assert!(!q.has_in_flight());
+    }
+
+    #[test]
+    fn seal_is_observable() {
+        let mut q = PendingUpdates::<i64>::new();
+        assert!(!q.is_sealed());
+        q.seal();
+        assert!(q.is_sealed());
     }
 
     #[test]

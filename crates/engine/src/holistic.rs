@@ -17,19 +17,38 @@
 //! uniformly — holistic refinement still picks the globally hottest piece.
 //! A query fans out to the shards its predicate intersects and merges
 //! counts/sums; fully-covered interior shards answer without cracking.
+//!
+//! ## Versioned shard plans
+//!
+//! With [`HolisticEngineConfig::replan`] the shard plan stops being a
+//! build-time constant: a replanner thread watches each materialised
+//! shard's published [`holix_cracking::PieceStats`] (merged rows +
+//! pending backlog), asks `holix_planner::propose_replan` whether a hot
+//! shard should split or two cold neighbours merge, and migrates the
+//! affected values through [`ShardedColumn::apply_replan`] — sealed
+//! predecessor shards drain their Ripple backlog and republish their
+//! snapshots, untouched shards are shared by `Arc` into the successor.
+//! The new plan is published as a [`PlanEpoch`] through an epoch cell:
+//! in-flight queries finish against the `(column, plan)` pair they
+//! started with, new queries route by the published epoch, and updates
+//! rejected by a sealed predecessor retry against the successor. Readers
+//! never block mid-replan.
 
 use crate::api::{Capabilities, Dataset, QueryEngine, SnapshotCollect};
 use holix_core::cpu::LoadAccountant;
 use holix_core::handle::CrackerHandle;
 use holix_core::index_space::{IndexId, IndexSpace, Membership};
 use holix_core::{CpuMonitor, CycleRecord, HolisticConfig, HolisticDaemon};
-use holix_cracking::{CrackScratch, CrackerColumn, ShardPlan, ShardedColumn};
+use holix_cracking::{
+    CrackScratch, CrackerColumn, EpochCell, PlanEpoch, ReplanAction, ShardPlan, ShardedColumn,
+};
 use holix_parallel::pvdc::parallel_partition_fn;
-use holix_planner::PlanCost;
+use holix_planner::{propose_replan, PlanCost, ReplanPolicy, ShardLoad};
 use holix_storage::select::{Predicate, RangeStats};
 use holix_workloads::QuerySpec;
 use parking_lot::RwLock;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -51,6 +70,11 @@ pub struct HolisticEngineConfig {
     /// filters: a filter-negative probe answers "empty" without cracking
     /// anything (the `f_Ih` exact-hit analogue for point traffic).
     pub point_filters: bool,
+    /// Run the replanner thread: watch per-shard load skew and publish
+    /// split/merge plan revisions through the attribute's epoch cell.
+    /// Off by default — the paper's layout is a fixed plan, and frozen
+    /// plans are the baseline every `fig_replan` bed compares against.
+    pub replan: bool,
     /// Core tuning configuration (x, interval, strategy, budget,
     /// worker_threads …).
     pub holistic: HolisticConfig,
@@ -66,6 +90,7 @@ impl HolisticEngineConfig {
             user_threads: (total_contexts / 2).max(1),
             shards: 1,
             point_filters: true,
+            replan: false,
             holistic: HolisticConfig::fast(),
         }
     }
@@ -86,6 +111,25 @@ struct AttrSlot {
     ids: Arc<[IndexId]>,
 }
 
+/// The plan-versioned state a replan mutates, shared with the replanner
+/// thread. Lock discipline: `plan_cells` is published *before* the slot
+/// in `cols` swaps, so a reader that routed by the new epoch always
+/// finds a column at least as new (in-flight readers keep their old
+/// `(col, ids)` Arcs and finish against the plan they started with).
+struct PlanShared {
+    cols: Vec<RwLock<Option<AttrSlot>>>,
+    /// Per-attribute published plan epoch. Always published (version 0 at
+    /// construction); routing and decomposition read it lock-free.
+    plan_cells: Vec<EpochCell<PlanEpoch<i64>>>,
+    /// Total split/merge cutovers published across all attributes.
+    replans: AtomicU64,
+}
+
+struct Replanner {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
 /// Adaptive indexing + background tuning.
 pub struct HolisticEngine {
     data: Dataset,
@@ -93,18 +137,22 @@ pub struct HolisticEngine {
     space: Arc<IndexSpace>,
     accountant: Arc<LoadAccountant>,
     daemon: parking_lot::Mutex<Option<HolisticDaemon>>,
-    /// Immutable per-attribute shard plans, fixed at construction so
-    /// routing keys survive eviction and re-creation.
-    plans: Vec<ShardPlan<i64>>,
-    /// Uniform multiplier for [`QueryEngine::routing_key`] — the maximum
-    /// shard count across attributes, so no two attributes' keys collide
-    /// even when some plans collapsed to fewer shards.
+    /// Columns + published plan epochs, shared with the replanner thread.
+    shared: Arc<PlanShared>,
+    /// Uniform multiplier for [`QueryEngine::routing_key`] — at least the
+    /// maximum shard count across attributes, so no two attributes' keys
+    /// collide even when some plans collapsed to fewer shards. With
+    /// replanning enabled it is widened to the policy's shard cap so
+    /// split-born shards get distinct keys; the stride itself never moves
+    /// (routing keys must stay comparable across plan versions).
     routing_stride: u64,
-    cols: Vec<RwLock<Option<AttrSlot>>>,
+    replan_policy: ReplanPolicy,
+    replanner: parking_lot::Mutex<Option<Replanner>>,
 }
 
 impl HolisticEngine {
-    /// Builds the engine and starts the tuning daemon.
+    /// Builds the engine and starts the tuning daemon (and, with
+    /// [`HolisticEngineConfig::replan`], the replanner thread).
     pub fn new(data: Dataset, cfg: HolisticEngineConfig) -> Self {
         let space = Arc::new(IndexSpace::new(cfg.holistic.clone()));
         let accountant = LoadAccountant::new(cfg.total_contexts);
@@ -116,27 +164,77 @@ impl HolisticEngine {
         let plans: Vec<ShardPlan<i64>> = (0..data.attrs())
             .map(|a| ShardPlan::from_values(data.column(a), cfg.shards))
             .collect();
+        let replan_policy = ReplanPolicy::default();
         // Uniform routing stride: plans can collapse to fewer shards on
         // low-cardinality attributes, and per-attribute multipliers would
         // make different attributes' key ranges overlap — every key must
         // identify exactly one (attr, shard) structure.
-        let routing_stride = plans
+        let mut routing_stride = plans
             .iter()
             .map(ShardPlan::shards)
             .max()
             .unwrap_or(1)
             .max(1) as u64;
-        let cols = (0..data.attrs()).map(|_| RwLock::new(None)).collect();
+        if cfg.replan {
+            routing_stride = routing_stride.max(replan_policy.max_shards as u64);
+        }
+        let plan_cells: Vec<EpochCell<PlanEpoch<i64>>> = plans
+            .iter()
+            .map(|plan| {
+                let cell = EpochCell::new();
+                cell.publish(Arc::new(PlanEpoch {
+                    version: 0,
+                    plan: plan.clone(),
+                }));
+                cell
+            })
+            .collect();
+        let shared = Arc::new(PlanShared {
+            cols: (0..data.attrs()).map(|_| RwLock::new(None)).collect(),
+            plan_cells,
+            replans: AtomicU64::new(0),
+        });
+        let replanner = cfg.replan.then(|| {
+            spawn_replanner(
+                Arc::clone(&shared),
+                Arc::clone(&space),
+                replan_policy,
+                cfg.holistic.monitor_interval,
+            )
+        });
         HolisticEngine {
             data,
             cfg,
             space,
             accountant,
             daemon: parking_lot::Mutex::new(Some(daemon)),
-            plans,
+            shared,
             routing_stride,
-            cols,
+            replan_policy,
+            replanner: parking_lot::Mutex::new(replanner),
         }
+    }
+
+    /// The published plan epoch for an attribute: the lock-free routing
+    /// authority. A query that loaded this epoch is *pinned* to it — the
+    /// column it fans out over is at least as new as the epoch's plan,
+    /// and a concurrent replan publishes a fresh epoch without disturbing
+    /// the loaded `Arc`.
+    pub fn plan_epoch(&self, attr: usize) -> Arc<PlanEpoch<i64>> {
+        self.shared.plan_cells[attr]
+            .load()
+            .expect("plan epochs are published at construction")
+    }
+
+    /// Version of the currently published plan for `attr` (0 until the
+    /// first replan cutover).
+    pub fn plan_version(&self, attr: usize) -> u64 {
+        self.plan_epoch(attr).version
+    }
+
+    /// Total replan cutovers (splits + merges) published so far.
+    pub fn replan_count(&self) -> u64 {
+        self.shared.replans.load(Ordering::Relaxed)
     }
 
     fn build_column(&self, attr: usize) -> Arc<ShardedColumn<i64>> {
@@ -144,7 +242,10 @@ impl HolisticEngine {
         Arc::new(ShardedColumn::with_partition_fns(
             &format!("attr{attr}"),
             self.data.column(attr),
-            self.plans[attr].clone(),
+            // The *published* plan, not the construction plan: an
+            // attribute evicted after a replan must rebuild with the
+            // revised cuts or its routing would silently regress.
+            self.plan_epoch(attr).plan.clone(),
             parallel_partition_fn(self.cfg.user_threads),
             parallel_partition_fn(refine_threads),
         ))
@@ -191,14 +292,14 @@ impl HolisticEngine {
     /// rebuilt and re-registered.
     pub fn sharded(&self, attr: usize) -> (Arc<ShardedColumn<i64>>, Arc<[IndexId]>) {
         {
-            let guard = self.cols[attr].read();
+            let guard = self.shared.cols[attr].read();
             if let Some(slot) = guard.as_ref() {
                 if self.slot_live(slot) {
                     return (Arc::clone(&slot.col), Arc::clone(&slot.ids));
                 }
             }
         }
-        let mut guard = self.cols[attr].write();
+        let mut guard = self.shared.cols[attr].write();
         if let Some(slot) = guard.as_ref() {
             if self.slot_live(slot) {
                 return (Arc::clone(&slot.col), Arc::clone(&slot.ids));
@@ -242,7 +343,7 @@ impl HolisticEngine {
     /// block re-speculation.
     pub fn add_potential(&self, attrs: &[usize]) {
         for &attr in attrs {
-            let mut guard = self.cols[attr].write();
+            let mut guard = self.shared.cols[attr].write();
             if let Some(slot) = guard.as_ref() {
                 if self.slot_live(slot) {
                     continue;
@@ -268,7 +369,11 @@ impl HolisticEngine {
 
     /// Shards per attribute.
     pub fn shard_count(&self) -> usize {
-        self.plans.first().map_or(1, ShardPlan::shards)
+        self.shared
+            .plan_cells
+            .first()
+            .and_then(EpochCell::load)
+            .map_or(1, |e| e.plan.shards())
     }
 
     /// Total pieces across all live indices (Fig 6(c)).
@@ -290,11 +395,17 @@ impl HolisticEngine {
     /// fresh (it republished once per cycle while alive), so plan-priced
     /// decisions stay accurate after the background refresher is gone.
     pub fn stop(&self) -> Vec<CycleRecord> {
+        // The replanner goes first: a migration racing daemon shutdown
+        // would re-register successor shards into a space nobody refines.
+        if let Some(replanner) = self.replanner.lock().take() {
+            replanner.stop.store(true, Ordering::Relaxed);
+            let _ = replanner.handle.join();
+        }
         let Some(daemon) = self.daemon.lock().take() else {
             return Vec::new();
         };
         let records = daemon.stop();
-        for slot in &self.cols {
+        for slot in &self.shared.cols {
             if let Some(slot) = slot.read().as_ref() {
                 for k in 0..slot.col.shard_count() {
                     slot.col.shard(k).maybe_publish_stats(1);
@@ -307,15 +418,50 @@ impl HolisticEngine {
     /// Queues an insertion of `v` for base row `row` on `attr`; it lands in
     /// the pending buffer of exactly the shard owning `v`'s value range and
     /// is merged when a query or worker touches that range (Ripple).
+    ///
+    /// A shard sealed for migration rejects the enqueue; the update
+    /// retries against the successor plan once its cutover publishes (or
+    /// against the reopened shard if the migration aborted) — updates are
+    /// never silently dropped across a replan.
     pub fn queue_insert(&self, attr: usize, v: i64, row: holix_storage::types::RowId) {
-        let (col, _) = self.sharded(attr);
-        col.queue_insert(v, row);
+        loop {
+            let (col, _) = self.sharded(attr);
+            if col.queue_insert(v, row) {
+                return;
+            }
+            std::thread::yield_now();
+        }
     }
 
-    /// Queues a deletion of the value previously inserted for `row`.
+    /// Queues a deletion of the value previously inserted for `row`
+    /// (same sealed-shard retry discipline as [`Self::queue_insert`]).
     pub fn queue_delete(&self, attr: usize, v: i64, row: holix_storage::types::RowId) {
-        let (col, _) = self.sharded(attr);
-        col.queue_delete(v, row);
+        loop {
+            let (col, _) = self.sharded(attr);
+            if col.queue_delete(v, row) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Evaluates the replan policy for one attribute and, when it fires,
+    /// migrates and publishes the successor plan. Returns the applied
+    /// action. Cold (never-materialised) attributes are never replanned.
+    pub fn maybe_replan(&self, attr: usize) -> Option<ReplanAction> {
+        maybe_replan_attr(&self.shared, &self.space, &self.replan_policy, attr)
+    }
+
+    /// Applies a specific split/merge unconditionally (tests and the
+    /// `fig_replan` harness force migrations the policy would pace).
+    /// Returns `false` when the attribute is cold, the action is out of
+    /// range, or the migration aborted (e.g. an unsplittable
+    /// constant-valued shard).
+    pub fn force_replan(&self, attr: usize, action: ReplanAction) -> bool {
+        let Some((col, ids)) = peek_slot(&self.shared, attr) else {
+            return false;
+        };
+        apply_replan_action(&self.shared, &self.space, attr, &col, &ids, action)
     }
 
     /// Fans a predicate out to the intersecting shards, records per-shard
@@ -436,11 +582,16 @@ impl QueryEngine for HolisticEngine {
     }
 
     fn routing_key(&self, q: &QuerySpec) -> u64 {
-        // Home shard of the lower bound: narrow hot-set queries land whole
-        // on one shard, so per-key pinning keeps workers off each other's
-        // latches for the dominant traffic. The stride is uniform across
-        // attributes so keys of different attributes never collide.
-        q.attr as u64 * self.routing_stride + self.plans[q.attr].shard_of(q.lo) as u64
+        // Home shard of the lower bound under the *published* plan epoch:
+        // narrow hot-set queries land whole on one shard, so per-key
+        // pinning keeps workers off each other's latches for the dominant
+        // traffic. The stride is uniform across attributes so keys of
+        // different attributes never collide; the clamp covers a plan
+        // that split past the stride (pinning is a contention
+        // optimisation, never a safety invariant, so key aliasing in that
+        // tail is acceptable).
+        let shard = self.plan_epoch(q.attr).plan.shard_of(q.lo) as u64;
+        q.attr as u64 * self.routing_stride + shard.min(self.routing_stride - 1)
     }
 
     fn estimate_cost(&self, q: &QuerySpec) -> Option<PlanCost> {
@@ -449,7 +600,7 @@ impl QueryEngine for HolisticEngine {
         // be materialised here (admission control prices queries before
         // anything commits to paying the O(N) column copy) — its price is
         // exactly that copy-and-crack.
-        let guard = self.cols[q.attr].read();
+        let guard = self.shared.cols[q.attr].read();
         let Some(slot) = guard.as_ref().filter(|s| self.slot_live(s)) else {
             return Some(PlanCost::cold(self.data.rows()));
         };
@@ -493,9 +644,12 @@ impl QueryEngine for HolisticEngine {
     }
 
     fn decompose(&self, q: &QuerySpec) -> Option<Vec<QuerySpec>> {
-        // Derives from the immutable shard plan only (like routing_key):
-        // stable across eviction and never materialises a column.
-        holix_planner::decompose_spanning(&self.plans[q.attr], q)
+        // Derives from the published plan epoch only (like routing_key):
+        // stable across eviction and never materialises a column. Parts
+        // cut at a replanned boundary stay correct even if another replan
+        // publishes before they execute — each part is a plain range
+        // query; boundary cuts only lose their single-shard affinity.
+        holix_planner::decompose_spanning(&self.plan_epoch(q.attr).plan, q)
     }
 
     fn execute_snapshot(&self, q: &QuerySpec) -> Option<(u64, i128)> {
@@ -653,13 +807,17 @@ impl QueryEngine for HolisticEngine {
         {
             return Some(0); // one empty term empties the conjunction
         }
-        // Driver: the term expected to qualify fewest rows, priced from
-        // the published piece statistics (lock-free; cold attributes price
-        // as a full scan and lose the election unless every term is cold).
+        // Driver: the term expected to qualify fewest rows. Elected by
+        // the equi-depth cardinality estimate (`est_rows`, interpolated
+        // inside the edge pieces), not the conservative positional span —
+        // on a coarsely cracked attribute the span covers whole pieces
+        // and would lose a selective term the histogram can see. Ties and
+        // cold attributes (est = full length) fall back to first-wins,
+        // exactly as before. Lock-free: priced from published statistics.
         let di = terms
             .iter()
             .enumerate()
-            .min_by_key(|(_, t)| self.estimate_cost(t).map_or(u64::MAX, |c| c.scan_rows))
+            .min_by_key(|(_, t)| self.estimate_cost(t).map_or(u64::MAX, |c| c.est_rows))
             .map(|(i, _)| i)?;
         let driver = &terms[di];
         // Collect the driver's qualifying *base row ids* shard by shard
@@ -725,6 +883,164 @@ impl Drop for HolisticEngine {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// An attribute's published sharded column and its per-shard index ids.
+type SlotPair = (Arc<ShardedColumn<i64>>, Arc<[IndexId]>);
+
+/// Clones the live `(column, ids)` pair for an attribute without
+/// materialising anything — `None` for cold attributes.
+fn peek_slot(shared: &PlanShared, attr: usize) -> Option<SlotPair> {
+    let guard = shared.cols[attr].read();
+    let slot = guard.as_ref()?;
+    Some((Arc::clone(&slot.col), Arc::clone(&slot.ids)))
+}
+
+/// One policy evaluation for one attribute: read per-shard loads from the
+/// published statistics (lock-free), propose, migrate, publish.
+fn maybe_replan_attr(
+    shared: &PlanShared,
+    space: &IndexSpace,
+    policy: &ReplanPolicy,
+    attr: usize,
+) -> Option<ReplanAction> {
+    let (col, ids) = peek_slot(shared, attr)?;
+    // Refresh before reading: the daemon republishes the shards it
+    // refines each cycle, but a pure pending pile-up (updates with no
+    // queries) advances no refinement — the policy must not starve on
+    // stale summaries. `maybe_publish_stats(1)` is a no-op when nothing
+    // changed.
+    for k in 0..col.shard_count() {
+        col.shard(k).maybe_publish_stats(1);
+    }
+    let loads: Vec<ShardLoad> = (0..col.shard_count())
+        .map(|k| match col.shard(k).piece_stats() {
+            Some(s) => ShardLoad {
+                rows: s.len,
+                pending: s.pending,
+            },
+            // Columns publish at build; the fallback reads the live
+            // lengths so a stats-less shard is not mistaken for empty.
+            None => ShardLoad {
+                rows: col.shard(k).len(),
+                pending: col.shard(k).pending_len(),
+            },
+        })
+        .collect();
+    let action = propose_replan(&loads, policy)?;
+    apply_replan_action(shared, space, attr, &col, &ids, action).then_some(action)
+}
+
+/// Migrates `action` against `col` and publishes the successor plan.
+///
+/// Readers are never blocked: the migration seals and drains only the
+/// replaced shard(s) while queries keep executing against the predecessor
+/// `(col, ids)` they already cloned. The cutover order is
+/// plan-epoch-then-slot, so any query routed by the new epoch finds a
+/// column at least that new; the replaced shards' registry entries are
+/// retired and the rebuilt shards registered, untouched shards keep their
+/// identity (and their accumulated daemon weights) by `Arc` sharing.
+fn apply_replan_action(
+    shared: &PlanShared,
+    space: &IndexSpace,
+    attr: usize,
+    col: &Arc<ShardedColumn<i64>>,
+    ids: &Arc<[IndexId]>,
+    action: ReplanAction,
+) -> bool {
+    let Some(successor) = col.apply_replan(action) else {
+        return false;
+    };
+    let successor = Arc::new(successor);
+    let mut guard = shared.cols[attr].write();
+    match guard.as_ref() {
+        // The slot was evicted and rebuilt while we migrated: our
+        // predecessor is defunct, the successor is based on stale shards —
+        // abandon it (its fresh shards were never registered; updates the
+        // sealed shards rejected retry against the rebuilt slot).
+        Some(slot) if !Arc::ptr_eq(&slot.col, col) => return false,
+        None => return false,
+        Some(_) => {}
+    }
+    // Identity-diff the shard lists: untouched shards were shared by
+    // `Arc` into the successor and keep their registry ids.
+    let mut new_ids: Vec<Option<IndexId>> = vec![None; successor.shard_count()];
+    let mut reused = vec![false; col.shard_count()];
+    for (j, slot_id) in new_ids.iter_mut().enumerate() {
+        for i in 0..col.shard_count() {
+            if !reused[i] && Arc::ptr_eq(successor.shard(j), col.shard(i)) {
+                *slot_id = Some(ids[i]);
+                reused[i] = true;
+                break;
+            }
+        }
+    }
+    let fresh: Vec<Arc<dyn holix_core::RefinableIndex>> = (0..successor.shard_count())
+        .filter(|&j| new_ids[j].is_none())
+        .map(|j| {
+            Arc::new(CrackerHandle::new(Arc::clone(successor.shard(j))))
+                as Arc<dyn holix_core::RefinableIndex>
+        })
+        .collect();
+    let mut registered = space.register_actual_batch(fresh).into_iter();
+    for slot_id in new_ids.iter_mut() {
+        if slot_id.is_none() {
+            *slot_id = registered.next().map(|(id, _)| id);
+        }
+    }
+    let new_ids: Arc<[IndexId]> = new_ids
+        .into_iter()
+        .map(|id| id.expect("one registration per rebuilt shard"))
+        .collect();
+    for i in 0..col.shard_count() {
+        if !reused[i] {
+            space.retire(ids[i]);
+        }
+    }
+    // Seed the successor's rebuilt shards with fresh statistics so the
+    // next policy evaluation (and plan-priced admission) sees them.
+    for k in 0..successor.shard_count() {
+        successor.shard(k).maybe_publish_stats(1);
+    }
+    let version = shared.plan_cells[attr].load().map_or(1, |e| e.version + 1);
+    shared.plan_cells[attr].publish(Arc::new(PlanEpoch {
+        version,
+        plan: successor.plan().clone(),
+    }));
+    *guard = Some(AttrSlot {
+        col: successor,
+        ids: new_ids,
+    });
+    drop(guard);
+    shared.replans.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// The replanner thread: a policy sweep over all attributes every
+/// `interval`, for as long as the engine lives.
+fn spawn_replanner(
+    shared: Arc<PlanShared>,
+    space: Arc<IndexSpace>,
+    policy: ReplanPolicy,
+    interval: std::time::Duration,
+) -> Replanner {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("holix-replanner".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                for attr in 0..shared.cols.len() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    maybe_replan_attr(&shared, &space, &policy, attr);
+                }
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn replanner thread");
+    Replanner { stop, handle }
 }
 
 #[cfg(test)]
@@ -1080,7 +1396,7 @@ mod tests {
                 }
                 None => {
                     // Single-shard range: nothing to decompose.
-                    let (first, last) = e.plans[q.attr].shard_range(q.lo, q.hi).unwrap();
+                    let (first, last) = e.plan_epoch(q.attr).plan.shard_range(q.lo, q.hi).unwrap();
                     assert_eq!(first, last, "spanning {q:?} was not decomposed");
                 }
             }
@@ -1330,5 +1646,119 @@ mod tests {
         let e = engine(1, 10_000);
         e.stop();
         assert!(e.stop().is_empty());
+    }
+
+    #[test]
+    fn forced_split_and_merge_preserve_results_across_plan_versions() {
+        let e = sharded_engine(1, 40_000, 4);
+        let q = QuerySpec {
+            attr: 0,
+            lo: 100_000,
+            hi: 900_000,
+        };
+        let oracle = scan_stats(e.data.column(0), Predicate::range(q.lo, q.hi)).count;
+        assert_eq!(e.execute(&q), oracle);
+        assert_eq!(e.plan_version(0), 0);
+        let old_epoch = e.plan_epoch(0);
+        let (old_col, _) = e.sharded(0);
+
+        assert!(e.force_replan(0, ReplanAction::Split { shard: 1 }));
+        assert_eq!(e.plan_version(0), 1);
+        assert_eq!(e.replan_count(), 1);
+        let (col, ids) = e.sharded(0);
+        assert_eq!(col.shard_count(), 5);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(e.execute(&q), oracle, "results survive the split");
+
+        // A query pinned to the old plan (it loaded the epoch and cloned
+        // the column before the cutover) still completes correctly: the
+        // sealed predecessor drained its backlog and stays readable.
+        assert_eq!(old_epoch.version, 0);
+        SCRATCH.with(|s| {
+            let (_, stats) =
+                old_col.select_verified(Predicate::range(q.lo, q.hi), &mut s.borrow_mut());
+            assert_eq!(stats.count, oracle, "old-plan reader sees exact data");
+        });
+
+        // Updates queued across the replan land in the successor (the
+        // sealed shard rejects, the engine retries) and stay countable.
+        e.queue_insert(0, 500_000, 1_000_000);
+        assert_eq!(e.execute(&q), oracle + 1);
+
+        assert!(e.force_replan(0, ReplanAction::Merge { left: 1 }));
+        assert_eq!(e.plan_version(0), 2);
+        assert_eq!(e.sharded(0).0.shard_count(), 4);
+        assert_eq!(e.execute(&q), oracle + 1, "results survive the merge");
+
+        // Registry bookkeeping: every live entry belongs to the current
+        // slot (replaced shards were retired, not orphaned).
+        assert!(e.space().live_ids().len() <= 4);
+        e.stop();
+    }
+
+    #[test]
+    fn replan_policy_splits_a_pending_hot_spot() {
+        let e = sharded_engine(1, 40_000, 4);
+        let q = QuerySpec {
+            attr: 0,
+            lo: 0,
+            hi: 1_000_000,
+        };
+        let oracle = scan_stats(e.data.column(0), Predicate::range(q.lo, q.hi)).count;
+        assert_eq!(e.execute(&q), oracle);
+        assert_eq!(e.maybe_replan(0), None, "balanced plan: policy is quiet");
+        // Pile pending inserts into shard 0's value range: the backlog
+        // makes it hot before a single update is merged.
+        let (col, _) = e.sharded(0);
+        let cut = col.plan().cuts()[0];
+        let n = 90_000u64;
+        for i in 0..n {
+            e.queue_insert(0, (i as i64) % cut.max(1), 1_000_000 + i as u32);
+        }
+        for k in 0..col.shard_count() {
+            col.shard(k).publish_stats();
+        }
+        assert_eq!(
+            e.maybe_replan(0),
+            Some(ReplanAction::Split { shard: 0 }),
+            "pending skew must trip the split"
+        );
+        assert_eq!(e.plan_version(0), 1);
+        assert_eq!(e.execute(&q), oracle + n, "backlog survives the migration");
+        e.stop();
+    }
+
+    #[test]
+    fn replanner_thread_rebalances_under_drift() {
+        let data = Dataset::new(uniform_table(1, 40_000, 1_000_000, 11));
+        let mut cfg = HolisticEngineConfig::split_half_sharded(4, 4);
+        cfg.holistic.monitor_interval = Duration::from_millis(1);
+        cfg.replan = true;
+        let e = HolisticEngine::new(data, cfg);
+        let q = QuerySpec {
+            attr: 0,
+            lo: 0,
+            hi: 1_000_000,
+        };
+        let oracle = scan_stats(e.data.column(0), Predicate::range(q.lo, q.hi)).count;
+        assert_eq!(e.execute(&q), oracle);
+        // Drifted hot region: a pending pile-up in the last shard.
+        let (col, _) = e.sharded(0);
+        let lowest = *col.plan().cuts().last().unwrap();
+        for i in 0..90_000u64 {
+            e.queue_insert(0, lowest + (i as i64 % 1_000), 1_000_000 + i as u32);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while e.replan_count() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replanner never split the hot shard"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(e.plan_version(0) >= 1);
+        assert_eq!(e.execute(&q), oracle + 90_000, "exact under live replans");
+        e.stop();
+        e.stop(); // idempotent with the replanner too
     }
 }

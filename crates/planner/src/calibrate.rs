@@ -1,0 +1,297 @@
+//! Online cost-model calibration: regress observed service time against
+//! the [`PlanCost`] that admitted the query, and nudge the model's
+//! constants inside guard rails.
+//!
+//! The seeded [`CostModel`] constants encode a nominal machine (~25 ns
+//! per touched value). Real hardware diverges — a faster cache raises
+//! the touched-value budget a "cheap" query can afford; a slow Ripple
+//! merge path raises the weight a pending update deserves. The
+//! calibrator learns two rates by exponentially weighted moving average:
+//!
+//! - **alpha** — ns per touched value, sampled from backlog-free
+//!   `Locked` executions (`service / (crack_values + est_rows)`),
+//! - **beta** — ns per pending Ripple op, sampled from backlogged
+//!   `Locked` executions after subtracting the alpha-predicted value
+//!   work,
+//!
+//! and re-derives the knobs every [`Calibrator::REPUBLISH_EVERY`]
+//! observations: `merge_weight ← beta/alpha` (the model's unit *is*
+//! alpha), `cheap_budget ← TARGET_CHEAP_NS/alpha`, `downgrade_budget ←
+//! TARGET_DOWNGRADE_NS/alpha`. Every derived knob is clamped to
+//! `[seed/4, seed*4]` so a burst of anomalous timings (page faults, CPU
+//! migration) can never swing admission by more than 4x from the
+//! reviewed constants.
+//!
+//! Readers take a `Copy` of the whole model ([`Calibrator::model`]), so
+//! a query prices itself against one consistent constant set even while
+//! the calibrator republishes — the same publish-then-read discipline as
+//! the shard plan's epoch cell.
+
+use std::sync::{Mutex, RwLock};
+
+use crate::cost::{CostModel, PlanCost, Route};
+
+/// EWMA smoothing factor: ~the last 20 samples dominate.
+const EWMA_ALPHA: f64 = 0.1;
+
+/// Target wall time for the admission cheap line. At the nominal
+/// 25 ns/value this reproduces the seeded `cheap_budget` of 4096.
+const TARGET_CHEAP_NS: f64 = 102_400.0;
+
+/// Target wall time for the snapshot downgrade budget. At the nominal
+/// 25 ns/value this reproduces the seeded `downgrade_budget` of 32768.
+const TARGET_DOWNGRADE_NS: f64 = 819_200.0;
+
+#[derive(Debug, Default)]
+struct CalState {
+    /// EWMA ns per touched value on the locked path (0 until seeded).
+    ns_per_value: f64,
+    /// EWMA ns per pending Ripple op (0 until seeded).
+    ns_per_merge: f64,
+    observations: u64,
+}
+
+fn ewma(slot: &mut f64, sample: f64) {
+    if !sample.is_finite() || sample <= 0.0 {
+        return;
+    }
+    *slot = if *slot == 0.0 {
+        sample
+    } else {
+        *slot * (1.0 - EWMA_ALPHA) + sample * EWMA_ALPHA
+    };
+}
+
+/// Clamp a derived knob to the guard rails around its seeded value.
+fn rail(derived: f64, seed: u64) -> u64 {
+    let lo = (seed / 4).max(1);
+    let hi = seed.saturating_mul(4);
+    if !derived.is_finite() {
+        return seed;
+    }
+    (derived.round() as u64).clamp(lo, hi)
+}
+
+/// Online regressor from `(PlanCost, Route, service_ns)` observations to
+/// a republished [`CostModel`]. Shared by value behind an `Arc`: the
+/// dispatcher observes after each execution, admission reads
+/// [`Calibrator::model`] before each decision.
+#[derive(Debug)]
+pub struct Calibrator {
+    seed: CostModel,
+    model: RwLock<CostModel>,
+    state: Mutex<CalState>,
+}
+
+impl Calibrator {
+    /// Derived knobs are recomputed and republished every this many
+    /// observations — cheap enough to keep admission reads lock-light
+    /// while still tracking a drifting machine within a few batches.
+    pub const REPUBLISH_EVERY: u64 = 16;
+
+    pub fn new(seed: CostModel) -> Self {
+        Calibrator {
+            seed,
+            model: RwLock::new(seed),
+            state: Mutex::new(CalState::default()),
+        }
+    }
+
+    /// The currently published model (a `Copy` — consistent for the
+    /// whole pricing of one query).
+    pub fn model(&self) -> CostModel {
+        *self.model.read().unwrap()
+    }
+
+    /// The reviewed constants the guard rails are anchored to.
+    pub fn seed(&self) -> CostModel {
+        self.seed
+    }
+
+    /// Total observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.state.lock().unwrap().observations
+    }
+
+    /// Folds one finished execution into the regression. `cost` is the
+    /// plan-time price the query was admitted under, `route` the path it
+    /// actually took, `service_ns` its measured service time.
+    pub fn observe(&self, cost: &PlanCost, route: Route, service_ns: u64) {
+        let mut st = self.state.lock().unwrap();
+        let ns = service_ns.max(1) as f64;
+        if route == Route::Locked && !cost.screened {
+            let values = cost.crack_values.saturating_add(cost.est_rows).max(1) as f64;
+            if cost.merge_backlog == 0 {
+                ewma(&mut st.ns_per_value, ns / values);
+            } else if st.ns_per_value > 0.0 {
+                let merge_ns = (ns - st.ns_per_value * values).max(0.0);
+                ewma(&mut st.ns_per_merge, merge_ns / cost.merge_backlog as f64);
+            }
+        }
+        st.observations += 1;
+        if st.observations.is_multiple_of(Self::REPUBLISH_EVERY) {
+            let next = self.derive(&st);
+            drop(st);
+            *self.model.write().unwrap() = next;
+        }
+    }
+
+    fn derive(&self, st: &CalState) -> CostModel {
+        let mut m = self.seed;
+        if st.ns_per_value > 0.0 {
+            m.cheap_budget = rail(TARGET_CHEAP_NS / st.ns_per_value, self.seed.cheap_budget);
+            m.downgrade_budget = rail(
+                TARGET_DOWNGRADE_NS / st.ns_per_value,
+                self.seed.downgrade_budget,
+            );
+            if st.ns_per_merge > 0.0 {
+                m.merge_weight = rail(st.ns_per_merge / st.ns_per_value, self.seed.merge_weight);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::QueryPrice;
+
+    fn locked_cost(crack_values: u64, merge_backlog: u64) -> PlanCost {
+        PlanCost {
+            crack_values,
+            scan_rows: crack_values,
+            merge_backlog,
+            shards_touched: 1,
+            ..PlanCost::default()
+        }
+    }
+
+    /// The acceptance-gate decision flip: a query priced `Expensive`
+    /// under the seeded constants becomes `Cheap` once observed timings
+    /// show the machine is much faster than the nominal 25 ns/value.
+    #[test]
+    fn fast_hardware_flips_an_admission_decision() {
+        let cal = Calibrator::new(CostModel::default());
+        let seed = cal.seed();
+        let cost = locked_cost(3 * seed.cheap_budget, 0);
+        assert_eq!(
+            cost.price(&cal.model()),
+            QueryPrice::Expensive,
+            "seeded constants shed this crack"
+        );
+        // Observed: 1 ns per touched value — 25x faster than nominal.
+        for _ in 0..4 * Calibrator::REPUBLISH_EVERY {
+            cal.observe(&cost, Route::Locked, cost.crack_values);
+        }
+        let m = cal.model();
+        assert_eq!(
+            m.cheap_budget,
+            seed.cheap_budget * 4,
+            "budget rails at 4x the seed"
+        );
+        assert_eq!(
+            cost.price(&m),
+            QueryPrice::Cheap,
+            "the same plan is now admitted inline"
+        );
+    }
+
+    /// The cutover flip in the other direction: a snapshot downgrade that
+    /// paid under the seeded constants stops paying once the machine is
+    /// observed to be slow (the inline filter would itself be overload).
+    #[test]
+    fn slow_hardware_flips_a_cutover_decision() {
+        let cal = Calibrator::new(CostModel::default());
+        let seed = cal.seed();
+        let cost = PlanCost {
+            crack_values: 500_000,
+            scan_rows: 500_000,
+            snapshot_filter: Some(20_000),
+            shards_touched: 1,
+            ..PlanCost::default()
+        };
+        assert!(
+            cost.downgradable(&cal.model()),
+            "under the seed the snapshot filter fits the downgrade budget"
+        );
+        // Observed: 1000 ns per touched value — 40x slower than nominal.
+        let probe = locked_cost(1_000, 0);
+        for _ in 0..4 * Calibrator::REPUBLISH_EVERY {
+            cal.observe(&probe, Route::Locked, probe.crack_values * 1_000);
+        }
+        let m = cal.model();
+        assert_eq!(m.downgrade_budget, seed.downgrade_budget / 4);
+        assert!(
+            !cost.downgradable(&m),
+            "the slow machine can no longer afford the inline filter"
+        );
+    }
+
+    #[test]
+    fn merge_weight_tracks_observed_ripple_cost() {
+        let cal = Calibrator::new(CostModel::default());
+        // Seed alpha at 10 ns/value with backlog-free observations.
+        let clean = locked_cost(1_000, 0);
+        for _ in 0..Calibrator::REPUBLISH_EVERY {
+            cal.observe(&clean, Route::Locked, clean.crack_values * 10);
+        }
+        // Backlogged runs where each pending op costs ~200 ns → 20 values.
+        let backlogged = locked_cost(1_000, 500);
+        let ns = 1_000 * 10 + 500 * 200;
+        for _ in 0..4 * Calibrator::REPUBLISH_EVERY {
+            cal.observe(&backlogged, Route::Locked, ns);
+        }
+        let m = cal.model();
+        assert!(
+            (15..=25).contains(&m.merge_weight),
+            "merge_weight {} should converge near 20",
+            m.merge_weight
+        );
+    }
+
+    #[test]
+    fn knobs_never_leave_the_guard_rails() {
+        let seed = CostModel::default();
+        for (per_value_ns, label) in [(1u64, "fast"), (100_000, "slow")] {
+            let cal = Calibrator::new(seed);
+            let cost = locked_cost(4_096, 0);
+            for _ in 0..8 * Calibrator::REPUBLISH_EVERY {
+                cal.observe(&cost, Route::Locked, cost.crack_values * per_value_ns);
+            }
+            let m = cal.model();
+            for (got, seeded) in [
+                (m.merge_weight, seed.merge_weight),
+                (m.cheap_budget, seed.cheap_budget),
+                (m.downgrade_budget, seed.downgrade_budget),
+            ] {
+                assert!(
+                    got >= (seeded / 4).max(1) && got <= seeded * 4,
+                    "{label}: knob {got} outside rails of seed {seeded}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_and_screened_observations_do_not_poison_alpha() {
+        let cal = Calibrator::new(CostModel::default());
+        // Screened probes finish in ~0 work; snapshot reads have their own
+        // rate. Neither may contaminate the locked-path alpha.
+        let screened = PlanCost::screened_point();
+        let snap = PlanCost {
+            snapshot_filter: Some(100),
+            shards_touched: 1,
+            ..PlanCost::default()
+        };
+        for _ in 0..4 * Calibrator::REPUBLISH_EVERY {
+            cal.observe(&screened, Route::Locked, 50);
+            cal.observe(&snap, Route::Snapshot, 1_000_000);
+        }
+        assert_eq!(
+            cal.model(),
+            cal.seed(),
+            "no locked-path evidence: the seed stands"
+        );
+    }
+}

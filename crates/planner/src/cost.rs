@@ -17,7 +17,7 @@ use holix_storage::types::CrackValue;
 /// Cost-model constants. One merged pending update moves a boundary element
 /// per downstream piece (Ripple), so it is weighted well above a scanned
 /// value; the fixed snapshot term covers the epoch pin + overlay fold.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Touched-value equivalents charged per pending update the locked
     /// path may merge before answering.
@@ -55,6 +55,12 @@ pub struct PlanCost {
     /// Conservative qualifying-row estimate (positional span between the
     /// bracketing pieces) — sizes collects and decomposition decisions.
     pub scan_rows: u64,
+    /// Equi-depth cardinality estimate (interpolated within the edge
+    /// pieces of the free histogram the boundary table forms): the
+    /// selectivity number behind driver-term election and the
+    /// `Cheap`/`Expensive` admission line. Best-effort, not conservative —
+    /// never used for safety decisions.
+    pub est_rows: u64,
     /// Pending Ripple updates the locked path may merge first.
     pub merge_backlog: u64,
     /// Values a snapshot read would filter in its edge pieces; `None`
@@ -81,6 +87,7 @@ impl PlanCost {
         PlanCost {
             crack_values: len as u64,
             scan_rows: len as u64,
+            est_rows: len as u64,
             merge_backlog: 0,
             snapshot_filter: None,
             exact_hit: false,
@@ -115,6 +122,7 @@ impl PlanCost {
         }
         self.crack_values = self.crack_values.saturating_add(other.crack_values);
         self.scan_rows = self.scan_rows.saturating_add(other.scan_rows);
+        self.est_rows = self.est_rows.saturating_add(other.est_rows);
         self.merge_backlog = self.merge_backlog.saturating_add(other.merge_backlog);
         self.snapshot_filter = match (self.snapshot_filter, other.snapshot_filter) {
             (Some(a), Some(b)) => Some(a.saturating_add(b)),
@@ -155,11 +163,19 @@ impl PlanCost {
         }
     }
 
-    /// Admission price class (see [`QueryPrice`]).
+    /// Admission price class (see [`QueryPrice`]). Exact hits are always
+    /// cheap (the paper's `f_Ih` queries touch only index bounds);
+    /// everything else is charged its crack + merge work **plus its
+    /// estimated result cardinality** — the equi-depth `est_rows`, not
+    /// the conservative `scan_rows` span — so a selective query over
+    /// coarse pieces stays cheap while a low-crack-cost query returning
+    /// half the column does not.
     pub fn price(&self, model: &CostModel) -> QueryPrice {
         if self.screened {
             QueryPrice::Screened
-        } else if self.exact_hit || self.locked_cost(model) <= model.cheap_budget {
+        } else if self.exact_hit
+            || self.locked_cost(model).saturating_add(self.est_rows) <= model.cheap_budget
+        {
             QueryPrice::Cheap
         } else {
             QueryPrice::Expensive
@@ -217,6 +233,7 @@ pub fn estimate<V: CrackValue>(stats: &PieceStats<V>, pred: Predicate<V>) -> Pla
     PlanCost {
         crack_values: (lo_edge as u64).saturating_add(hi_edge as u64),
         scan_rows: stats.range_rows(pred.lo, pred.hi),
+        est_rows: stats.estimated_rows(pred.lo, pred.hi),
         merge_backlog: stats.pending as u64,
         snapshot_filter: stats
             .snapshot_edge_filter(pred.lo, pred.hi)
@@ -344,6 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn selectivity_estimate_drives_the_cheap_line() {
+        let model = CostModel::default();
+        // One piece of 1000 rows spanning keys [0, 100) with both outer
+        // keys known: a selective sub-range interpolates to a fraction of
+        // the depth while the positional span stays conservative.
+        let s = stats(1_000, vec![(0, 0), (100, 1_000)], 0, None);
+        let c = estimate(&s, Predicate::range(10, 20));
+        assert_eq!(c.scan_rows, 1_000, "span stays conservative");
+        assert!((90..=110).contains(&c.est_rows), "est {}", c.est_rows);
+        // Exact-boundary bounds reproduce exact positions.
+        let e = estimate(&s, Predicate::range(0, 100));
+        assert_eq!(e.est_rows, 1_000);
+        // Regression vs the pre-histogram model: tiny crack work but a
+        // huge estimated result — admission must price the cardinality,
+        // not just the crack, so this query is no longer Cheap.
+        let fine: Vec<(i64, usize)> = (1..=1_000).map(|k| (k * 10, k as usize * 100)).collect();
+        let f = stats(100_000, fine, 0, None);
+        let big = estimate(&f, Predicate::range(15, 9_995));
+        assert!(big.locked_cost(&model) <= model.cheap_budget);
+        assert!(big.est_rows > model.cheap_budget);
+        assert_eq!(big.price(&model), QueryPrice::Expensive);
+    }
+
+    #[test]
     fn adversarial_merges_saturate_instead_of_wrapping() {
         // Regression: `merge`/`locked_cost`/`snapshot_cost` used unchecked
         // `+`/`*`. PieceStats sizes only promise *over*-estimates, so a
@@ -353,6 +394,7 @@ mod tests {
         let huge = PlanCost {
             crack_values: u64::MAX - 1,
             scan_rows: u64::MAX - 1,
+            est_rows: u64::MAX - 1,
             merge_backlog: u64::MAX / 4,
             snapshot_filter: Some(u64::MAX - 1),
             exact_hit: false,
@@ -376,15 +418,15 @@ mod tests {
 
         fn arb_cost() -> impl Strategy<Value = PlanCost> {
             (
-                any::<u64>(),
-                any::<u64>(),
+                (any::<u64>(), any::<u64>(), any::<u64>()),
                 any::<u64>(),
                 (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v)),
                 any::<bool>(),
             )
-                .prop_map(|(crack, scan, backlog, snap, exact)| PlanCost {
+                .prop_map(|((crack, scan, est), backlog, snap, exact)| PlanCost {
                     crack_values: crack,
                     scan_rows: scan,
+                    est_rows: est,
                     merge_backlog: backlog,
                     snapshot_filter: snap,
                     exact_hit: exact,

@@ -27,13 +27,24 @@
 //!   the shard plan's boundaries into per-shard sub-queries so wide scans
 //!   never break shard/worker affinity; `holix-server` completes them
 //!   under one merge ticket.
+//! - [`replan`] — [`propose_replan`]: decide from per-shard loads (rows +
+//!   pending backlog) whether the daemon should split a hot shard or
+//!   merge two cold neighbours; the migration itself is
+//!   `ShardedColumn::apply_replan` in holix-cracking.
+//! - [`calibrate`] — [`Calibrator`]: regress observed service time
+//!   against the admitted [`PlanCost`] and republish a [`CostModel`]
+//!   whose knobs are nudged inside `[seed/4, seed*4]` guard rails.
 //!
 //! Everything here is a pure function of immutable published summaries:
 //! no structure lock, no maintenance lock, no allocation beyond the
 //! returned values — admission control can call it on every submission.
 
+pub mod calibrate;
 pub mod cost;
 pub mod decompose;
+pub mod replan;
 
+pub use calibrate::Calibrator;
 pub use cost::{estimate, CostModel, PlanCost, QueryPrice, Route};
 pub use decompose::decompose_spanning;
+pub use replan::{load_skew, propose_replan, ReplanPolicy, ShardLoad};

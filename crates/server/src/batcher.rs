@@ -50,6 +50,35 @@ pub fn order_batch<T>(batch: &mut [T], scheduling: Scheduling, spec: impl Fn(&T)
     }
 }
 
+/// Crack-aware ordering with price classes: cheapest work drains first.
+/// Items are ranked by `price` (0 = screened probes and cheap
+/// exact-hits, 1 = expensive cracks — any `u8` ladder works), then by the
+/// crack-aware `(attr, lo, descending hi)` key *within* each class. The
+/// sort is stable, so duplicate and containment runs inside a class are
+/// exactly what [`order_batch`] would produce; across classes a contained
+/// subset can separate from an expensive superset — deliberately: an
+/// exact-hit must not wait behind a cold crack that happens to contain
+/// it, and whatever shares its class still coalesces. FIFO ignores
+/// pricing entirely (the closure is never called).
+pub fn order_batch_priced<T>(
+    batch: &mut [T],
+    scheduling: Scheduling,
+    spec: impl Fn(&T) -> QuerySpec,
+    price: impl Fn(&QuerySpec) -> u8,
+) {
+    match scheduling {
+        Scheduling::Fifo => {}
+        Scheduling::CrackAware => {
+            // Cached: pricing reads the engine's published piece stats —
+            // pay it once per item, not once per comparison.
+            batch.sort_by_cached_key(|item| {
+                let q = spec(item);
+                (price(&q), q.attr, q.lo, std::cmp::Reverse(q.hi))
+            });
+        }
+    }
+}
+
 /// Length of the run of items at the front of `batch` sharing the first
 /// item's exact predicate (1 when `batch` is non-empty but unsorted order
 /// puts no duplicate first). The dispatcher executes each run once.
@@ -166,6 +195,64 @@ mod tests {
         // The next run starts at the disjoint predicate.
         assert_eq!(containment_run_len(&batch[run..], |x| *x), 1);
         assert_eq!(containment_run_len::<QuerySpec>(&[], |x| *x), 0);
+    }
+
+    #[test]
+    fn priced_order_drains_cheap_work_before_expensive_cracks() {
+        // Price by width: anything wider than 100 is an expensive crack.
+        let price = |q: &QuerySpec| u8::from(q.hi - q.lo > 100);
+        let mut batch = vec![
+            q(0, 0, 100_000), // expensive
+            q(1, 5, 5),       // exact-hit point probe
+            q(0, 50, 60),     // cheap narrow range
+            q(1, 0, 100_000), // expensive
+            q(0, 50, 50),     // cheap, contained in (0,50,60)
+        ];
+        order_batch_priced(&mut batch, Scheduling::CrackAware, |x| *x, price);
+        assert_eq!(
+            batch,
+            vec![
+                // Cheap class first, crack-aware within it.
+                q(0, 50, 60),
+                q(0, 50, 50),
+                q(1, 5, 5),
+                // Expensive cracks drain last.
+                q(0, 0, 100_000),
+                q(1, 0, 100_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn priced_order_keeps_duplicate_runs_adjacent_and_stable() {
+        // Duplicates share a spec, hence a price: they stay one run.
+        let price = |q: &QuerySpec| u8::from(q.hi - q.lo > 100);
+        let mut batch = vec![
+            (q(0, 0, 1_000), 'x'),
+            (q(0, 7, 7), 'a'),
+            (q(0, 7, 7), 'b'),
+            (q(0, 7, 7), 'c'),
+        ];
+        order_batch_priced(&mut batch, Scheduling::CrackAware, |x| x.0, price);
+        assert_eq!(duplicate_run_len(&batch, |x| x.0), 3);
+        assert_eq!(
+            batch.iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec!['a', 'b', 'c', 'x'],
+            "stable within the class, expensive superset pushed behind"
+        );
+    }
+
+    #[test]
+    fn priced_order_ignores_pricing_under_fifo() {
+        let mut batch = vec![q(1, 0, 100_000), q(0, 3, 3)];
+        let orig = batch.clone();
+        order_batch_priced(
+            &mut batch,
+            Scheduling::Fifo,
+            |x| *x,
+            |_| panic!("FIFO must not price"),
+        );
+        assert_eq!(batch, orig);
     }
 
     #[test]

@@ -52,14 +52,22 @@
 //!   query through [`QueryEngine::execute_snapshot`] exactly when the
 //!   model says the snapshot's edge pieces are fresh enough to beat the
 //!   locked crack.
+//!
+//! All three price against the *calibrated* model: the service shares one
+//! [`Calibrator`] seeded from [`ServiceConfig::cost`], and with
+//! [`ServiceConfig::calibration`] each dispatcher feeds its plain-path
+//! service times back so the knobs track the actual machine (inside
+//! `[seed/4, seed*4]` guard rails). Crack-aware batches additionally
+//! drain cheapest-first: members are priced and exact-hits/screened
+//! probes execute ahead of expensive cold cracks.
 
-use crate::batcher::{containment_run_len, duplicate_run_len, order_batch, Scheduling};
+use crate::batcher::{containment_run_len, duplicate_run_len, order_batch_priced, Scheduling};
 use crate::queue::{AdmissionPolicy, BoundedQueue, SubmitError};
 use crate::session::{MergeState, QueryResult, SessionHandle, SessionRegistry, Ticket};
 use crate::stats::{PlanDecision, ServiceStats, StatsSummary};
 use holix_core::cpu::LoadAccountant;
 use holix_engine::api::{QueryEngine, SnapshotCollect};
-use holix_planner::{CostModel, QueryPrice, Route};
+use holix_planner::{Calibrator, CostModel, QueryPrice, Route};
 use holix_workloads::QuerySpec;
 use std::sync::Arc;
 use std::time::Instant;
@@ -100,8 +108,17 @@ pub struct ServiceConfig {
     /// then skipped entirely.
     pub cutover: bool,
     /// Cost-model constants for plan-priced decisions (admission pricing
-    /// and the snapshot/locked cutover).
+    /// and the snapshot/locked cutover). With [`ServiceConfig::calibration`]
+    /// these are the *seed* the online calibrator's guard rails anchor to.
     pub cost: CostModel,
+    /// Online cost-model calibration: dispatchers feed each plain-path
+    /// execution's measured service time back into a shared
+    /// [`Calibrator`], which regresses observed ns-per-value and
+    /// ns-per-merge rates and republishes nudged `cost` knobs inside
+    /// `[seed/4, seed*4]` guard rails. All plan-priced decisions
+    /// (admission, downgrade, cutover, batch pricing) then read the
+    /// calibrated model. Off by default: the seeded constants stand.
+    pub calibration: bool,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +134,7 @@ impl Default for ServiceConfig {
             decompose: DecomposePolicy::Off,
             cutover: true,
             cost: CostModel::default(),
+            calibration: false,
         }
     }
 }
@@ -206,7 +224,7 @@ pub struct QueryService {
     started: Instant,
     admission: AdmissionPolicy,
     decompose: DecomposePolicy,
-    cost: CostModel,
+    calibrator: Arc<Calibrator>,
 }
 
 impl QueryService {
@@ -224,6 +242,10 @@ impl QueryService {
             .map(|_| Arc::new(BoundedQueue::new(config.queue_capacity, config.admission)))
             .collect();
         let stats = Arc::new(ServiceStats::new());
+        // Seeded from the configured constants; when calibration is off
+        // nothing ever observes, so `model()` is exactly the seed and
+        // behaviour matches the fixed-constant service.
+        let calibrator = Arc::new(Calibrator::new(config.cost));
         let workers = (0..worker_count)
             .map(|w| {
                 let queue = Arc::clone(&queues[w % queue_count]);
@@ -233,7 +255,8 @@ impl QueryService {
                 let scheduling = config.scheduling;
                 let batch_max = config.batch_max.max(1);
                 let contexts = config.contexts_per_worker;
-                let cost = config.cost;
+                let calibrator = Arc::clone(&calibrator);
+                let calibration = config.calibration;
                 let cutover = config.cutover;
                 std::thread::Builder::new()
                     .name(format!("holix-dispatch-{w}"))
@@ -247,7 +270,8 @@ impl QueryService {
                             batch_max,
                             contexts,
                             cutover,
-                            &cost,
+                            &calibrator,
+                            calibration,
                         )
                     })
                     .expect("failed to spawn dispatcher")
@@ -262,7 +286,7 @@ impl QueryService {
             started: Instant::now(),
             admission: config.admission,
             decompose: config.decompose,
-            cost: config.cost,
+            calibrator,
         }
     }
 
@@ -275,13 +299,19 @@ impl QueryService {
             handle: self.registry.open(),
             admission: self.admission,
             decompose: self.decompose,
-            cost: self.cost,
+            calibrator: Arc::clone(&self.calibrator),
         }
     }
 
     /// The session registry (connection accounting).
     pub fn registry(&self) -> &Arc<SessionRegistry> {
         &self.registry
+    }
+
+    /// The shared cost-model calibrator (its `model()` is the seed until
+    /// [`ServiceConfig::calibration`] feeds it observations).
+    pub fn calibrator(&self) -> &Arc<Calibrator> {
+        &self.calibrator
     }
 
     /// Queries currently waiting for a dispatcher (summed over queues).
@@ -336,7 +366,7 @@ pub struct Session {
     handle: SessionHandle,
     admission: AdmissionPolicy,
     decompose: DecomposePolicy,
-    cost: CostModel,
+    calibrator: Arc<Calibrator>,
 }
 
 impl Session {
@@ -378,7 +408,7 @@ impl Session {
                         let decision = match self
                             .engine
                             .estimate_cost(&spec)
-                            .map(|c| c.price(&self.cost))
+                            .map(|c| c.price(&self.calibrator.model()))
                         {
                             Some(QueryPrice::Cheap) | Some(QueryPrice::Screened) => {
                                 PlanDecision::ShedCheap
@@ -408,7 +438,7 @@ impl Session {
             DecomposePolicy::CostBased => self
                 .engine
                 .estimate_cost(spec)
-                .is_some_and(|c| c.price(&self.cost) == QueryPrice::Expensive),
+                .is_some_and(|c| c.price(&self.calibrator.model()) == QueryPrice::Expensive),
         }
     }
 
@@ -458,10 +488,11 @@ impl Session {
             Err((_, SubmitError::Closed)) => return Err(SubmitError::Closed),
             Err((q, _)) => q,
         };
+        let model = self.calibrator.model();
         let cost = self.engine.estimate_cost(&queued.spec);
         let price = cost
             .as_ref()
-            .map(|c| c.price(&self.cost))
+            .map(|c| c.price(&model))
             .unwrap_or(QueryPrice::Expensive);
         match price {
             QueryPrice::Screened => {
@@ -493,7 +524,7 @@ impl Session {
                 }
             }
             QueryPrice::Expensive => {
-                if cost.as_ref().is_some_and(|c| c.downgradable(&self.cost)) {
+                if cost.as_ref().is_some_and(|c| c.downgradable(&model)) {
                     self.stats.record_decision(PlanDecision::DowngradedSnapshot);
                     self.execute_inline(queued, Route::Snapshot);
                     Ok(())
@@ -579,13 +610,29 @@ fn dispatch_loop(
     batch_max: usize,
     contexts: usize,
     cutover: bool,
-    cost: &CostModel,
+    calibrator: &Calibrator,
+    calibration: bool,
 ) {
     while let Some(mut batch) = queue.drain_up_to(batch_max) {
         // Busy from drain to last completion; dropped while blocked on an
         // empty queue so an idle service leaves its contexts to the daemon.
         let _busy = accountant.map(|a| a.begin_task(contexts));
-        order_batch(&mut batch, scheduling, |q| q.spec);
+        // One model copy per batch: every member is priced against the
+        // same constants even while the calibrator republishes.
+        let model = calibrator.model();
+        // Cheapest-first crack-aware ordering: the plan prices each
+        // member, exact-hits and screened probes (class 0) drain ahead of
+        // expensive cold cracks (class 1). Duplicates share a spec, hence
+        // a price — coalescing runs survive the class split intact.
+        order_batch_priced(
+            &mut batch,
+            scheduling,
+            |q| q.spec,
+            |spec| match engine.estimate_cost(spec).map(|c| c.price(&model)) {
+                Some(QueryPrice::Screened) | Some(QueryPrice::Cheap) => 0,
+                _ => 1,
+            },
+        );
         let mut rest = batch.as_slice();
         while !rest.is_empty() {
             let head = rest[0].spec;
@@ -651,25 +698,37 @@ fn dispatch_loop(
             // lock-free snapshot path exactly when the model prices its
             // refreshed edge pieces below the locked crack.
             let t0 = Instant::now();
+            let est = if cutover || calibration {
+                engine.estimate_cost(&head)
+            } else {
+                None
+            };
             let route = if cutover {
-                engine
-                    .estimate_cost(&head)
-                    .map(|c| c.preferred_route(cost))
+                est.as_ref()
+                    .map(|c| c.preferred_route(&model))
                     .unwrap_or(Route::Locked)
             } else {
                 Route::Locked
             };
-            let count = match route {
+            // `taken` is the path actually executed: a snapshot route can
+            // fall back to the locked crack, and the calibrator must
+            // attribute the measured time to the path that produced it.
+            let (count, taken) = match route {
                 Route::Snapshot => match engine.execute_snapshot(&head) {
                     Some((count, _)) => {
                         stats.record_decision(PlanDecision::SnapshotCutover);
-                        count
+                        (count, Route::Snapshot)
                     }
-                    None => engine.execute(&head),
+                    None => (engine.execute(&head), Route::Locked),
                 },
-                Route::Locked => engine.execute(&head),
+                Route::Locked => (engine.execute(&head), Route::Locked),
             };
             let service_time = t0.elapsed();
+            if calibration {
+                if let Some(est) = est.as_ref() {
+                    calibrator.observe(est, taken, service_time.as_nanos() as u64);
+                }
+            }
             stats.record_executed();
             complete_run(stats, &rest[..dup], |_| count, service_time);
             rest = &rest[dup..];
@@ -1156,6 +1215,77 @@ mod tests {
             summary.snapshot_cutover >= 1,
             "backlogged read did not take the snapshot route"
         );
+    }
+
+    #[test]
+    fn calibration_feeds_observations_and_keeps_knobs_inside_the_rails() {
+        let data = Dataset::new(uniform_table(1, 60_000, 1 << 20, 37));
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data.clone(), cfg));
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                scheduling: Scheduling::Fifo,
+                calibration: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        let queries = WorkloadSpec::random(1, 96, 1 << 20, 38).generate();
+        for q in &queries {
+            assert_eq!(session.execute(*q).unwrap().count, oracle(&data, q));
+        }
+        let cal = Arc::clone(service.calibrator());
+        assert!(
+            cal.observations() >= Calibrator::REPUBLISH_EVERY,
+            "dispatchers observed only {} executions",
+            cal.observations()
+        );
+        let (seed, m) = (cal.seed(), cal.model());
+        for (got, seeded) in [
+            (m.merge_weight, seed.merge_weight),
+            (m.cheap_budget, seed.cheap_budget),
+            (m.downgrade_budget, seed.downgrade_budget),
+        ] {
+            assert!(
+                got >= (seeded / 4).max(1) && got <= seeded * 4,
+                "calibrated knob {got} escaped the rails of seed {seeded}"
+            );
+        }
+        let summary = service.shutdown();
+        eng.stop();
+        assert_eq!(summary.completed, 96);
+    }
+
+    #[test]
+    fn calibration_off_never_observes_and_the_seed_stands() {
+        let data = Dataset::new(uniform_table(1, 30_000, 10_000, 41));
+        let mut cfg = HolisticEngineConfig::split_half(2);
+        cfg.holistic.monitor_interval = Duration::from_millis(50);
+        let eng = Arc::new(HolisticEngine::new(data, cfg));
+        let service = QueryService::start(
+            Arc::clone(&eng) as Arc<dyn QueryEngine>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let session = service.session();
+        for q in WorkloadSpec::random(1, 32, 10_000, 42).generate() {
+            session.execute(q).unwrap();
+        }
+        assert_eq!(service.calibrator().observations(), 0);
+        assert_eq!(
+            service.calibrator().model(),
+            service.calibrator().seed(),
+            "with calibration off the configured constants must stand"
+        );
+        service.shutdown();
+        eng.stop();
     }
 
     #[test]
