@@ -1,0 +1,301 @@
+//! fig_compression — compressed snapshot segments: encoded cold pieces,
+//! on-compressed-form scans, and what the saved bytes buy back.
+//!
+//! Two distributions against two otherwise identical beds built from the
+//! same seed:
+//!
+//! - **lowcard** — 32 distinct values (RLE-friendly: a sorted piece is a
+//!   handful of runs);
+//! - **narrow** — uniform over a 4096-value domain (FOR-friendly: 12-bit
+//!   frame-of-reference packs against 64-bit plain).
+//!
+//! The **plain** bed cracks, publishes its piece snapshot, refreshes to
+//! live granularity and stops — every segment stays a full-width copy.
+//! The **compressed** bed additionally runs the daemon's
+//! `morph_cold_segments` to fixpoint, re-encoding every stable plain
+//! piece through the COW-splice. Every scan in both beds is checked
+//! against the sorted-column oracle — compression must never change an
+//! answer — and the harness asserts the headline:
+//!
+//! 1. compressed `snapshot_bytes` ≤ 0.6× plain on both distributions;
+//! 2. under one fixed `IndexSpace` storage budget sized to ~80% of the
+//!    plain bed, the compressed bed admits **more** attributes (the
+//!    paper's `C_actual` grows because each index charges fewer bytes);
+//! 3. on-compressed-form scan p50 stays within 1.1× of plain on
+//!    interior-dominated ranges (fully-covered interior pieces answer
+//!    from precomputed count/sum in both beds; only edge pieces decode).
+//!
+//! CSV: `distribution,bed,snapshot_bytes,ratio,admitted,scan_p50_us,scan_p95_us,morphs`
+
+use holix_bench::BenchEnv;
+use holix_core::{CrackerHandle, HolisticConfig, IndexSpace};
+use holix_cracking::{CrackScratch, CrackerColumn};
+use holix_storage::select::{scan_stats, Predicate};
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn pct(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// One distribution under test: its name, value domain, and generator.
+struct Dist {
+    name: &'static str,
+    domain: i64,
+}
+
+impl Dist {
+    fn data(&self, n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.name {
+            // 32 distinct values spread over the domain: sorted pieces
+            // collapse to ≤ 32 runs each.
+            "lowcard" => {
+                let step = (self.domain / 32).max(1);
+                (0..n).map(|_| rng.random_range(0..32) * step).collect()
+            }
+            // Dense narrow domain: every piece spans ≤ 4096 distinct
+            // values — 12-bit FOR against 64-bit plain.
+            "narrow" => (0..n).map(|_| rng.random_range(0..self.domain)).collect(),
+            other => unreachable!("unknown distribution {other}"),
+        }
+    }
+}
+
+/// Cracks, publishes and refreshes one column's snapshot; the compressed
+/// bed then morphs to fixpoint. Returns the morph count.
+fn prepare(col: &CrackerColumn<i64>, domain: i64, seed: u64, morph: bool) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = CrackScratch::new();
+    for _ in 0..8 {
+        let a = rng.random_range(0..domain);
+        let b = rng.random_range(0..domain);
+        col.select(
+            Predicate::range(a.min(b), a.max(b).max(a.min(b) + 1)),
+            &mut scratch,
+        );
+    }
+    col.snapshot_scan(Predicate::range(0, domain), &mut scratch);
+    while col.refresh_stale_snapshot() {}
+    col.snapshot_gc();
+    let mut morphs = 0;
+    if morph {
+        while col.morph_cold_segments() {
+            morphs += 1;
+        }
+        col.snapshot_gc();
+    }
+    morphs
+}
+
+/// Interior-dominated predicates: every range covers ≥ 75% of the domain,
+/// so nearly all touched pieces are fully covered and answer from their
+/// precomputed count/sum — the edge pieces are where encodings decode.
+fn interior_queries(domain: i64, count: usize, seed: u64) -> Vec<Predicate<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let lo = rng.random_range(0..(domain / 8).max(1));
+            let hi = rng.random_range(domain - domain / 8..domain);
+            Predicate::range(lo, hi.max(lo + 1))
+        })
+        .collect()
+}
+
+struct BedResult {
+    snapshot_bytes: usize,
+    payload_bytes: usize,
+    morphs: usize,
+    p50: Duration,
+    p95: Duration,
+    admitted: usize,
+    violations: usize,
+}
+
+/// Builds `budget_cols` identically-seeded columns, prepares each
+/// (optionally morphing), times oracle-checked snapshot scans on the
+/// first, and registers all of them against `budget` bytes of IndexSpace.
+#[allow(clippy::too_many_arguments)]
+fn run_bed(
+    dist: &Dist,
+    n: usize,
+    budget_cols: usize,
+    queries: &[Predicate<i64>],
+    oracles: &[(u64, i128)],
+    reps: usize,
+    morph: bool,
+    budget: Option<usize>,
+) -> BedResult {
+    let cols: Vec<Arc<CrackerColumn<i64>>> = (0..budget_cols)
+        .map(|c| {
+            Arc::new(CrackerColumn::from_base(
+                format!("{}{c}", dist.name),
+                &dist.data(n, 0xC0DE + c as u64),
+            ))
+        })
+        .collect();
+    let mut morphs = 0;
+    for (c, col) in cols.iter().enumerate() {
+        morphs += prepare(col, dist.domain, 0x5EED + c as u64, morph);
+    }
+
+    // Timed, oracle-checked scans on column 0 (untimed warm-up pass first).
+    let mut scratch = CrackScratch::new();
+    let mut violations = 0;
+    for (q, &(count, sum)) in queries.iter().zip(oracles) {
+        let s = cols[0].snapshot_scan(*q, &mut scratch);
+        if (s.count, s.sum) != (count, sum) {
+            violations += 1;
+        }
+    }
+    let mut times = Vec::with_capacity(queries.len() * reps);
+    for _ in 0..reps {
+        for (q, &(count, sum)) in queries.iter().zip(oracles) {
+            let t0 = Instant::now();
+            let s = cols[0].snapshot_scan(*q, &mut scratch);
+            times.push(t0.elapsed());
+            if (s.count, s.sum) != (count, sum) {
+                violations += 1;
+            }
+        }
+    }
+    times.sort_unstable();
+
+    // Admission under the shared budget: which of the bed's attributes
+    // survive LFU eviction when all of them are registered?
+    let space = IndexSpace::new(HolisticConfig {
+        storage_budget: budget,
+        ..HolisticConfig::default()
+    });
+    for col in &cols {
+        space.register_actual(Arc::new(CrackerHandle::new(Arc::clone(col))));
+    }
+
+    BedResult {
+        snapshot_bytes: cols.iter().map(|c| c.snapshot_bytes()).sum(),
+        payload_bytes: cols.iter().map(|c| c.payload_bytes()).sum(),
+        morphs,
+        p50: pct(&times, 0.50),
+        p95: pct(&times, 0.95),
+        admitted: space.live_ids().len(),
+        violations,
+    }
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner(
+        "fig_compression: encoded snapshot segments vs plain copies",
+        "csv: distribution,bed,snapshot_bytes,ratio,admitted,scan_p50_us,scan_p95_us,morphs",
+    );
+    let n = env.n.min(1 << 22);
+    let dists = [
+        Dist {
+            name: "lowcard",
+            domain: (n as i64).max(1 << 16),
+        },
+        Dist {
+            name: "narrow",
+            domain: 4096,
+        },
+    ];
+    println!("distribution,bed,snapshot_bytes,ratio,admitted,scan_p50_us,scan_p95_us,morphs");
+    for dist in &dists {
+        let queries = interior_queries(dist.domain, env.queries.clamp(16, 512), 0xFEED);
+        // Sorted-column oracle from the same seed column 0 is built from.
+        let base = dist.data(n, 0xC0DE);
+        let oracles: Vec<(u64, i128)> = queries
+            .iter()
+            .map(|&q| {
+                let s = scan_stats(&base, q);
+                (s.count, s.sum)
+            })
+            .collect();
+
+        // Size the shared budget from an unbudgeted plain bed: ~80% of its
+        // total payload, so the plain bed cannot keep every attribute but
+        // the compressed bed (smaller `charged` snapshots) can.
+        let plain = run_bed(
+            dist,
+            n,
+            env.budget_cols,
+            &queries,
+            &oracles,
+            env.reps,
+            false,
+            None,
+        );
+        let budget = plain.payload_bytes * 4 / 5;
+        let plain = run_bed(
+            dist,
+            n,
+            env.budget_cols,
+            &queries,
+            &oracles,
+            env.reps,
+            false,
+            Some(budget),
+        );
+        let comp = run_bed(
+            dist,
+            n,
+            env.budget_cols,
+            &queries,
+            &oracles,
+            env.reps,
+            true,
+            Some(budget),
+        );
+
+        let ratio = comp.snapshot_bytes as f64 / plain.snapshot_bytes.max(1) as f64;
+        for (bed, r) in [("plain", &plain), ("compressed", &comp)] {
+            println!(
+                "{},{bed},{},{:.3},{},{:.1},{:.1},{}",
+                dist.name,
+                r.snapshot_bytes,
+                r.snapshot_bytes as f64 / plain.snapshot_bytes.max(1) as f64,
+                r.admitted,
+                r.p50.as_secs_f64() * 1e6,
+                r.p95.as_secs_f64() * 1e6,
+                r.morphs,
+            );
+        }
+
+        // Headline asserts — oracle exactness first: compression must
+        // never change an answer.
+        assert_eq!(
+            plain.violations + comp.violations,
+            0,
+            "{}: oracle violations (plain {}, compressed {})",
+            dist.name,
+            plain.violations,
+            comp.violations
+        );
+        assert!(comp.morphs > 0, "{}: nothing morphed", dist.name);
+        assert!(
+            ratio <= 0.6,
+            "{}: compressed snapshot is {ratio:.3}x plain (> 0.6)",
+            dist.name
+        );
+        assert!(
+            comp.admitted > plain.admitted,
+            "{}: budget admitted {} compressed vs {} plain attributes",
+            dist.name,
+            comp.admitted,
+            plain.admitted
+        );
+        // Small absolute slack so CI-scale microsecond p50s do not flap on
+        // scheduler noise; at real scale the multiplicative term dominates.
+        assert!(
+            comp.p50 <= plain.p50.mul_f64(1.1) + Duration::from_micros(200),
+            "{}: compressed scan p50 {:?} exceeds 1.1x plain {:?}",
+            dist.name,
+            comp.p50,
+            plain.p50
+        );
+    }
+}

@@ -61,6 +61,10 @@ fn loads_of(eng: &HolisticEngine) -> Vec<ShardLoad> {
         .map(|k| ShardLoad {
             rows: col.shard(k).len(),
             pending: col.shard(k).pending_len(),
+            // Size-skew view only: the engine folds access heat in
+            // internally, but the headline balance number here stays
+            // comparable across beds (the frozen bed records no f_I).
+            access: 0,
         })
         .collect()
 }

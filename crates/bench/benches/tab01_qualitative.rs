@@ -11,7 +11,7 @@ use holix_workloads::data::uniform_table;
 fn row(name: &str, c: Capabilities) {
     let tick = |b: bool| if b { "yes" } else { "no" };
     println!(
-        "{name},{},{},{},{},{},{}",
+        "{name},{},{},{},{},{},{},{}",
         tick(c.workload_analysis),
         tick(c.idle_before_queries),
         tick(c.idle_during_queries),
@@ -22,6 +22,7 @@ fn row(name: &str, c: Capabilities) {
         },
         if c.high_update_cost { "high" } else { "low" },
         if c.dynamic { "dynamic" } else { "static" },
+        tick(c.point_screening),
     );
 }
 
@@ -29,10 +30,12 @@ fn main() {
     let env = BenchEnv::from_env();
     env.banner(
         "Table 1: qualitative comparison of indexing approaches",
-        "columns: analysis,idle-before,idle-during,materialization,update-cost,workload",
+        "columns: analysis,idle-before,idle-during,materialization,update-cost,workload,screened-probes",
     );
     let data = Dataset::new(uniform_table(1, 1_000, 1_000, 1));
-    println!("indexing,analysis,idle_before,idle_during,materialization,update_cost,workload");
+    println!(
+        "indexing,analysis,idle_before,idle_during,materialization,update_cost,workload,screened_probes"
+    );
     row(
         "offline",
         OfflineEngine::new(data.clone(), 1).capabilities(),

@@ -19,6 +19,7 @@
 //! | `HOLIX_POINTS` | distinct hot keys in the point-probe mix (filter harness) | `64` |
 //! | `HOLIX_POINT_PROB` | equality-probe fraction of the point-heavy mix | `0.8` |
 //! | `HOLIX_PHASES` | drift phases — distinct hot regions the workload visits in turn (replan harness) | `3` |
+//! | `HOLIX_BUDGET_COLS` | attributes competing for one storage budget (compression harness) | `8` |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but
@@ -46,6 +47,7 @@ pub struct BenchEnv {
     pub points: usize,
     pub point_prob: f64,
     pub phases: usize,
+    pub budget_cols: usize,
 }
 
 /// Resolves an integer knob; a set-but-unparsable value panics with the
@@ -108,6 +110,7 @@ impl BenchEnv {
             points: env_usize("HOLIX_POINTS", 64).max(1),
             point_prob: env_f64("HOLIX_POINT_PROB", 0.8).clamp(0.0, 1.0),
             phases: env_usize("HOLIX_PHASES", 3).max(1),
+            budget_cols: env_usize("HOLIX_BUDGET_COLS", 8).max(2),
         }
     }
 
@@ -115,7 +118,7 @@ impl BenchEnv {
     pub fn banner(&self, figure: &str, notes: &str) {
         println!("# {figure}");
         println!(
-            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={} points={} point_prob={} phases={}",
+            "# scale: N={} queries={} attrs={} threads={} domain={} tpch_sf={} idle_ms={} clients={} shards={} reps={} updaters={} points={} point_prob={} phases={} budget_cols={}",
             self.n,
             self.queries,
             self.attrs,
@@ -129,7 +132,8 @@ impl BenchEnv {
             self.updaters,
             self.points,
             self.point_prob,
-            self.phases
+            self.phases,
+            self.budget_cols
         );
         if !notes.is_empty() {
             println!("# {notes}");

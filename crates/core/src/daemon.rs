@@ -36,6 +36,8 @@ pub struct CycleRecord {
     pub snapshot_refreshes: u64,
     /// Point membership filters rebuilt after delete churn this cycle.
     pub filter_rebuilds: u64,
+    /// Plain snapshot pieces re-encoded (FOR / delta / RLE) this cycle.
+    pub segment_morphs: u64,
 }
 
 /// Handle to the running holistic indexing thread.
@@ -178,6 +180,7 @@ fn daemon_loop(
             busy: reports.iter().map(|r| r.busy).sum(),
             snapshot_refreshes: reports.iter().map(|r| r.snapshot_refreshes).sum(),
             filter_rebuilds: reports.iter().map(|r| r.filter_rebuilds).sum(),
+            segment_morphs: reports.iter().map(|r| r.segment_morphs).sum(),
         };
         total_refinements.fetch_add(record.refinements, Ordering::Relaxed);
         cycles.lock().push(record);

@@ -45,7 +45,7 @@ use crate::epoch::{
 };
 use crate::filter::PointFilter;
 use crate::index::{BoundLookup, CrackerIndex};
-use crate::piece_stats::{build_stats, PieceStats};
+use crate::piece_stats::{build_stats, PieceStats, SnapPieceStat};
 use crate::range_cell::RangeCell;
 use crate::updates::{ripple_delete, ripple_insert, PendingUpdates, UnmergedKind};
 use crate::vectorized::{crack_in_three_oop, crack_in_two_oop, CrackScratch};
@@ -421,9 +421,16 @@ impl<V: CrackValue> CrackerColumn<V> {
         };
         let snap_pieces = {
             let guard = self.snap.epochs().pin();
-            self.snap
-                .load(&guard)
-                .map(|s| s.pieces().iter().map(|p| (p.hi_key, p.len())).collect())
+            self.snap.load(&guard).map(|s| {
+                s.pieces()
+                    .iter()
+                    .map(|p| SnapPieceStat {
+                        hi_key: p.hi_key,
+                        len: p.len(),
+                        plain: p.is_plain(),
+                    })
+                    .collect()
+            })
         };
         self.stats
             .publish(Arc::new(build_stats(len, bounds, pending, snap_pieces)));
@@ -1271,9 +1278,7 @@ impl<V: CrackValue> CrackerColumn<V> {
         let expected = snap.len() + self.pending.lock().len() + 1024;
         let filter = Arc::new(PointFilter::with_capacity(expected));
         for piece in snap.pieces() {
-            for &v in piece.values() {
-                filter.insert(v.as_i64());
-            }
+            piece.for_each(|v| filter.insert(v.as_i64()));
         }
         let p = self.pending.lock();
         p.for_each_unmerged(
@@ -1376,7 +1381,8 @@ impl<V: CrackValue> CrackerColumn<V> {
         // key-only check would pick that piece forever.
         let mut lo_key: Option<V> = None;
         let mut best: Option<(usize, Option<V>, Option<V>)> = None;
-        for &(hi_key, len) in snap_pieces {
+        for piece in snap_pieces {
+            let (hi_key, len) = (piece.hi_key, piece.len);
             let from = match lo_key {
                 None => 0,
                 Some(k) => stats.bounds.partition_point(|&(b, _)| b <= k),
@@ -1422,6 +1428,74 @@ impl<V: CrackValue> CrackerColumn<V> {
         // anything reports `false` — callers looping "refresh until done"
         // terminate instead of re-copying the same piece forever.
         self.snapshot_piece_count() > before
+    }
+
+    /// Plain snapshot pieces shorter than this are never re-encoded: the
+    /// fixed per-segment overhead dominates and edge refreshes would churn
+    /// them right back to plain.
+    pub const MORPH_MIN: usize = 256;
+
+    /// Background segment morphing (an idle holistic worker's job): picks
+    /// the largest *plain* snapshot piece of at least
+    /// [`CrackerColumn::MORPH_MIN`] values whose sorted form compresses
+    /// (FOR / delta / RLE — see [`Segment::encoded`]) and republishes it as
+    /// an encoded segment through the same COW-splice a refresh uses, so
+    /// readers never block and `snapshot_bytes` drops by exactly the saved
+    /// backing size. Returns `true` when a piece was morphed (`false`: no
+    /// snapshot, or no remaining plain piece compresses).
+    ///
+    /// Runs under `structure` *shared*, which excludes Ripple merges — the
+    /// only multiset-changing writers — for the copy-encode-splice window:
+    /// concurrent cracks merely permute values inside live pieces and never
+    /// touch the immutable snapshot, and a racing per-bound refresh can at
+    /// worst overwrite this morph's piece with finer plain copies of the
+    /// *same* multiset (granularity lost, never correctness).
+    pub fn morph_cold_segments(&self) -> bool {
+        if !self.snap.is_published() {
+            return false;
+        }
+        let _shared = self.structure.read();
+        // Candidate plain pieces, largest first. Values are copied and
+        // encoded LAZILY, one candidate at a time — most calls stop at the
+        // first (largest) piece, so a call never materialises more than
+        // one piece's values even over a snapshot full of plain pieces.
+        // The pin stays held across the encode + splice: it only delays
+        // reclamation of retired segments until the next gc.
+        let guard = self.snap.epochs().pin();
+        let Some(snap) = self.snap.load(&guard) else {
+            return false;
+        };
+        let pieces = snap.pieces();
+        let mut order: Vec<usize> = (0..pieces.len())
+            .filter(|&i| pieces[i].is_plain() && pieces[i].len() >= Self::MORPH_MIN)
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(pieces[i].len()));
+        let mut morphed = false;
+        for i in order {
+            let a = if i == 0 { None } else { pieces[i - 1].hi_key };
+            let b = pieces[i].hi_key;
+            let vals = pieces[i]
+                .plain_values()
+                .expect("candidate piece is plain")
+                .to_vec();
+            let n = vals.len();
+            let seg = Segment::encoded(vals, Arc::clone(&self.snap_bytes));
+            if seg.is_plain() {
+                continue; // no scheme beats plain here — try the next piece
+            }
+            let piece = SnapPiece::new(b, Arc::new(seg), 0, n);
+            self.splice_and_publish(a, b, vec![piece], None);
+            morphed = true;
+            break;
+        }
+        drop(guard);
+        drop(_shared);
+        if morphed {
+            // Republish stats so the planner's decode-cost term and the
+            // staleness pick see the encoded piece immediately.
+            self.publish_stats();
+        }
+        morphed
     }
 
     /// The published snapshot's boundary keys bracketing `[lo, hi)`:
@@ -2261,6 +2335,69 @@ mod tests {
             "reader still paid {} filtered values",
             scan.filtered
         );
+    }
+
+    #[test]
+    fn morph_cold_segments_shrinks_bytes_and_keeps_scans_exact() {
+        // Domain 0..1_000 → a FOR-packed piece needs ≤ 10 bits/value
+        // instead of 64: every big piece compresses.
+        let (base, col) = column(60_000, 70);
+        let mut scratch = CrackScratch::new();
+        assert!(!col.morph_cold_segments(), "no snapshot yet");
+        let full = Predicate::range(0, 1_000);
+        col.snapshot_scan(full, &mut scratch); // publish
+        for (a, b) in [(100, 400), (550, 800), (250, 650)] {
+            col.select(Predicate::range(a, b), &mut scratch);
+        }
+        col.publish_stats();
+        while col.refresh_stale_snapshot() {}
+        col.snapshot_gc();
+        let plain_bytes = col.snapshot_bytes();
+        assert!(plain_bytes >= base.len() * 8, "snapshot not at full width");
+        // Satellite regression: each morph strictly decreases
+        // `snapshot_bytes` once the retired plain segment is reclaimed.
+        let mut last = plain_bytes;
+        let mut morphs = 0;
+        while col.morph_cold_segments() {
+            col.snapshot_gc();
+            let now = col.snapshot_bytes();
+            assert!(now < last, "morph {morphs} did not shrink: {last} -> {now}");
+            last = now;
+            morphs += 1;
+            assert!(morphs < 10_000, "morph loop did not converge");
+        }
+        assert!(morphs >= 1, "no piece ever morphed");
+        assert!(
+            last * 4 <= plain_bytes,
+            "10-bit FOR pieces should shrink ≥4x: {plain_bytes} -> {last}"
+        );
+        // Published stats expose the encoded pieces to the planner.
+        let stats = col.piece_stats().unwrap();
+        let pieces = stats.snap_pieces.as_ref().unwrap();
+        assert!(pieces.iter().any(|p| !p.plain), "stats still all-plain");
+        // Scans on the compressed form stay exact, edge filters included.
+        for pred in [full, Predicate::range(123, 777), Predicate::less_than(450)] {
+            let scan = col.snapshot_scan(pred, &mut scratch);
+            let oracle = scan_stats(&base, pred);
+            assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+            let mut got = Vec::new();
+            col.snapshot_collect(pred, &mut scratch, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<i64> = base
+                .iter()
+                .copied()
+                .filter(|&v| pred.matches_unbounded(v))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "collect diverged on {pred:?}");
+        }
+        // Updates after the morph stay visible through the overlay and the
+        // next merge splice.
+        let n = base.len() as RowId;
+        assert!(col.queue_insert(500, n));
+        let scan = col.snapshot_scan(full, &mut scratch);
+        let oracle = scan_stats(&base, full);
+        assert_eq!((scan.count, scan.sum), (oracle.count + 1, oracle.sum + 500));
     }
 
     #[test]

@@ -252,35 +252,431 @@ impl<T> Drop for EpochCell<T> {
 // Segments and piece snapshots
 // ---------------------------------------------------------------------------
 
-/// An immutable block of values backing one or more snapshot pieces. The
-/// byte counter (shared with the owning column) tracks live snapshot
-/// memory: it rises when a segment is copied out of the column and falls
-/// in `Drop` — i.e. only once epoch reclamation actually frees the last
-/// snapshot referencing the segment.
+/// Bit width needed to represent `max` (0 when `max == 0`).
+fn bits_for(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+/// Words needed to bit-pack `n` values of `bits` each.
+fn packed_words(n: usize, bits: u32) -> usize {
+    ((n as u64).saturating_mul(bits as u64)).div_ceil(64) as usize
+}
+
+/// Little-endian bit-packs `n` values (each `< 2^bits`) into a word array.
+fn pack_bits(values: impl Iterator<Item = u64>, n: usize, bits: u32) -> Box<[u64]> {
+    let mut words = vec![0u64; packed_words(n, bits)];
+    if bits > 0 {
+        let mut bitpos = 0usize;
+        for v in values {
+            debug_assert!(bits == 64 || v < (1u64 << bits));
+            let (w, off) = (bitpos / 64, bitpos % 64);
+            words[w] |= v << off;
+            if off + bits as usize > 64 {
+                words[w + 1] |= v >> (64 - off);
+            }
+            bitpos += bits as usize;
+        }
+    }
+    words.into_boxed_slice()
+}
+
+/// Sequential cursor over a bit-packed word array — the unpack half of the
+/// scan kernels. Unpacking is branch-light: one shift, at most one
+/// cross-word OR, one mask.
+struct Unpacker<'a> {
+    words: &'a [u64],
+    bits: u32,
+    bitpos: usize,
+}
+
+impl<'a> Unpacker<'a> {
+    fn new(words: &'a [u64], bits: u32) -> Self {
+        Unpacker {
+            words,
+            bits,
+            bitpos: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn next(&mut self) -> u64 {
+        if self.bits == 0 {
+            return 0;
+        }
+        let (w, off) = (self.bitpos / 64, self.bitpos % 64);
+        let mut v = self.words[w] >> off;
+        if off + self.bits as usize > 64 {
+            v |= self.words[w + 1] << (64 - off);
+        }
+        if self.bits < 64 {
+            v &= (1u64 << self.bits) - 1;
+        }
+        self.bitpos += self.bits as usize;
+        v
+    }
+}
+
+/// Physical representation of one segment. Non-plain forms hold the
+/// multiset **sorted ascending** (snapshot pieces are unordered multisets,
+/// so sorting is free correctness-wise and buys narrow deltas plus
+/// early-exit scans); values round-trip through the order-preserving
+/// `CrackValue::as_i64` map.
+enum Repr<V> {
+    /// Verbatim values in column order — the only form edge refreshes and
+    /// merge splices produce; morphing re-encodes it in the background.
+    Plain(Vec<V>),
+    /// Frame-of-reference: sorted values bit-packed as offsets from the
+    /// minimum.
+    For {
+        base: i64,
+        bits: u32,
+        packed: Box<[u64]>,
+        len: usize,
+    },
+    /// Delta: first value plus bit-packed gaps between sorted neighbours
+    /// (narrower than FOR when values are dense over a wide span).
+    Delta {
+        first: i64,
+        bits: u32,
+        packed: Box<[u64]>,
+        len: usize,
+    },
+    /// Run-length: `(value, count)` runs of the sorted multiset.
+    Rle { runs: Box<[(i64, u32)]>, len: usize },
+}
+
+/// An immutable block of values backing one or more snapshot pieces, in
+/// one of four encodings (see [`Repr`]). The byte counter (shared with the
+/// owning column) tracks live snapshot memory: it rises by the **encoded
+/// backing size** when a segment is created and falls in `Drop` — i.e.
+/// only once epoch reclamation actually frees the last snapshot
+/// referencing the segment. Scans and collects run directly on the
+/// compressed form; nothing ever materialises a decoded copy.
 pub struct Segment<V> {
-    data: Vec<V>,
+    repr: Repr<V>,
     bytes: Arc<AtomicUsize>,
-    /// Exactly what `new()` charged, so `Drop` debits symmetrically even
-    /// for value types whose accounting `width()` differs from their
-    /// in-memory size.
+    /// Exactly what the constructor charged (the encoded backing size), so
+    /// `Drop` debits symmetrically even for value types whose accounting
+    /// `width()` differs from their in-memory size.
     charged: usize,
 }
 
 impl<V: CrackValue> Segment<V> {
-    /// Wraps copied-out values, charging them to `bytes`.
+    /// Wraps copied-out values verbatim (plain encoding), charging them to
+    /// `bytes`. Edge pieces and splice copies take this form; the daemon
+    /// re-encodes stable pieces later via [`Segment::encoded`].
     pub fn new(data: Vec<V>, bytes: Arc<AtomicUsize>) -> Self {
         let charged = data.len() * V::width();
         bytes.fetch_add(charged, SeqCst);
         Segment {
-            data,
+            repr: Repr::Plain(data),
             bytes,
             charged,
         }
     }
 
-    /// The segment's values.
-    pub fn values(&self) -> &[V] {
-        &self.data
+    /// Encodes a multiset into the scheme its statistics favour — RLE for
+    /// heavy run structure, delta for dense wide-span values, FOR for a
+    /// narrow span — falling back to plain when no scheme beats the plain
+    /// backing size strictly. Charges the encoded backing size to `bytes`.
+    pub fn encoded(mut data: Vec<V>, bytes: Arc<AtomicUsize>) -> Self {
+        data.sort_unstable();
+        let n = data.len();
+        let plain_bytes = n * V::width();
+        if n < 2 {
+            return Self::new(data, bytes);
+        }
+        let lo = data[0].as_i64();
+        let hi = data[n - 1].as_i64();
+        // Scheme statistics in one pass: value span, max adjacent gap, runs.
+        let span = hi.wrapping_sub(lo) as u64;
+        let mut max_gap = 0u64;
+        let mut runs = 1usize;
+        for w in data.windows(2) {
+            let gap = w[1].as_i64().wrapping_sub(w[0].as_i64()) as u64;
+            max_gap = max_gap.max(gap);
+            runs += usize::from(gap != 0);
+        }
+        let for_bits = bits_for(span);
+        let delta_bits = bits_for(max_gap);
+        let for_bytes = packed_words(n, for_bits) * 8;
+        let delta_bytes = packed_words(n - 1, delta_bits) * 8 + 8;
+        let rle_bytes = runs * std::mem::size_of::<(i64, u32)>();
+        let best = for_bytes.min(delta_bytes).min(rle_bytes);
+        if best >= plain_bytes {
+            return Self::new(data, bytes);
+        }
+        let repr = if rle_bytes == best {
+            let mut out: Vec<(i64, u32)> = Vec::with_capacity(runs);
+            for v in &data {
+                let v = v.as_i64();
+                match out.last_mut() {
+                    Some((rv, c)) if *rv == v => *c += 1,
+                    _ => out.push((v, 1)),
+                }
+            }
+            Repr::Rle {
+                runs: out.into_boxed_slice(),
+                len: n,
+            }
+        } else if for_bytes <= delta_bytes {
+            let packed = pack_bits(
+                data.iter().map(|v| v.as_i64().wrapping_sub(lo) as u64),
+                n,
+                for_bits,
+            );
+            Repr::For {
+                base: lo,
+                bits: for_bits,
+                packed,
+                len: n,
+            }
+        } else {
+            let packed = pack_bits(
+                data.windows(2)
+                    .map(|w| w[1].as_i64().wrapping_sub(w[0].as_i64()) as u64),
+                n - 1,
+                delta_bits,
+            );
+            Repr::Delta {
+                first: lo,
+                bits: delta_bits,
+                packed,
+                len: n,
+            }
+        };
+        let charged = best;
+        bytes.fetch_add(charged, SeqCst);
+        Segment {
+            repr,
+            bytes,
+            charged,
+        }
+    }
+
+    /// Number of values in the segment.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Plain(d) => d.len(),
+            Repr::For { len, .. } | Repr::Delta { len, .. } | Repr::Rle { len, .. } => *len,
+        }
+    }
+
+    /// `true` when the segment holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for the plain (uncompressed) form — the morph daemon's
+    /// candidate filter.
+    pub fn is_plain(&self) -> bool {
+        matches!(self.repr, Repr::Plain(_))
+    }
+
+    /// Encoding label (CSV / introspection).
+    pub fn encoding(&self) -> &'static str {
+        match &self.repr {
+            Repr::Plain(_) => "plain",
+            Repr::For { .. } => "for",
+            Repr::Delta { .. } => "delta",
+            Repr::Rle { .. } => "rle",
+        }
+    }
+
+    /// The encoded backing size this segment charged to the byte counter.
+    pub fn charged_bytes(&self) -> usize {
+        self.charged
+    }
+
+    /// The values verbatim — `Some` only for the plain form. Encoded
+    /// segments are visited through [`Segment::for_each_range`] /
+    /// [`Segment::scan_range`] instead.
+    pub fn plain_values(&self) -> Option<&[V]> {
+        match &self.repr {
+            Repr::Plain(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Visits `seg[start..start+len)` in storage order, decoding on the fly.
+    pub fn for_each_range(&self, start: usize, len: usize, mut f: impl FnMut(V)) {
+        match &self.repr {
+            Repr::Plain(d) => d[start..start + len].iter().for_each(|&v| f(v)),
+            Repr::For {
+                base, bits, packed, ..
+            } => {
+                let mut un = Unpacker::new(packed, *bits);
+                for i in 0..start + len {
+                    let v = base.wrapping_add(un.next() as i64);
+                    if i >= start {
+                        f(V::from_i64_exact(v));
+                    }
+                }
+            }
+            Repr::Delta {
+                first,
+                bits,
+                packed,
+                ..
+            } => {
+                let mut un = Unpacker::new(packed, *bits);
+                let mut v = *first;
+                for i in 0..start + len {
+                    if i > 0 {
+                        v = v.wrapping_add(un.next() as i64);
+                    }
+                    if i >= start {
+                        f(V::from_i64_exact(v));
+                    }
+                }
+            }
+            Repr::Rle { runs, .. } => {
+                let mut i = 0usize;
+                let end = start + len;
+                for &(v, c) in runs.iter() {
+                    if i >= end {
+                        break;
+                    }
+                    let run_end = i + c as usize;
+                    let from = i.max(start);
+                    let to = run_end.min(end);
+                    if from < to {
+                        let dv = V::from_i64_exact(v);
+                        for _ in from..to {
+                            f(dv);
+                        }
+                    }
+                    i = run_end;
+                }
+            }
+        }
+    }
+
+    /// Sum of `seg[start..start+len)` (widened) — the piece-aggregate
+    /// precompute, on the compressed form.
+    pub fn sum_range(&self, start: usize, len: usize) -> i128 {
+        match &self.repr {
+            Repr::Plain(d) => d[start..start + len]
+                .iter()
+                .map(|&v| v.as_i64() as i128)
+                .sum(),
+            Repr::Rle { runs, .. } => {
+                let mut sum = 0i128;
+                let mut i = 0usize;
+                let end = start + len;
+                for &(v, c) in runs.iter() {
+                    if i >= end {
+                        break;
+                    }
+                    let run_end = i + c as usize;
+                    let overlap = run_end.min(end).saturating_sub(i.max(start));
+                    sum += v as i128 * overlap as i128;
+                    i = run_end;
+                }
+                sum
+            }
+            _ => {
+                let mut sum = 0i128;
+                self.for_each_range(start, len, |v| sum += v.as_i64() as i128);
+                sum
+            }
+        }
+    }
+
+    /// Count + sum of qualifying values in `seg[start..start+len)` under
+    /// the sentinel-aware predicate semantics
+    /// ([`Predicate::matches_unbounded`]) — the bit-unpack-and-compare
+    /// kernel. Sorted encodings stop early once values pass the upper
+    /// bound; RLE adds whole qualifying runs without per-value work.
+    pub fn scan_range(&self, start: usize, len: usize, lo: V, hi: V) -> (u64, i128) {
+        let pred = Predicate { lo, hi };
+        if pred.is_empty() {
+            return (0, 0);
+        }
+        let mut count = 0u64;
+        let mut sum = 0i128;
+        match &self.repr {
+            Repr::Plain(d) => {
+                for &v in &d[start..start + len] {
+                    if pred.matches_unbounded(v) {
+                        count += 1;
+                        sum += v.as_i64() as i128;
+                    }
+                }
+            }
+            Repr::Rle { runs, .. } => {
+                let bounded_hi = (hi != V::MAX_VALUE).then(|| hi.as_i64());
+                let mut i = 0usize;
+                let end = start + len;
+                for &(v, c) in runs.iter() {
+                    if i >= end {
+                        break;
+                    }
+                    if bounded_hi.is_some_and(|h| v >= h) {
+                        break;
+                    }
+                    let run_end = i + c as usize;
+                    let overlap = run_end.min(end).saturating_sub(i.max(start));
+                    if overlap > 0 && pred.matches_unbounded(V::from_i64_exact(v)) {
+                        count += overlap as u64;
+                        sum += v as i128 * overlap as i128;
+                    }
+                    i = run_end;
+                }
+            }
+            _ => {
+                // FOR / delta: sorted raw stream with an early exit at the
+                // upper bound.
+                let bounded_hi = (hi != V::MAX_VALUE).then(|| hi.as_i64());
+                let mut idx = 0usize;
+                let end = start + len;
+                match &self.repr {
+                    Repr::For {
+                        base,
+                        bits,
+                        packed,
+                        len: n,
+                    } => {
+                        let mut un = Unpacker::new(packed, *bits);
+                        for _ in 0..*n {
+                            let raw = base.wrapping_add(un.next() as i64);
+                            if idx >= end || bounded_hi.is_some_and(|h| raw >= h) {
+                                break;
+                            }
+                            if idx >= start && pred.matches_unbounded(V::from_i64_exact(raw)) {
+                                count += 1;
+                                sum += raw as i128;
+                            }
+                            idx += 1;
+                        }
+                    }
+                    Repr::Delta {
+                        first,
+                        bits,
+                        packed,
+                        len: n,
+                    } => {
+                        let mut un = Unpacker::new(packed, *bits);
+                        let mut raw = *first;
+                        for i in 0..*n {
+                            if i > 0 {
+                                raw = raw.wrapping_add(un.next() as i64);
+                            }
+                            if idx >= end || bounded_hi.is_some_and(|h| raw >= h) {
+                                break;
+                            }
+                            if idx >= start && pred.matches_unbounded(V::from_i64_exact(raw)) {
+                                count += 1;
+                                sum += raw as i128;
+                            }
+                            idx += 1;
+                        }
+                    }
+                    _ => unreachable!("plain and rle handled above"),
+                }
+            }
+        }
+        (count, sum)
     }
 }
 
@@ -310,10 +706,7 @@ pub struct SnapPiece<V> {
 impl<V: CrackValue> SnapPiece<V> {
     /// Builds a piece over `seg[start..start+len)` with its aggregate.
     pub fn new(hi_key: Option<V>, seg: Arc<Segment<V>>, start: usize, len: usize) -> Self {
-        let sum = seg.values()[start..start + len]
-            .iter()
-            .map(|&v| v.as_i64() as i128)
-            .sum();
+        let sum = seg.sum_range(start, len);
         SnapPiece {
             hi_key,
             seg,
@@ -323,9 +716,35 @@ impl<V: CrackValue> SnapPiece<V> {
         }
     }
 
-    /// The piece's values (unordered).
-    pub fn values(&self) -> &[V] {
-        &self.seg.values()[self.start..self.start + self.len]
+    /// The piece's values verbatim — `Some` only when the backing segment
+    /// is plain (encoded pieces are visited through
+    /// [`SnapPiece::for_each`] / [`SnapPiece::scan_range`]).
+    pub fn plain_values(&self) -> Option<&[V]> {
+        self.seg
+            .plain_values()
+            .map(|d| &d[self.start..self.start + self.len])
+    }
+
+    /// Visits every value of the piece (unordered multiset), decoding
+    /// encoded segments on the fly.
+    pub fn for_each(&self, f: impl FnMut(V)) {
+        self.seg.for_each_range(self.start, self.len, f);
+    }
+
+    /// Count + sum of the piece's values qualifying under
+    /// `[lo, hi)` (sentinel-aware) — executed on the compressed form.
+    pub fn scan_range(&self, lo: V, hi: V) -> (u64, i128) {
+        self.seg.scan_range(self.start, self.len, lo, hi)
+    }
+
+    /// `true` when the backing segment is plain (uncompressed).
+    pub fn is_plain(&self) -> bool {
+        self.seg.is_plain()
+    }
+
+    /// Backing segment's encoding label.
+    pub fn encoding(&self) -> &'static str {
+        self.seg.encoding()
     }
 
     /// Number of values in the piece.
@@ -408,12 +827,9 @@ impl<V: CrackValue> PieceSnapshot<V> {
                 out.sum += piece.sum;
             } else {
                 out.filtered += piece.len();
-                for &v in piece.values() {
-                    if Self::qualifies(v, lo, hi) {
-                        out.count += 1;
-                        out.sum += v.as_i64() as i128;
-                    }
-                }
+                let (c, s) = piece.scan_range(lo, hi);
+                out.count += c;
+                out.sum += s;
             }
         });
         out
@@ -424,18 +840,21 @@ impl<V: CrackValue> PieceSnapshot<V> {
         let mut scan = SnapshotScan::default();
         self.walk(lo, hi, |piece, covered| {
             if covered {
-                out.extend_from_slice(piece.values());
+                match piece.plain_values() {
+                    Some(vals) => out.extend_from_slice(vals),
+                    None => piece.for_each(|v| out.push(v)),
+                }
                 scan.count += piece.len() as u64;
                 scan.sum += piece.sum;
             } else {
                 scan.filtered += piece.len();
-                for &v in piece.values() {
+                piece.for_each(|v| {
                     if Self::qualifies(v, lo, hi) {
                         out.push(v);
                         scan.count += 1;
                         scan.sum += v.as_i64() as i128;
                     }
-                }
+                });
             }
         });
         scan
@@ -760,5 +1179,220 @@ mod tests {
         let mut out = Vec::new();
         snap.collect_into(i64::MIN, i64::MAX, &mut out);
         assert!(out.is_empty());
+    }
+
+    /// Decode-everything helper: the segment's multiset in sorted order.
+    fn decoded<V: CrackValue>(seg: &Segment<V>) -> Vec<V> {
+        let mut out = Vec::with_capacity(seg.len());
+        seg.for_each_range(0, seg.len(), |v| out.push(v));
+        out.sort_unstable();
+        out
+    }
+
+    /// Full roundtrip + kernel check for one input multiset: decode equals
+    /// the sorted input, and scan/sum kernels match a plain-scan oracle on
+    /// a handful of bounds drawn from the data.
+    fn check_roundtrip<V: CrackValue>(data: Vec<V>) {
+        let bytes = counter();
+        let seg = Segment::encoded(data.clone(), Arc::clone(&bytes));
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(decoded(&seg), sorted, "{} roundtrip", seg.encoding());
+        assert_eq!(bytes.load(SeqCst), seg.charged_bytes());
+        let oracle_sum: i128 = sorted.iter().map(|&v| v.as_i64() as i128).sum();
+        assert_eq!(seg.sum_range(0, seg.len()), oracle_sum);
+        let mut probes: Vec<(V, V)> = vec![(V::MIN_VALUE, V::MAX_VALUE)];
+        if let (Some(&a), Some(&b)) = (sorted.first(), sorted.last()) {
+            probes.push((a, b));
+            probes.push((b, a)); // degenerate
+            probes.push((a, V::MAX_VALUE));
+            probes.push((V::MIN_VALUE, b));
+            let mid = sorted[sorted.len() / 2];
+            probes.push((a, mid));
+            probes.push((mid, mid)); // empty
+        }
+        for (lo, hi) in probes {
+            let pred = Predicate { lo, hi };
+            let mut count = 0u64;
+            let mut sum = 0i128;
+            for &v in &sorted {
+                if pred.matches_unbounded(v) {
+                    count += 1;
+                    sum += v.as_i64() as i128;
+                }
+            }
+            assert_eq!(
+                seg.scan_range(0, seg.len(), lo, hi),
+                (count, sum),
+                "{} scan [{:?},{:?})",
+                seg.encoding(),
+                lo,
+                hi
+            );
+        }
+        let charged = seg.charged_bytes();
+        drop(seg);
+        let _ = charged;
+        assert_eq!(bytes.load(SeqCst), 0, "Drop must debit exactly charged");
+    }
+
+    #[test]
+    fn encoded_adversarial_runs() {
+        // All-equal → FOR with zero bits (or RLE), near-zero bytes.
+        let bytes = counter();
+        let seg = Segment::encoded(vec![7i64; 4096], Arc::clone(&bytes));
+        assert!(!seg.is_plain());
+        assert!(
+            seg.charged_bytes() < 4096 * 8 / 10,
+            "{}",
+            seg.charged_bytes()
+        );
+        drop(seg);
+        // Strictly increasing → delta wins with 1-bit gaps.
+        let inc: Vec<i64> = (0..4096).map(|i| 1_000_000 + i).collect();
+        let seg = Segment::encoded(inc, Arc::clone(&bytes));
+        assert_eq!(seg.encoding(), "delta");
+        assert!(seg.charged_bytes() <= 4096 / 8 + 16);
+        drop(seg);
+        // Wide-span sparse (span ~2^63): no scheme beats plain — fallback.
+        let sparse = vec![i64::MIN + 1, -5, 0, 3, i64::MAX - 1];
+        let seg = Segment::encoded(sparse, Arc::clone(&bytes));
+        assert!(seg.is_plain());
+        drop(seg);
+        assert_eq!(bytes.load(SeqCst), 0);
+        for data in [
+            vec![7i64; 1000],
+            (0..1000).collect(),
+            vec![i64::MIN + 1, -5, 0, 3, i64::MAX - 1],
+            (0..1000).map(|i| (i * 37) % 11).collect(),
+        ] {
+            check_roundtrip(data);
+        }
+    }
+
+    #[test]
+    fn encoded_roundtrip_across_widths() {
+        check_roundtrip::<i8>((-100..100).map(|v| v as i8).collect());
+        check_roundtrip::<i16>((0..2000).map(|v| (v % 300) as i16).collect());
+        check_roundtrip::<i32>((0..5000).map(|v| v * 3).collect());
+        check_roundtrip::<u32>((0..5000).map(|v| (v % 17) as u32).collect());
+        check_roundtrip::<i64>(Vec::new());
+        check_roundtrip::<i64>(vec![42]);
+    }
+
+    /// Satellite regression: morphing a plain segment into an encoded one
+    /// strictly decreases the charged snapshot bytes on compressible data,
+    /// and `Drop` debits exactly what each constructor charged.
+    #[test]
+    fn morph_strictly_decreases_charged_bytes() {
+        let bytes = counter();
+        let data: Vec<i64> = (0..8192).map(|i| (i * 31) % 1000).collect();
+        let plain = Segment::new(data.clone(), Arc::clone(&bytes));
+        let plain_charge = plain.charged_bytes();
+        assert_eq!(plain_charge, 8192 * 8);
+        assert_eq!(bytes.load(SeqCst), plain_charge);
+        let enc = Segment::encoded(data, Arc::clone(&bytes));
+        assert!(
+            enc.charged_bytes() < plain_charge,
+            "morph must strictly shrink: {} vs {plain_charge}",
+            enc.charged_bytes()
+        );
+        assert_eq!(bytes.load(SeqCst), plain_charge + enc.charged_bytes());
+        drop(plain);
+        assert_eq!(bytes.load(SeqCst), enc.charged_bytes());
+        drop(enc);
+        assert_eq!(bytes.load(SeqCst), 0);
+    }
+
+    #[test]
+    fn encoded_snapshot_answers_like_plain() {
+        let bytes = counter();
+        let mk = |encode: bool| -> PieceSnapshot<i64> {
+            let pieces = vec![
+                (Some(100i64), (0..100).collect::<Vec<i64>>()),
+                (Some(200), (100..200).map(|v| v / 2 * 2).collect()),
+                (None, vec![250; 64]),
+            ];
+            PieceSnapshot::new(
+                pieces
+                    .into_iter()
+                    .map(|(hi, vals)| {
+                        let n = vals.len();
+                        let seg = if encode {
+                            Arc::new(Segment::encoded(vals, Arc::clone(&bytes)))
+                        } else {
+                            Arc::new(Segment::new(vals, Arc::clone(&bytes)))
+                        };
+                        SnapPiece::new(hi, seg, 0, n)
+                    })
+                    .collect(),
+            )
+        };
+        let plain = mk(false);
+        let enc = mk(true);
+        assert!(enc.pieces().iter().all(|p| !p.is_plain()));
+        for (lo, hi) in [
+            (i64::MIN, i64::MAX),
+            (0, 300),
+            (50, 150),
+            (100, 200),
+            (199, 251),
+            (42, 42),
+        ] {
+            let a = plain.stats(lo, hi);
+            let b = enc.stats(lo, hi);
+            assert_eq!((a.count, a.sum), (b.count, b.sum), "[{lo},{hi})");
+            assert_eq!(a.filtered, b.filtered, "edge-filter semantics differ");
+            let (mut va, mut vb) = (Vec::new(), Vec::new());
+            plain.collect_into(lo, hi, &mut va);
+            enc.collect_into(lo, hi, &mut vb);
+            va.sort_unstable();
+            vb.sort_unstable();
+            assert_eq!(va, vb, "[{lo},{hi})");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn encode_decode_roundtrip_i64(
+                data in proptest::collection::vec(any::<i64>(), 0..300),
+            ) {
+                // Clamp away the MAX sentinel (domains never produce it).
+                let data: Vec<i64> =
+                    data.into_iter().map(|v| v.min(i64::MAX - 1)).collect();
+                check_roundtrip(data);
+            }
+
+            #[test]
+            fn encode_decode_roundtrip_narrow(
+                data in proptest::collection::vec(0i64..5000, 0..300),
+            ) {
+                check_roundtrip(data);
+            }
+
+            #[test]
+            fn encode_decode_roundtrip_i16(
+                data in proptest::collection::vec(any::<i16>(), 0..300),
+            ) {
+                let data: Vec<i16> =
+                    data.into_iter().map(|v| v.min(i16::MAX - 1)).collect();
+                check_roundtrip(data);
+            }
+
+            #[test]
+            fn encode_decode_roundtrip_u32(
+                data in proptest::collection::vec(any::<u32>(), 0..300),
+            ) {
+                let data: Vec<u32> =
+                    data.into_iter().map(|v| v.min(u32::MAX - 1)).collect();
+                check_roundtrip(data);
+            }
+        }
     }
 }

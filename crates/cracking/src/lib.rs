@@ -56,6 +56,6 @@ pub use epoch::{EpochCell, EpochDomain, EpochGuard, PieceSnapshot, SnapshotScan}
 pub use filter::PointFilter;
 pub use index::{BoundLookup, CrackerIndex};
 pub use latch::PieceLatch;
-pub use piece_stats::PieceStats;
+pub use piece_stats::{PieceStats, SnapPieceStat};
 pub use sharding::{PlanEpoch, ReplanAction, ShardPlan, ShardedColumn};
 pub use vectorized::CrackScratch;

@@ -23,6 +23,20 @@ use holix_storage::types::CrackValue;
 /// list is stride-sampled (sizes become conservative over-estimates).
 pub const MAX_STATS_BOUNDS: usize = 1 << 12;
 
+/// One published snapshot piece as the planner sees it: its upper boundary
+/// key (`None` = the column-max edge), its tuple count, and whether its
+/// segment is still plain (encoded pieces pay a bit-unpack per value when a
+/// bound forces element-wise edge filtering — the decode-cost term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapPieceStat<V> {
+    /// Upper boundary key (`None` = column-max edge piece).
+    pub hi_key: Option<V>,
+    /// Tuples in the piece.
+    pub len: usize,
+    /// `true` when the backing segment is an uncompressed `Vec<V>`.
+    pub plain: bool,
+}
+
 /// One shard's published plan-time summary. All fields describe the column
 /// at publish time; staleness is bounded by the publish triggers (see
 /// [`crate::CrackerColumn::maybe_publish_stats`]).
@@ -36,9 +50,9 @@ pub struct PieceStats<V> {
     pub bounds: Vec<(V, usize)>,
     /// Pending-merge backlog (queued Ripple inserts + deletes).
     pub pending: usize,
-    /// Published snapshot's piece table as `(hi_key, len)` pairs (`None`
-    /// when no snapshot is published): the snapshot-staleness statistic.
-    pub snap_pieces: Option<Vec<(Option<V>, usize)>>,
+    /// Published snapshot's piece table (`None` when no snapshot is
+    /// published): the snapshot-staleness and decode-cost statistic.
+    pub snap_pieces: Option<Vec<SnapPieceStat<V>>>,
 }
 
 impl<V: CrackValue> PieceStats<V> {
@@ -163,19 +177,44 @@ impl<V: CrackValue> PieceStats<V> {
         let pieces = self.snap_pieces.as_ref()?;
         let mut cost = 0usize;
         for v in [lo, hi] {
-            if v == V::MIN_VALUE || v == V::MAX_VALUE {
-                continue; // sentinel: the edge piece is fully covered
-            }
-            let i = pieces.partition_point(|&(k, _)| k.is_some_and(|k| k <= v));
-            // Exact snapshot boundary: no filtering on this edge.
-            if i > 0 && pieces[i - 1].0 == Some(v) {
-                continue;
-            }
-            if let Some(&(_, len)) = pieces.get(i) {
-                cost += len;
+            if let Some(p) = Self::edge_piece(pieces, v) {
+                cost += p.len;
             }
         }
         Some(cost)
+    }
+
+    /// The edge-filter rows of a `[lo, hi)` snapshot scan that additionally
+    /// pay a per-value bit-unpack because their piece is *encoded* (FOR /
+    /// delta / RLE). A subset of [`PieceStats::snapshot_edge_filter`]:
+    /// plain edge pieces filter at memcmp speed and cost nothing here.
+    /// `None` when no snapshot is published.
+    pub fn snapshot_edge_decode(&self, lo: V, hi: V) -> Option<u64> {
+        let pieces = self.snap_pieces.as_ref()?;
+        let mut cost = 0u64;
+        for v in [lo, hi] {
+            if let Some(p) = Self::edge_piece(pieces, v) {
+                if !p.plain {
+                    cost += p.len as u64;
+                }
+            }
+        }
+        Some(cost)
+    }
+
+    /// The snapshot piece a non-sentinel bound `v` falls *inside* (element-
+    /// wise edge filtering) — `None` when `v` is a sentinel, an exact
+    /// snapshot boundary, or past the last piece.
+    fn edge_piece(pieces: &[SnapPieceStat<V>], v: V) -> Option<&SnapPieceStat<V>> {
+        if v == V::MIN_VALUE || v == V::MAX_VALUE {
+            return None; // sentinel: the edge piece is fully covered
+        }
+        let i = pieces.partition_point(|p| p.hi_key.is_some_and(|k| k <= v));
+        // Exact snapshot boundary: no filtering on this edge.
+        if i > 0 && pieces[i - 1].hi_key == Some(v) {
+            return None;
+        }
+        pieces.get(i)
     }
 
     /// Snapshot staleness: live pieces per snapshot piece (1.0 = fresh,
@@ -194,7 +233,7 @@ pub(crate) fn build_stats<V: CrackValue>(
     len: usize,
     bounds: Vec<(V, usize)>,
     pending: usize,
-    snap_pieces: Option<Vec<(Option<V>, usize)>>,
+    snap_pieces: Option<Vec<SnapPieceStat<V>>>,
 ) -> PieceStats<V> {
     let piece_count = bounds.len() + 1;
     let bounds = if bounds.len() > MAX_STATS_BOUNDS {
@@ -216,10 +255,14 @@ pub(crate) fn build_stats<V: CrackValue>(
 mod tests {
     use super::*;
 
+    fn sp(hi_key: Option<i64>, len: usize, plain: bool) -> SnapPieceStat<i64> {
+        SnapPieceStat { hi_key, len, plain }
+    }
+
     fn stats(
         len: usize,
         bounds: Vec<(i64, usize)>,
-        snap: Option<Vec<(Option<i64>, usize)>>,
+        snap: Option<Vec<SnapPieceStat<i64>>>,
     ) -> PieceStats<i64> {
         build_stats(len, bounds, 0, snap)
     }
@@ -281,7 +324,11 @@ mod tests {
 
     #[test]
     fn snapshot_edge_filter_counts_only_edge_pieces() {
-        let snap = vec![(Some(10), 30), (Some(20), 40), (None, 30)];
+        let snap = vec![
+            sp(Some(10), 30, true),
+            sp(Some(20), 40, true),
+            sp(None, 30, true),
+        ];
         let s = stats(100, vec![(10, 30), (20, 70)], Some(snap));
         // Exact snapshot boundaries: no filtering.
         assert_eq!(s.snapshot_edge_filter(10, 20), Some(0));
@@ -290,6 +337,26 @@ mod tests {
         // Sentinels cover their edge.
         assert_eq!(s.snapshot_edge_filter(i64::MIN, 15), Some(40));
         assert_eq!(stats(100, vec![], None).snapshot_edge_filter(0, 1), None);
+    }
+
+    #[test]
+    fn snapshot_edge_decode_counts_only_encoded_edge_pieces() {
+        // Middle piece encoded, neighbours plain.
+        let snap = vec![
+            sp(Some(10), 30, true),
+            sp(Some(20), 40, false),
+            sp(None, 30, true),
+        ];
+        let s = stats(100, vec![(10, 30), (20, 70)], Some(snap));
+        // Both bounds filter, but only the encoded middle piece decodes.
+        assert_eq!(s.snapshot_edge_filter(5, 15), Some(70));
+        assert_eq!(s.snapshot_edge_decode(5, 15), Some(40));
+        // Exact snapshot boundaries never decode.
+        assert_eq!(s.snapshot_edge_decode(10, 20), Some(0));
+        // Sentinel bound covers its edge: only the hi edge decodes.
+        assert_eq!(s.snapshot_edge_decode(i64::MIN, 15), Some(40));
+        assert_eq!(s.snapshot_edge_decode(5, 25), Some(0));
+        assert_eq!(stats(100, vec![], None).snapshot_edge_decode(0, 1), None);
     }
 
     #[test]

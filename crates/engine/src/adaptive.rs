@@ -122,6 +122,7 @@ impl QueryEngine for AdaptiveEngine {
             full_materialization: false,
             high_update_cost: false,
             dynamic: true,
+            point_screening: true,
         }
     }
 
@@ -135,6 +136,36 @@ impl QueryEngine for AdaptiveEngine {
         let (sel, stats) = SCRATCH.with(|s| col.select_verified(pred, &mut s.borrow_mut()));
         debug_assert_eq!(sel.count(), stats.count);
         (stats.count, stats.sum)
+    }
+
+    fn execute_points(&self, attr: usize, values: &[i64]) -> Option<u64> {
+        // Dedupe: an IN list counts each qualifying tuple once, and
+        // coalesced batches legitimately repeat values.
+        let mut vals: Vec<i64> = values.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        let col = self.column(attr);
+        col.ensure_point_filter();
+        let mut total = 0u64;
+        for v in vals {
+            if v == i64::MAX {
+                continue; // the sentinel cannot be probed (empty unit range)
+            }
+            if col.probe_point(v) == Some(false) {
+                continue; // filter-negative: zero cracks, zero touches
+            }
+            // Maybe-present: a unit-range crack confined to the one piece
+            // owning `v` — the same per-probe cost the holistic engine
+            // pays, minus the shard routing.
+            total += self
+                .select(&QuerySpec {
+                    attr,
+                    lo: v,
+                    hi: v + 1,
+                })
+                .count();
+        }
+        Some(total)
     }
 }
 
@@ -188,6 +219,31 @@ mod tests {
         assert!(e.cols[0].read().is_none());
         assert!(e.cols[1].read().is_some());
         assert!(e.total_pieces() >= 2);
+    }
+
+    #[test]
+    fn execute_points_screens_absent_values_without_cracking() {
+        let data = Dataset::new(vec![(0..50_000).map(|i| i * 2).collect()]); // evens
+        let e = AdaptiveEngine::new(data, CrackMode::Sequential);
+        // Warm the column and the filter with one probe.
+        assert_eq!(e.execute_points(0, &[2, 4]).unwrap(), 2);
+        let pieces = e.total_pieces();
+        // Absent (odd) values: the filter screens them without cracking.
+        // A Bloom false positive (~1% of probes) falls through to a unit
+        // range that cracks at most 2 boundaries, so growth stays far
+        // below the 128 pieces an unscreened run would add.
+        let odds: Vec<i64> = (0..64).map(|i| i * 2 + 1).collect();
+        assert_eq!(e.execute_points(0, &odds).unwrap(), 0);
+        assert!(
+            e.total_pieces() <= pieces + 6,
+            "screening barely cracked: {} pieces from {pieces}",
+            e.total_pieces()
+        );
+        // Mixed IN list with duplicates: present values still count once.
+        assert_eq!(
+            e.execute_points(0, &[10, 10, 11, 98_000, 99_999]).unwrap(),
+            2
+        );
     }
 
     #[test]

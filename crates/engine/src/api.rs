@@ -49,6 +49,10 @@ pub struct Capabilities {
     pub high_update_cost: bool,
     /// Adapts to a dynamic workload (vs static physical design).
     pub dynamic: bool,
+    /// Answers provably-absent equality/IN probes from a point-membership
+    /// filter without touching (or cracking) the indexed data — the
+    /// zero-crack screened-probe row of Table 1.
+    pub point_screening: bool,
 }
 
 /// A query engine over a [`Dataset`]. Engines are `Sync`: §5.8 drives one

@@ -556,6 +556,7 @@ impl QueryEngine for HolisticEngine {
             full_materialization: false,
             high_update_cost: false,
             dynamic: true,
+            point_screening: true,
         }
     }
 
@@ -896,6 +897,15 @@ fn peek_slot(shared: &PlanShared, attr: usize) -> Option<SlotPair> {
     Some((Arc::clone(&slot.col), Arc::clone(&slot.ids)))
 }
 
+/// Row-equivalents charged per recorded query when converting a shard's
+/// `f_I` into [`ShardLoad::access`] heat: one query-touch weighs like
+/// scanning this many resident rows. `f_I` is cumulative, but a split
+/// re-registers the hot halves with fresh counters, so the heat a split is
+/// meant to dissipate actually resets afterwards — untouched shards keep
+/// their accumulated weight by `Arc` identity, which is exactly the skew
+/// signal the policy wants.
+const ACCESS_ROW_EQUIV: u64 = 64;
+
 /// One policy evaluation for one attribute: read per-shard loads from the
 /// published statistics (lock-free), propose, migrate, publish.
 fn maybe_replan_attr(
@@ -914,17 +924,29 @@ fn maybe_replan_attr(
         col.shard(k).maybe_publish_stats(1);
     }
     let loads: Vec<ShardLoad> = (0..col.shard_count())
-        .map(|k| match col.shard(k).piece_stats() {
-            Some(s) => ShardLoad {
-                rows: s.len,
-                pending: s.pending,
-            },
-            // Columns publish at build; the fallback reads the live
-            // lengths so a stats-less shard is not mistaken for empty.
-            None => ShardLoad {
-                rows: col.shard(k).len(),
-                pending: col.shard(k).pending_len(),
-            },
+        .map(|k| {
+            // Access heat: the shard's registry `f_I` (queries routed to
+            // it) in row-equivalents, so a small shard every query hammers
+            // can out-weigh a large cold one and trip the split skew.
+            let access = ids
+                .get(k)
+                .and_then(|&id| space.get(id))
+                .map(|(_, stats)| (stats.queries().saturating_mul(ACCESS_ROW_EQUIV)) as usize)
+                .unwrap_or(0);
+            match col.shard(k).piece_stats() {
+                Some(s) => ShardLoad {
+                    rows: s.len,
+                    pending: s.pending,
+                    access,
+                },
+                // Columns publish at build; the fallback reads the live
+                // lengths so a stats-less shard is not mistaken for empty.
+                None => ShardLoad {
+                    rows: col.shard(k).len(),
+                    pending: col.shard(k).pending_len(),
+                    access,
+                },
+            }
         })
         .collect();
     let action = propose_replan(&loads, policy)?;

@@ -68,6 +68,7 @@ impl QueryEngine for OfflineEngine {
             full_materialization: true,
             high_update_cost: true,
             dynamic: false,
+            point_screening: false,
         }
     }
 

@@ -4,6 +4,7 @@
 //! `K + 1`.
 
 use crate::api::{Capabilities, Dataset, QueryEngine};
+use holix_cracking::PointFilter;
 use holix_storage::pscan::{parallel_scan_count, parallel_scan_stats};
 use holix_storage::psort::parallel_sort;
 use holix_storage::select::Predicate;
@@ -11,6 +12,7 @@ use holix_storage::sort::SortedColumn;
 use holix_workloads::QuerySpec;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Scan-then-sort engine.
 pub struct OnlineEngine {
@@ -21,18 +23,46 @@ pub struct OnlineEngine {
     monitor_queries: usize,
     executed: AtomicUsize,
     sorted: RwLock<Option<Vec<SortedColumn<i64>>>>,
+    /// Lazily built per-attribute point-membership filters: the base table
+    /// is immutable here, so one Bloom pass per attribute screens every
+    /// later provably-absent equality/IN probe without a scan — in either
+    /// phase (the monitoring scans *and* the sorted binary searches).
+    filters: Vec<RwLock<Option<Arc<PointFilter>>>>,
 }
 
 impl OnlineEngine {
     /// Online engine that reorganises after `monitor_queries` queries.
     pub fn new(data: Dataset, threads: usize, monitor_queries: usize) -> Self {
+        let filters = (0..data.attrs()).map(|_| RwLock::new(None)).collect();
         OnlineEngine {
             data,
             threads: threads.max(1),
             monitor_queries,
             executed: AtomicUsize::new(0),
             sorted: RwLock::new(None),
+            filters,
         }
+    }
+
+    /// Gets (or builds on first probe) the attribute's point filter.
+    fn filter(&self, attr: usize) -> Arc<PointFilter> {
+        {
+            let guard = self.filters[attr].read();
+            if let Some(f) = guard.as_ref() {
+                return Arc::clone(f);
+            }
+        }
+        let mut guard = self.filters[attr].write();
+        if let Some(f) = guard.as_ref() {
+            return Arc::clone(f);
+        }
+        let col = self.data.column(attr);
+        let f = Arc::new(PointFilter::with_capacity(col.len()));
+        for &v in col {
+            f.insert(v);
+        }
+        *guard = Some(Arc::clone(&f));
+        f
     }
 
     fn maybe_reorganize(&self) -> bool {
@@ -64,6 +94,7 @@ impl QueryEngine for OnlineEngine {
             full_materialization: true,
             high_update_cost: true,
             dynamic: true,
+            point_screening: true,
         }
     }
 
@@ -88,6 +119,32 @@ impl QueryEngine for OnlineEngine {
         let s = guard.as_ref().expect("sorted after reorganization")[q.attr].select_stats(pred);
         (s.count, s.sum)
     }
+
+    fn execute_points(&self, attr: usize, values: &[i64]) -> Option<u64> {
+        // Dedupe: an IN list counts each qualifying tuple once.
+        let mut vals: Vec<i64> = values.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        let filter = self.filter(attr);
+        let mut total = 0u64;
+        for v in vals {
+            if v == i64::MAX {
+                continue; // the sentinel cannot be probed (empty unit range)
+            }
+            if !filter.contains(v) {
+                continue; // proven absent: no scan, no monitor tick
+            }
+            // Maybe-present: the ordinary unit range — a monitored scan or
+            // a sorted binary search, whichever phase we are in. It ticks
+            // the monitor counter like any user query.
+            total += self.execute(&QuerySpec {
+                attr,
+                lo: v,
+                hi: v + 1,
+            });
+        }
+        Some(total)
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +167,34 @@ mod tests {
         assert_eq!(e.execute(&q), 200); // 6th query triggers the sort
         assert!(e.sorted.read().is_some());
         assert_eq!(e.execute(&q), 200);
+    }
+
+    #[test]
+    fn execute_points_screens_absent_values_without_scanning() {
+        let data = Dataset::new(vec![(0..10_000).map(|i| i * 2).collect()]); // evens
+        let e = OnlineEngine::new(data, 1, 3);
+        // Absent (odd) probes screen out on the filter: no scan runs, so
+        // the monitor counter never ticks and the sort is never triggered.
+        let odds: Vec<i64> = (0..100).map(|i| i * 2 + 1).collect();
+        assert_eq!(e.execute_points(0, &odds).unwrap(), 0);
+        assert_eq!(e.executed.load(Ordering::SeqCst), 0);
+        assert!(e.sorted.read().is_none());
+        // Present values fall through to ordinary unit ranges (which do
+        // tick the monitor) and count exactly once despite duplicates.
+        assert_eq!(e.execute_points(0, &[4, 4, 5, 19_998]).unwrap(), 2);
+        assert_eq!(e.executed.load(Ordering::SeqCst), 2);
+        // The screen keeps working after the reorganisation too.
+        for _ in 0..4 {
+            e.execute(&QuerySpec {
+                attr: 0,
+                lo: 0,
+                hi: 10,
+            });
+        }
+        assert!(e.sorted.read().is_some());
+        let before = e.executed.load(Ordering::SeqCst);
+        assert_eq!(e.execute_points(0, &odds).unwrap(), 0);
+        assert_eq!(e.executed.load(Ordering::SeqCst), before);
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl QueryEngine for ScanEngine {
             full_materialization: false,
             high_update_cost: false,
             dynamic: false,
+            point_screening: false,
         }
     }
 

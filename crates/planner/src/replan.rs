@@ -27,13 +27,20 @@ pub struct ShardLoad {
     pub rows: usize,
     /// Pending Ripple backlog (published `PieceStats::pending`).
     pub pending: usize,
+    /// Access heat in row-equivalents: the shard's observed query traffic
+    /// (the paper's per-index `f_I`), pre-scaled by the caller so one unit
+    /// compares to one resident row. Zero when the caller does not track
+    /// access (size-only balancing, the pre-PR-8 behaviour).
+    pub access: usize,
 }
 
 impl ShardLoad {
     /// The balance weight: merged rows plus the unmerged backlog (a shard
-    /// absorbing a drifting insert hot spot is hot *before* its rows are).
+    /// absorbing a drifting insert hot spot is hot *before* its rows are)
+    /// plus the access heat (a small shard every query hammers — scalding
+    /// — deserves a split even though its rows never trip the size skew).
     pub fn weight(&self) -> usize {
-        self.rows + self.pending
+        self.rows + self.pending + self.access
     }
 }
 
@@ -129,7 +136,11 @@ mod tests {
     use super::*;
 
     fn load(rows: usize, pending: usize) -> ShardLoad {
-        ShardLoad { rows, pending }
+        ShardLoad {
+            rows,
+            pending,
+            access: 0,
+        }
     }
 
     #[test]
@@ -159,6 +170,33 @@ mod tests {
         assert_eq!(
             propose_replan(&loads, &policy),
             Some(ReplanAction::Split { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn scalding_small_shard_splits_on_access_skew() {
+        let policy = ReplanPolicy::default();
+        // Rows perfectly balanced — size-only balancing would do nothing —
+        // but shard 2 absorbs nearly all the query traffic.
+        let mut loads = vec![load(10_000, 0); 4];
+        loads[2].access = 100_000;
+        assert_eq!(
+            propose_replan(&loads, &policy),
+            Some(ReplanAction::Split { shard: 2 })
+        );
+        assert!(load_skew(&loads) > policy.split_skew);
+        // The row floor still holds: a scalding shard too small to yield
+        // two valid halves is left alone (splitting it cannot spread the
+        // heat without creating an undersized shard).
+        let mut loads = vec![load(10_000, 0); 4];
+        loads[2] = ShardLoad {
+            rows: 1_000,
+            pending: 0,
+            access: 200_000,
+        };
+        assert_ne!(
+            propose_replan(&loads, &policy),
+            Some(ReplanAction::Split { shard: 2 })
         );
     }
 

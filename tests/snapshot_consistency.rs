@@ -76,6 +76,7 @@ fn snapshot_scans_observe_exact_multisets_under_interference() {
 
     let inserted = AtomicUsize::new(0); // updater A progress (applied VA inserts)
     let deleted = AtomicUsize::new(0); // updater B progress (applied VB deletes)
+    let morphs = AtomicUsize::new(0); // background segment re-encodings
 
     crossbeam::thread::scope(|s| {
         // Updater A: insert VA, force the Ripple merge via a narrow locked
@@ -135,6 +136,24 @@ fn snapshot_scans_observe_exact_multisets_under_interference() {
                     for k in 0..col.shard_count() {
                         col.shard(k).refine_random(&mut rng, &mut scratch, 4);
                     }
+                }
+            });
+        }
+        // Morpher: the daemon's background re-encoding of stable plain
+        // snapshot pieces (FOR / delta / RLE), racing everything above —
+        // the scanners' exactness asserts now also cover scans that land
+        // on compressed pieces mid-flip.
+        {
+            let col = &col;
+            let morphs = &morphs;
+            s.spawn(move |_| {
+                for _ in 0..200 {
+                    for k in 0..col.shard_count() {
+                        if col.shard(k).morph_cold_segments() {
+                            morphs.fetch_add(1, SeqCst);
+                        }
+                    }
+                    std::thread::yield_now();
                 }
             });
         }
@@ -220,6 +239,35 @@ fn snapshot_scans_observe_exact_multisets_under_interference() {
     let mut got = Vec::new();
     col.snapshot_collect(full, &mut scratch, &mut got);
     assert_eq!(got.len() as u64, scan.count);
+
+    // Morph to fixpoint: every remaining encodable plain piece flips to
+    // its compressed form, and the compressed snapshot must keep
+    // answering exactly what the plain one did.
+    let mut post_morphs = 0usize;
+    loop {
+        let mut any = false;
+        for k in 0..col.shard_count() {
+            if col.shard(k).morph_cold_segments() {
+                any = true;
+                post_morphs += 1;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    assert!(
+        morphs.load(SeqCst) + post_morphs > 0,
+        "no snapshot segment was ever re-encoded"
+    );
+    let rescan = col.snapshot_scan(full, &mut scratch);
+    assert_eq!((rescan.count, rescan.sum), (scan.count, scan.sum));
+    let mut regot = Vec::new();
+    col.snapshot_collect(full, &mut scratch, &mut regot);
+    got.sort_unstable();
+    regot.sort_unstable();
+    assert_eq!(got, regot, "compressed collect diverged from plain collect");
+
     for k in 0..col.shard_count() {
         col.shard(k).check_invariants(None);
     }
