@@ -68,6 +68,15 @@ pub trait RefinableIndex: Send + Sync {
     fn morph_cold_segments(&self) -> bool {
         false
     }
+    /// [`RefinableIndex::morph_cold_segments`] without any rate gate: under
+    /// budget pressure the idle workers morph imminent-eviction attributes
+    /// *now* — shrinking their footprint is what can still save them, so
+    /// the usual every-Nth-activation pacing would be self-defeating.
+    /// Returns `true` when a piece was morphed. Default: no snapshot
+    /// surface.
+    fn morph_cold_segments_now(&self) -> bool {
+        false
+    }
 }
 
 /// [`RefinableIndex`] adapter around a [`CrackerColumn`].
@@ -167,6 +176,10 @@ impl<V: CrackValue> RefinableIndex for CrackerHandle<V> {
         {
             return false;
         }
+        self.col.morph_cold_segments()
+    }
+
+    fn morph_cold_segments_now(&self) -> bool {
         self.col.morph_cold_segments()
     }
 }

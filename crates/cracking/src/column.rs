@@ -872,7 +872,7 @@ impl<V: CrackValue> CrackerColumn<V> {
             };
             let spans: Vec<SpliceSpan<V>> = spans
                 .into_iter()
-                .map(|(a, b)| (a, b, self.copy_live_pieces(a, b, false)))
+                .map(|(a, b)| (a, b, self.copy_live_pieces(a, b, false, false)))
                 .collect();
             self.splice_multi_and_publish(spans, Some(token));
         } else {
@@ -985,7 +985,7 @@ impl<V: CrackValue> CrackerColumn<V> {
                 // leaves the pending overlay only together with a
                 // republished snapshot that already contains it.
                 if self.snap.is_published() {
-                    let pieces = self.copy_live_pieces(None, None, false);
+                    let pieces = self.copy_live_pieces(None, None, false, false);
                     self.splice_and_publish(None, None, pieces, Some(token));
                 } else {
                     self.pending.lock().finish_merge(token);
@@ -1308,7 +1308,7 @@ impl<V: CrackValue> CrackerColumn<V> {
         if self.snap.is_published() {
             return; // lost the build race
         }
-        let pieces = self.copy_live_pieces(None, None, false);
+        let pieces = self.copy_live_pieces(None, None, false, false);
         self.splice_and_publish(None, None, pieces, None);
     }
 
@@ -1348,8 +1348,8 @@ impl<V: CrackValue> CrackerColumn<V> {
         }
         // Anchors of the point range [v, succ(v)): exactly the snapshot
         // piece(s) the bound falls into.
-        let (a, b) = self.snapshot_anchors(v, Self::succ(v));
-        let mid = self.copy_live_pieces(a, b, true);
+        let (a, b, encoded) = self.snapshot_anchors(v, Self::succ(v));
+        let mid = self.copy_live_pieces(a, b, true, encoded);
         self.splice_and_publish(a, b, mid, None);
     }
 
@@ -1380,7 +1380,7 @@ impl<V: CrackValue> CrackerColumn<V> {
         // copies the same pieces back (empty pieces are skipped), and a
         // key-only check would pick that piece forever.
         let mut lo_key: Option<V> = None;
-        let mut best: Option<(usize, Option<V>, Option<V>)> = None;
+        let mut best: Option<(usize, Option<V>, Option<V>, bool)> = None;
         for piece in snap_pieces {
             let (hi_key, len) = (piece.hi_key, piece.len);
             let from = match lo_key {
@@ -1406,17 +1406,20 @@ impl<V: CrackValue> CrackerColumn<V> {
             let interior = &stats.bounds[from..to];
             let split = interior.partition_point(|&(_, p)| p <= pos_lo);
             let refreshable = split < interior.len() && interior[split].1 < pos_hi;
-            if refreshable && best.as_ref().is_none_or(|&(l, _, _)| len > l) {
-                best = Some((len, lo_key, hi_key));
+            if refreshable && best.as_ref().is_none_or(|&(l, _, _, _)| len > l) {
+                best = Some((len, lo_key, hi_key, !piece.plain));
             }
             lo_key = hi_key;
         }
-        let Some((_, a, b)) = best else {
+        let Some((_, a, b, encoded)) = best else {
             return false;
         };
         let before = self.snapshot_piece_count();
         let _shared = self.structure.read();
-        let mid = self.copy_live_pieces(a, b, true);
+        // A refresh of an already-morphed piece goes straight back into
+        // encoded form — the copies land compressed, so the background
+        // refresh loop no longer re-plains what the morpher encoded.
+        let mid = self.copy_live_pieces(a, b, true, encoded);
         self.splice_and_publish(a, b, mid, None);
         drop(_shared);
         // Republish immediately so a refresh loop converges on fresh
@@ -1511,12 +1514,32 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// snapshot is read under the pending mutex *without* an epoch pin
     /// (publishers must never spin on reader-held pin slots while holding
     /// the structure lock — see [`SnapshotCell::load_publisher`]).
-    fn snapshot_anchors(&self, lo: V, hi: V) -> (Option<V>, Option<V>) {
+    /// Besides the anchors, reports whether any replaced piece of the span
+    /// is encoded — the refresh then re-encodes its copies instead of
+    /// spilling them plain ([`CrackerColumn::copy_live_pieces`]).
+    fn snapshot_anchors(&self, lo: V, hi: V) -> (Option<V>, Option<V>, bool) {
         let _p = self.pending.lock();
         let Some(snap) = self.snap.load_publisher() else {
-            return (None, None);
+            return (None, None, false);
         };
-        Self::anchors_in(snap.pieces(), lo, hi)
+        let (a, b) = Self::anchors_in(snap.pieces(), lo, hi);
+        (a, b, Self::span_has_encoded(snap.pieces(), lo, hi))
+    }
+
+    /// `true` when any snapshot piece intersecting `[lo, hi)` is encoded.
+    fn span_has_encoded(pieces: &[SnapPiece<V>], lo: V, hi: V) -> bool {
+        let i = pieces.partition_point(|p| p.hi_key.is_some_and(|k| k <= lo));
+        for p in &pieces[i..] {
+            if !p.is_plain() {
+                return true;
+            }
+            match p.hi_key {
+                None => break,
+                Some(k) if k >= hi => break,
+                _ => {}
+            }
+        }
+        false
     }
 
     /// [`CrackerColumn::snapshot_anchors`] over an already-loaded piece
@@ -1543,10 +1566,20 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// With `latched`, each piece is copied under its read latch (caller
     /// holds `structure` shared; concurrent cracks of *other* pieces
     /// proceed); otherwise the caller holds `structure` exclusively.
-    /// Empty pieces are skipped — scans treat the uncovered key as part of
-    /// the neighbouring piece's range, which only widens the conservative
-    /// edge-filter check.
-    fn copy_live_pieces(&self, a: Option<V>, b: Option<V>, latched: bool) -> Vec<SnapPiece<V>> {
+    /// With `encode`, copies of at least [`CrackerColumn::MORPH_MIN`]
+    /// values go straight through [`Segment::encoded`] — a refresh that
+    /// replaces already-morphed pieces keeps them compressed instead of
+    /// re-materialising plain and waiting for the morpher (no transient
+    /// footprint spike). Empty pieces are skipped — scans treat the
+    /// uncovered key as part of the neighbouring piece's range, which only
+    /// widens the conservative edge-filter check.
+    fn copy_live_pieces(
+        &self,
+        a: Option<V>,
+        b: Option<V>,
+        latched: bool,
+        encode: bool,
+    ) -> Vec<SnapPiece<V>> {
         let mut out = Vec::new();
         let mut cur = a;
         loop {
@@ -1577,8 +1610,12 @@ impl<V: CrackValue> CrackerColumn<V> {
             };
             if !vals.is_empty() {
                 let n = vals.len();
-                let seg = Arc::new(Segment::new(vals, Arc::clone(&self.snap_bytes)));
-                out.push(SnapPiece::new(hi_key, seg, 0, n));
+                let seg = if encode && n >= Self::MORPH_MIN {
+                    Segment::encoded(vals, Arc::clone(&self.snap_bytes))
+                } else {
+                    Segment::new(vals, Arc::clone(&self.snap_bytes))
+                };
+                out.push(SnapPiece::new(hi_key, Arc::new(seg), 0, n));
             }
             match (hi_key, b) {
                 (None, _) => break,
@@ -2398,6 +2435,62 @@ mod tests {
         let scan = col.snapshot_scan(full, &mut scratch);
         let oracle = scan_stats(&base, full);
         assert_eq!((scan.count, scan.sum), (oracle.count + 1, oracle.sum + 500));
+    }
+
+    #[test]
+    fn refresh_keeps_morphed_pieces_encoded() {
+        // Encoded-refresh satellite: once a piece is morphed, a background
+        // refresh that replaces it must land its copies back in encoded
+        // form — not re-plain it and wait for the morpher again.
+        let (base, col) = column(60_000, 73);
+        let mut scratch = CrackScratch::new();
+        let full = Predicate::range(0, 1_000);
+        col.snapshot_scan(full, &mut scratch); // publish
+        for (a, b) in [(100, 400), (550, 800)] {
+            col.select(Predicate::range(a, b), &mut scratch);
+        }
+        col.publish_stats();
+        while col.refresh_stale_snapshot() {}
+        while col.morph_cold_segments() {}
+        col.snapshot_gc();
+        let encoded_bytes = col.snapshot_bytes();
+        let encoded_pieces = |col: &CrackerColumn<i64>| {
+            let stats = col.piece_stats().unwrap();
+            let pieces = stats.snap_pieces.as_ref().unwrap();
+            pieces.iter().filter(|p| !p.plain).count()
+        };
+        assert!(encoded_pieces(&col) >= 1, "setup morphed nothing");
+        // Crack the live index past the snapshot's granularity again, so
+        // the morphed pieces become the stalest ones …
+        for (a, b) in [(150, 350), (600, 750), (200, 700)] {
+            col.select(Predicate::range(a, b), &mut scratch);
+        }
+        col.publish_stats();
+        // … and let the background refresh loop converge.
+        let mut rounds = 0;
+        while col.refresh_stale_snapshot() {
+            rounds += 1;
+            assert!(rounds < 10_000, "refresh loop did not converge");
+        }
+        assert!(rounds >= 1, "nothing was stale after re-cracking");
+        col.snapshot_gc();
+        assert!(
+            encoded_pieces(&col) >= 1,
+            "refresh re-plained every morphed piece"
+        );
+        // The refreshed-and-re-encoded snapshot stays compact: nowhere near
+        // the plain footprint (64 bits/value over a 10-bit domain).
+        assert!(
+            col.snapshot_bytes() < encoded_bytes * 2,
+            "refresh blew the footprint back up: {} vs {encoded_bytes}",
+            col.snapshot_bytes()
+        );
+        // And still answers exactly, collects included.
+        for pred in [full, Predicate::range(123, 777)] {
+            let scan = col.snapshot_scan(pred, &mut scratch);
+            let oracle = scan_stats(&base, pred);
+            assert_eq!((scan.count, scan.sum), (oracle.count, oracle.sum));
+        }
     }
 
     #[test]

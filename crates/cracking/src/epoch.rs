@@ -252,68 +252,48 @@ impl<T> Drop for EpochCell<T> {
 // Segments and piece snapshots
 // ---------------------------------------------------------------------------
 
-/// Bit width needed to represent `max` (0 when `max == 0`).
-fn bits_for(max: u64) -> u32 {
-    64 - max.leading_zeros()
-}
+use crate::kernels::{self, bits_for, pack_bits, packed_words};
 
-/// Words needed to bit-pack `n` values of `bits` each.
-fn packed_words(n: usize, bits: u32) -> usize {
-    ((n as u64).saturating_mul(bits as u64)).div_ceil(64) as usize
-}
-
-/// Little-endian bit-packs `n` values (each `< 2^bits`) into a word array.
-fn pack_bits(values: impl Iterator<Item = u64>, n: usize, bits: u32) -> Box<[u64]> {
-    let mut words = vec![0u64; packed_words(n, bits)];
-    if bits > 0 {
-        let mut bitpos = 0usize;
-        for v in values {
-            debug_assert!(bits == 64 || v < (1u64 << bits));
-            let (w, off) = (bitpos / 64, bitpos % 64);
-            words[w] |= v << off;
-            if off + bits as usize > 64 {
-                words[w + 1] |= v >> (64 - off);
-            }
-            bitpos += bits as usize;
-        }
-    }
-    words.into_boxed_slice()
-}
-
-/// Sequential cursor over a bit-packed word array — the unpack half of the
-/// scan kernels. Unpacking is branch-light: one shift, at most one
-/// cross-word OR, one mask.
-struct Unpacker<'a> {
-    words: &'a [u64],
+/// Walks a delta stream (`first` + `n - 1` packed gaps) in position order,
+/// decoding gaps block-at-a-time through the [`kernels`] layer; `f`
+/// receives `(index, value)` and returns `false` to stop (the sorted
+/// early-exit).
+fn delta_walk(
+    first: i64,
     bits: u32,
-    bitpos: usize,
+    packed: &[u64],
+    n: usize,
+    mut f: impl FnMut(usize, i64) -> bool,
+) {
+    if n == 0 || !f(0, first) {
+        return;
+    }
+    let mut v = first;
+    let mut idx = 1usize;
+    let mut more = true;
+    kernels::decode_blocks(packed, bits, n - 1, |gaps| {
+        for &g in gaps {
+            v = v.wrapping_add(g as i64);
+            if !f(idx, v) {
+                more = false;
+                break;
+            }
+            idx += 1;
+        }
+        more
+    });
 }
 
-impl<'a> Unpacker<'a> {
-    fn new(words: &'a [u64], bits: u32) -> Self {
-        Unpacker {
-            words,
-            bits,
-            bitpos: 0,
-        }
+/// Translates sentinel-aware value bounds into FOR offset space
+/// (`value = base + offset`): `None` when the window is empty below
+/// `base`, otherwise `(lo_off, hi_off)` with `None` meaning unbounded.
+fn for_offsets(base: i64, lo: Option<i64>, hi: Option<i64>) -> Option<(Option<u64>, Option<u64>)> {
+    if hi.is_some_and(|h| h <= base) {
+        return None;
     }
-
-    #[inline(always)]
-    fn next(&mut self) -> u64 {
-        if self.bits == 0 {
-            return 0;
-        }
-        let (w, off) = (self.bitpos / 64, self.bitpos % 64);
-        let mut v = self.words[w] >> off;
-        if off + self.bits as usize > 64 {
-            v |= self.words[w + 1] << (64 - off);
-        }
-        if self.bits < 64 {
-            v &= (1u64 << self.bits) - 1;
-        }
-        self.bitpos += self.bits as usize;
-        v
-    }
+    let lo_off = lo.and_then(|l| (l > base).then(|| l.wrapping_sub(base) as u64));
+    let hi_off = hi.map(|h| h.wrapping_sub(base) as u64);
+    Some((lo_off, hi_off))
 }
 
 /// Physical representation of one segment. Non-plain forms hold the
@@ -341,8 +321,17 @@ enum Repr<V> {
         packed: Box<[u64]>,
         len: usize,
     },
-    /// Run-length: `(value, count)` runs of the sorted multiset.
-    Rle { runs: Box<[(i64, u32)]>, len: usize },
+    /// Run-length: parallel run arrays of the sorted multiset — `vals[k]`
+    /// is run `k`'s value, `ends[k]` its exclusive cumulative end
+    /// position. Split (rather than `(value, count)` tuples) so both
+    /// arrays binary-search — by value for predicate bounds, by position
+    /// for piece windows — and so a run costs 12 bytes instead of the
+    /// tuple's padded 16.
+    Rle {
+        vals: Box<[i64]>,
+        ends: Box<[u32]>,
+        len: usize,
+    },
 }
 
 /// An immutable block of values backing one or more snapshot pieces, in
@@ -401,22 +390,26 @@ impl<V: CrackValue> Segment<V> {
         let delta_bits = bits_for(max_gap);
         let for_bytes = packed_words(n, for_bits) * 8;
         let delta_bytes = packed_words(n - 1, delta_bits) * 8 + 8;
-        let rle_bytes = runs * std::mem::size_of::<(i64, u32)>();
+        let rle_bytes = runs * (std::mem::size_of::<i64>() + std::mem::size_of::<u32>());
         let best = for_bytes.min(delta_bytes).min(rle_bytes);
         if best >= plain_bytes {
             return Self::new(data, bytes);
         }
         let repr = if rle_bytes == best {
-            let mut out: Vec<(i64, u32)> = Vec::with_capacity(runs);
-            for v in &data {
+            let mut vals: Vec<i64> = Vec::with_capacity(runs);
+            let mut ends: Vec<u32> = Vec::with_capacity(runs);
+            for (i, v) in data.iter().enumerate() {
                 let v = v.as_i64();
-                match out.last_mut() {
-                    Some((rv, c)) if *rv == v => *c += 1,
-                    _ => out.push((v, 1)),
+                if vals.last() == Some(&v) {
+                    *ends.last_mut().expect("run exists") = (i + 1) as u32;
+                } else {
+                    vals.push(v);
+                    ends.push((i + 1) as u32);
                 }
             }
             Repr::Rle {
-                runs: out.into_boxed_slice(),
+                vals: vals.into_boxed_slice(),
+                ends: ends.into_boxed_slice(),
                 len: n,
             }
         } else if for_bytes <= delta_bytes {
@@ -498,185 +491,310 @@ impl<V: CrackValue> Segment<V> {
         }
     }
 
-    /// Visits `seg[start..start+len)` in storage order, decoding on the fly.
+    /// First RLE run that can overlap positions `>= start`.
+    fn rle_first_run(ends: &[u32], start: usize) -> usize {
+        ends.partition_point(|&e| (e as usize) <= start)
+    }
+
+    /// Visits `seg[start..start+len)` in storage order, decoding
+    /// block-at-a-time through the [`kernels`] layer.
     pub fn for_each_range(&self, start: usize, len: usize, mut f: impl FnMut(V)) {
+        let end = start + len;
         match &self.repr {
-            Repr::Plain(d) => d[start..start + len].iter().for_each(|&v| f(v)),
+            Repr::Plain(d) => d[start..end].iter().for_each(|&v| f(v)),
             Repr::For {
-                base, bits, packed, ..
+                base,
+                bits,
+                packed,
+                len: n,
             } => {
-                let mut un = Unpacker::new(packed, *bits);
-                for i in 0..start + len {
-                    let v = base.wrapping_add(un.next() as i64);
-                    if i >= start {
-                        f(V::from_i64_exact(v));
-                    }
-                }
+                kernels::decode_range(packed, *bits, *n, start, end, |off| {
+                    f(V::from_i64_exact(base.wrapping_add(off as i64)))
+                });
             }
             Repr::Delta {
                 first,
                 bits,
                 packed,
-                ..
+                len: n,
             } => {
-                let mut un = Unpacker::new(packed, *bits);
-                let mut v = *first;
-                for i in 0..start + len {
-                    if i > 0 {
-                        v = v.wrapping_add(un.next() as i64);
+                delta_walk(*first, *bits, packed, *n, |idx, v| {
+                    if idx >= end {
+                        return false;
                     }
-                    if i >= start {
+                    if idx >= start {
                         f(V::from_i64_exact(v));
                     }
-                }
+                    true
+                });
             }
-            Repr::Rle { runs, .. } => {
-                let mut i = 0usize;
-                let end = start + len;
-                for &(v, c) in runs.iter() {
-                    if i >= end {
+            Repr::Rle { vals, ends, .. } => {
+                for k in Self::rle_first_run(ends, start)..vals.len() {
+                    let run_start = if k == 0 { 0 } else { ends[k - 1] as usize };
+                    if run_start >= end {
                         break;
                     }
-                    let run_end = i + c as usize;
-                    let from = i.max(start);
-                    let to = run_end.min(end);
+                    let from = run_start.max(start);
+                    let to = (ends[k] as usize).min(end);
                     if from < to {
-                        let dv = V::from_i64_exact(v);
+                        let dv = V::from_i64_exact(vals[k]);
                         for _ in from..to {
                             f(dv);
                         }
                     }
-                    i = run_end;
                 }
             }
         }
     }
 
     /// Sum of `seg[start..start+len)` (widened) — the piece-aggregate
-    /// precompute, on the compressed form.
+    /// precompute and morph-verification path, on the compressed form.
     pub fn sum_range(&self, start: usize, len: usize) -> i128 {
+        let end = start + len;
         match &self.repr {
-            Repr::Plain(d) => d[start..start + len]
-                .iter()
-                .map(|&v| v.as_i64() as i128)
-                .sum(),
-            Repr::Rle { runs, .. } => {
+            Repr::Plain(d) => d[start..end].iter().map(|&v| v.as_i64() as i128).sum(),
+            Repr::For {
+                base,
+                bits,
+                packed,
+                len: n,
+            } => {
+                let offsets = kernels::sum_range(packed, *bits, *n, start, end);
+                offsets as i128 + *base as i128 * len as i128
+            }
+            Repr::Delta {
+                first,
+                bits,
+                packed,
+                len: n,
+            } => {
                 let mut sum = 0i128;
-                let mut i = 0usize;
-                let end = start + len;
-                for &(v, c) in runs.iter() {
-                    if i >= end {
-                        break;
+                delta_walk(*first, *bits, packed, *n, |idx, v| {
+                    if idx >= end {
+                        return false;
                     }
-                    let run_end = i + c as usize;
-                    let overlap = run_end.min(end).saturating_sub(i.max(start));
-                    sum += v as i128 * overlap as i128;
-                    i = run_end;
-                }
+                    if idx >= start {
+                        sum += v as i128;
+                    }
+                    true
+                });
                 sum
             }
-            _ => {
+            Repr::Rle { vals, ends, .. } => {
                 let mut sum = 0i128;
-                self.for_each_range(start, len, |v| sum += v.as_i64() as i128);
+                for k in Self::rle_first_run(ends, start)..vals.len() {
+                    let run_start = if k == 0 { 0 } else { ends[k - 1] as usize };
+                    if run_start >= end {
+                        break;
+                    }
+                    let overlap = (ends[k] as usize).min(end) - run_start.max(start);
+                    sum += vals[k] as i128 * overlap as i128;
+                }
                 sum
             }
         }
     }
 
+    /// Sentinel-aware bounds in i64 space: `None` = unbounded, matching
+    /// [`Predicate::matches_unbounded`] (the `as_i64` map is
+    /// order-preserving, so comparisons agree with `V`'s order).
+    fn bounds(lo: V, hi: V) -> (Option<i64>, Option<i64>) {
+        (
+            (lo != V::MIN_VALUE).then(|| lo.as_i64()),
+            (hi != V::MAX_VALUE).then(|| hi.as_i64()),
+        )
+    }
+
     /// Count + sum of qualifying values in `seg[start..start+len)` under
     /// the sentinel-aware predicate semantics
-    /// ([`Predicate::matches_unbounded`]) — the bit-unpack-and-compare
-    /// kernel. Sorted encodings stop early once values pass the upper
-    /// bound; RLE adds whole qualifying runs without per-value work.
+    /// ([`Predicate::matches_unbounded`]) — the fused filter_count kernel.
+    /// FOR binary-searches the qualifying index range directly on the
+    /// packed words and block-sums it; delta walks block-decoded gaps with
+    /// a sorted early exit; RLE binary-searches run boundaries; plain
+    /// rides the branchless lane filter.
     pub fn scan_range(&self, start: usize, len: usize, lo: V, hi: V) -> (u64, i128) {
         let pred = Predicate { lo, hi };
         if pred.is_empty() {
             return (0, 0);
         }
-        let mut count = 0u64;
-        let mut sum = 0i128;
+        let (lo_b, hi_b) = Self::bounds(lo, hi);
+        let end = start + len;
         match &self.repr {
             Repr::Plain(d) => {
-                for &v in &d[start..start + len] {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                let mut lanes = [0i64; 256];
+                for chunk in d[start..end].chunks(lanes.len()) {
+                    for (o, v) in lanes.iter_mut().zip(chunk) {
+                        *o = v.as_i64();
+                    }
+                    let (c, s) = kernels::filter_count(&lanes[..chunk.len()], lo_b, hi_b);
+                    count += c;
+                    sum += s;
+                }
+                (count, sum)
+            }
+            Repr::For {
+                base,
+                bits,
+                packed,
+                len: n,
+            } => {
+                let Some((lo_off, hi_off)) = for_offsets(*base, lo_b, hi_b) else {
+                    return (0, 0);
+                };
+                let (c, offsets) =
+                    kernels::filter_count_sorted(packed, *bits, *n, start, end, lo_off, hi_off);
+                (c, offsets as i128 + *base as i128 * c as i128)
+            }
+            Repr::Delta {
+                first,
+                bits,
+                packed,
+                len: n,
+            } => {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                delta_walk(*first, *bits, packed, *n, |idx, v| {
+                    if idx >= end || hi_b.is_some_and(|h| v >= h) {
+                        return false;
+                    }
+                    if idx >= start && lo_b.is_none_or(|l| v >= l) {
+                        count += 1;
+                        sum += v as i128;
+                    }
+                    true
+                });
+                (count, sum)
+            }
+            Repr::Rle { vals, ends, .. } => {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                // Run-skipping: binary search the first run inside the
+                // position window AND the first run meeting the lower
+                // bound — both monotone over the sorted runs.
+                let r0 = Self::rle_first_run(ends, start);
+                let k0 = match lo_b {
+                    Some(l) => r0.max(vals.partition_point(|&v| v < l)),
+                    None => r0,
+                };
+                for k in k0..vals.len() {
+                    let run_start = if k == 0 { 0 } else { ends[k - 1] as usize };
+                    if run_start >= end || hi_b.is_some_and(|h| vals[k] >= h) {
+                        break;
+                    }
+                    let overlap = (ends[k] as usize)
+                        .min(end)
+                        .saturating_sub(run_start.max(start));
+                    count += overlap as u64;
+                    sum += vals[k] as i128 * overlap as i128;
+                }
+                (count, sum)
+            }
+        }
+    }
+
+    /// Appends the qualifying values of `seg[start..start+len)` under
+    /// `[lo, hi)` (sentinel-aware) to `out` — the fused filter_collect
+    /// kernel, sharing the scan kernels' qualifying-range machinery.
+    /// Returns (count, sum) of the appended values.
+    pub fn collect_range(
+        &self,
+        start: usize,
+        len: usize,
+        lo: V,
+        hi: V,
+        out: &mut Vec<V>,
+    ) -> (u64, i128) {
+        let pred = Predicate { lo, hi };
+        if pred.is_empty() {
+            return (0, 0);
+        }
+        let (lo_b, hi_b) = Self::bounds(lo, hi);
+        let end = start + len;
+        match &self.repr {
+            Repr::Plain(d) => {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                for &v in &d[start..end] {
                     if pred.matches_unbounded(v) {
+                        out.push(v);
                         count += 1;
                         sum += v.as_i64() as i128;
                     }
                 }
+                (count, sum)
             }
-            Repr::Rle { runs, .. } => {
-                let bounded_hi = (hi != V::MAX_VALUE).then(|| hi.as_i64());
-                let mut i = 0usize;
-                let end = start + len;
-                for &(v, c) in runs.iter() {
-                    if i >= end {
+            Repr::For {
+                base,
+                bits,
+                packed,
+                len: n,
+            } => {
+                let Some((lo_off, hi_off)) = for_offsets(*base, lo_b, hi_b) else {
+                    return (0, 0);
+                };
+                let (ql, qh) = kernels::qualifying_range(packed, *bits, *n, lo_off, hi_off);
+                let a = ql.max(start);
+                let b = qh.min(end);
+                if a >= b {
+                    return (0, 0);
+                }
+                out.reserve(b - a);
+                let mut sum = 0i128;
+                kernels::decode_range(packed, *bits, *n, a, b, |off| {
+                    let v = base.wrapping_add(off as i64);
+                    sum += v as i128;
+                    out.push(V::from_i64_exact(v));
+                });
+                ((b - a) as u64, sum)
+            }
+            Repr::Delta {
+                first,
+                bits,
+                packed,
+                len: n,
+            } => {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                delta_walk(*first, *bits, packed, *n, |idx, v| {
+                    if idx >= end || hi_b.is_some_and(|h| v >= h) {
+                        return false;
+                    }
+                    if idx >= start && lo_b.is_none_or(|l| v >= l) {
+                        out.push(V::from_i64_exact(v));
+                        count += 1;
+                        sum += v as i128;
+                    }
+                    true
+                });
+                (count, sum)
+            }
+            Repr::Rle { vals, ends, .. } => {
+                let mut count = 0u64;
+                let mut sum = 0i128;
+                let r0 = Self::rle_first_run(ends, start);
+                let k0 = match lo_b {
+                    Some(l) => r0.max(vals.partition_point(|&v| v < l)),
+                    None => r0,
+                };
+                for k in k0..vals.len() {
+                    let run_start = if k == 0 { 0 } else { ends[k - 1] as usize };
+                    if run_start >= end || hi_b.is_some_and(|h| vals[k] >= h) {
                         break;
                     }
-                    if bounded_hi.is_some_and(|h| v >= h) {
-                        break;
-                    }
-                    let run_end = i + c as usize;
-                    let overlap = run_end.min(end).saturating_sub(i.max(start));
-                    if overlap > 0 && pred.matches_unbounded(V::from_i64_exact(v)) {
+                    let overlap = (ends[k] as usize)
+                        .min(end)
+                        .saturating_sub(run_start.max(start));
+                    if overlap > 0 {
+                        out.extend(std::iter::repeat_n(V::from_i64_exact(vals[k]), overlap));
                         count += overlap as u64;
-                        sum += v as i128 * overlap as i128;
+                        sum += vals[k] as i128 * overlap as i128;
                     }
-                    i = run_end;
                 }
-            }
-            _ => {
-                // FOR / delta: sorted raw stream with an early exit at the
-                // upper bound.
-                let bounded_hi = (hi != V::MAX_VALUE).then(|| hi.as_i64());
-                let mut idx = 0usize;
-                let end = start + len;
-                match &self.repr {
-                    Repr::For {
-                        base,
-                        bits,
-                        packed,
-                        len: n,
-                    } => {
-                        let mut un = Unpacker::new(packed, *bits);
-                        for _ in 0..*n {
-                            let raw = base.wrapping_add(un.next() as i64);
-                            if idx >= end || bounded_hi.is_some_and(|h| raw >= h) {
-                                break;
-                            }
-                            if idx >= start && pred.matches_unbounded(V::from_i64_exact(raw)) {
-                                count += 1;
-                                sum += raw as i128;
-                            }
-                            idx += 1;
-                        }
-                    }
-                    Repr::Delta {
-                        first,
-                        bits,
-                        packed,
-                        len: n,
-                    } => {
-                        let mut un = Unpacker::new(packed, *bits);
-                        let mut raw = *first;
-                        for i in 0..*n {
-                            if i > 0 {
-                                raw = raw.wrapping_add(un.next() as i64);
-                            }
-                            if idx >= end || bounded_hi.is_some_and(|h| raw >= h) {
-                                break;
-                            }
-                            if idx >= start && pred.matches_unbounded(V::from_i64_exact(raw)) {
-                                count += 1;
-                                sum += raw as i128;
-                            }
-                            idx += 1;
-                        }
-                    }
-                    _ => unreachable!("plain and rle handled above"),
-                }
+                (count, sum)
             }
         }
-        (count, sum)
     }
 }
 
@@ -735,6 +853,13 @@ impl<V: CrackValue> SnapPiece<V> {
     /// `[lo, hi)` (sentinel-aware) — executed on the compressed form.
     pub fn scan_range(&self, lo: V, hi: V) -> (u64, i128) {
         self.seg.scan_range(self.start, self.len, lo, hi)
+    }
+
+    /// Appends the piece's values qualifying under `[lo, hi)`
+    /// (sentinel-aware) to `out` — the fused filter_collect path on the
+    /// compressed form. Returns (count, sum) of the appended values.
+    pub fn collect_range(&self, lo: V, hi: V, out: &mut Vec<V>) -> (u64, i128) {
+        self.seg.collect_range(self.start, self.len, lo, hi, out)
     }
 
     /// `true` when the backing segment is plain (uncompressed).
@@ -807,15 +932,6 @@ impl<V: CrackValue> PieceSnapshot<V> {
         &self.pieces
     }
 
-    /// Does `v` qualify under `lo <= v < hi` with the sentinel semantics of
-    /// the cracked select path? One shared definition —
-    /// [`Predicate::matches_unbounded`] — keeps edge-piece filtering and
-    /// the pending-update overlays agreeing forever.
-    #[inline(always)]
-    fn qualifies(v: V, lo: V, hi: V) -> bool {
-        Predicate { lo, hi }.matches_unbounded(v)
-    }
-
     /// Count + sum of values in `[lo, hi)`. Interior pieces fully covered
     /// by the range contribute their precomputed aggregates; only the edge
     /// pieces are filtered element-wise.
@@ -848,13 +964,9 @@ impl<V: CrackValue> PieceSnapshot<V> {
                 scan.sum += piece.sum;
             } else {
                 scan.filtered += piece.len();
-                piece.for_each(|v| {
-                    if Self::qualifies(v, lo, hi) {
-                        out.push(v);
-                        scan.count += 1;
-                        scan.sum += v.as_i64() as i128;
-                    }
-                });
+                let (c, s) = piece.collect_range(lo, hi, out);
+                scan.count += c;
+                scan.sum += s;
             }
         });
         scan
@@ -1229,6 +1341,43 @@ mod tests {
                 lo,
                 hi
             );
+            let mut got = Vec::new();
+            let (c2, s2) = seg.collect_range(0, seg.len(), lo, hi, &mut got);
+            got.sort_unstable();
+            let want: Vec<V> = sorted
+                .iter()
+                .copied()
+                .filter(|&v| pred.matches_unbounded(v))
+                .collect();
+            assert_eq!(got, want, "{} collect [{lo:?},{hi:?})", seg.encoding());
+            assert_eq!((c2, s2), (count, sum));
+            // Interior windows must agree with a positional oracle too.
+            if seg.len() >= 4 {
+                let (a, b) = (seg.len() / 4, seg.len() / 4 + seg.len() / 2);
+                let mut wc = 0u64;
+                let mut ws = 0i128;
+                for &v in &sorted[a..b] {
+                    if pred.matches_unbounded(v) {
+                        wc += 1;
+                        ws += v.as_i64() as i128;
+                    }
+                }
+                assert_eq!(
+                    seg.scan_range(a, b - a, lo, hi),
+                    (wc, ws),
+                    "{} windowed scan [{lo:?},{hi:?})",
+                    seg.encoding()
+                );
+                let mut wgot = Vec::new();
+                seg.collect_range(a, b - a, lo, hi, &mut wgot);
+                wgot.sort_unstable();
+                let wwant: Vec<V> = sorted[a..b]
+                    .iter()
+                    .copied()
+                    .filter(|&v| pred.matches_unbounded(v))
+                    .collect();
+                assert_eq!(wgot, wwant, "{} windowed collect", seg.encoding());
+            }
         }
         let charged = seg.charged_bytes();
         drop(seg);

@@ -34,7 +34,10 @@
 //! - [`filter`] — per-shard point-membership Bloom filters: a lazily built
 //!   [`PointFilter`] published through the same epoch machinery as the
 //!   plan-time statistics, so equality/IN probes on non-containing shards
-//!   answer "empty" without cracking anything.
+//!   answer "empty" without cracking anything,
+//! - [`kernels`] — block-at-a-time unpack / fused scan kernels for the
+//!   bit-packed segment encodings: width-specialised portable inner loops
+//!   with explicit AVX2 paths behind one-time runtime dispatch.
 
 pub mod avl;
 pub mod column;
@@ -42,6 +45,7 @@ pub mod crack;
 pub mod epoch;
 pub mod filter;
 pub mod index;
+pub mod kernels;
 pub mod latch;
 pub mod piece_stats;
 pub mod range_cell;

@@ -149,8 +149,11 @@ fn cycle_records_capture_worker_activity() {
     // The timing *shape* of Fig 6(d) (early cycles expensive, late cycles
     // cheap) is regenerated by `fig06d_workers`; wall-clock assertions are
     // too flaky under test-runner contention, so this test checks the
-    // structural properties of the records.
-    let data = Dataset::new(uniform_table(4, 200_000, 1 << 20, 34));
+    // structural properties of the records. Column size keeps the early
+    // (first-crack + encoded-refresh) cycles short enough in debug builds
+    // that several cycles start inside the idle window below even on one
+    // core.
+    let data = Dataset::new(uniform_table(4, 100_000, 1 << 20, 34));
     let mut cfg = HolisticEngineConfig::split_half(4);
     cfg.holistic.monitor_interval = Duration::from_millis(1);
     let engine = HolisticEngine::new(data, cfg);
