@@ -43,6 +43,8 @@ struct Bed {
     shards: usize,
     engine: Arc<HolisticEngine>,
     service: QueryService,
+    /// Dispatcher threads (busy-fraction denominator).
+    workers: usize,
     idle_workers_max: usize,
     /// Daemon workers per monitor tick, windowed to this bed's own
     /// saturated warmup rep (cycles from other beds' windows excluded).
@@ -90,7 +92,7 @@ fn main() {
     let env = BenchEnv::from_env();
     env.banner(
         "Fig 17 (service): fifo vs crack-aware vs sharded shard-affine dispatch",
-        "csv: scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg",
+        "csv: scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg,queue_depth_peak,busy_frac",
     );
     let clients = env.clients.max(2);
     let queries_per_client = (env.queries * 8 / clients).max(128);
@@ -187,6 +189,7 @@ fn main() {
                 shards,
                 engine,
                 service,
+                workers,
                 idle_workers_max,
                 load_workers_avg: 0.0,
                 steady_wall: Duration::ZERO,
@@ -228,7 +231,7 @@ fn main() {
     }
 
     println!(
-        "scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg"
+        "scheduler,shards,clients,completed,executed,containment,qps,p50_ms,p95_ms,p99_ms,idle_workers_max,load_workers_avg,queue_depth_peak,busy_frac"
     );
     let mut crack_aware_s1_qps = 0.0f64;
     let mut best_affine: Option<(String, f64)> = None;
@@ -245,10 +248,15 @@ fn main() {
         }
 
         // All columns cover the measured phase only: the window reset after
-        // warmup rebased every counter and cleared the latency reservoir.
+        // warmup rebased every counter and restarted the latency window.
         let summary = bed.service.shutdown();
+        // Fraction of the dispatcher pool's wall-clock capacity spent
+        // servicing drained batches (the live-telemetry utilization line;
+        // the queue-depth peak is the matching live gauge's window high).
+        let busy_frac =
+            summary.busy_ns as f64 / (bed.workers as f64 * secs(bed.steady_wall).max(1e-9) * 1e9);
         println!(
-            "{},{},{clients},{},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2}",
+            "{},{},{clients},{},{},{},{qps:.1},{:.3},{:.3},{:.3},{},{:.2},{},{busy_frac:.3}",
             bed.label,
             bed.shards,
             summary.completed,
@@ -259,6 +267,7 @@ fn main() {
             summary.p99.as_secs_f64() * 1e3,
             bed.idle_workers_max,
             bed.load_workers_avg,
+            summary.queue_depth_peak,
         );
     }
     if let Some((label, qps)) = best_affine {

@@ -20,6 +20,8 @@
 //! | `HOLIX_POINT_PROB` | equality-probe fraction of the point-heavy mix | `0.8` |
 //! | `HOLIX_PHASES` | drift phases — distinct hot regions the workload visits in turn (replan harness) | `3` |
 //! | `HOLIX_BUDGET_COLS` | attributes competing for one storage budget (compression harness) | `8` |
+//! | `HOLIX_METRICS` | process-wide metrics registry on/off (`0`/`false`/`off`/`no` disable; harnesses may override programmatically) | on |
+//! | `HOLIX_TRACE` | per-query lifecycle tracing into the bounded ring (same off values) | off |
 //!
 //! The paper's sizes (2³⁰ rows, 32 contexts, 1 s monitor interval) are
 //! reachable by setting the variables accordingly. A knob that is set but

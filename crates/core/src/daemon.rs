@@ -183,6 +183,22 @@ fn daemon_loop(
             segment_morphs: reports.iter().map(|r| r.segment_morphs).sum(),
         };
         total_refinements.fetch_add(record.refinements, Ordering::Relaxed);
+        // Mirror the cycle record into the process-wide registry so a live
+        // service exposes the daemon's Fig 6(d) series without stopping it.
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("engine_cycles_total").inc();
+            holix_telemetry::counter!("engine_refinements_total").add(record.refinements);
+            holix_telemetry::counter!("engine_busy_aborts_total").add(record.busy);
+            holix_telemetry::counter!("engine_snapshot_refreshes_total")
+                .add(record.snapshot_refreshes);
+            holix_telemetry::counter!("engine_filter_rebuilds_total").add(record.filter_rebuilds);
+            holix_telemetry::counter!("engine_segment_morphs_total").add(record.segment_morphs);
+            holix_telemetry::counter!("engine_worker_ns_total")
+                .add(record.worker_time_total.as_nanos() as u64);
+            holix_telemetry::gauge!("engine_cycle_workers").set(record.workers as i64);
+            holix_telemetry::histogram!("engine_cycle_wall_ns")
+                .record(record.wall.as_nanos() as u64);
+        }
         cycles.lock().push(record);
         cycle_no += 1;
     }

@@ -467,6 +467,19 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// Pending updates falling inside the requested range are merged first
     /// (Ripple), exactly as [28] prescribes.
     pub fn select(&self, pred: Predicate<V>, scratch: &mut CrackScratch<V>) -> Selection {
+        let sel = self.select_inner(pred, scratch);
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_selects_total").inc();
+            let cracks = (!sel.hit_lo as u64) + (!sel.hit_hi as u64);
+            if cracks > 0 {
+                holix_telemetry::counter!("cracking_cracks_total").add(cracks);
+                holix_telemetry::counter!("cracking_piece_splits_total").add(cracks);
+            }
+        }
+        sel
+    }
+
+    fn select_inner(&self, pred: Predicate<V>, scratch: &mut CrackScratch<V>) -> Selection {
         if pred.is_empty() {
             return Selection {
                 start: 0,
@@ -695,7 +708,13 @@ impl<V: CrackValue> CrackerColumn<V> {
         match self.crack_bound(pivot, scratch, false) {
             None => RefineOutcome::Busy,
             Some((_, true, _)) => RefineOutcome::AlreadyBound,
-            Some((_, false, touched)) => RefineOutcome::Refined { piece_len: touched },
+            Some((_, false, touched)) => {
+                if holix_telemetry::metrics_enabled() {
+                    holix_telemetry::counter!("cracking_refinements_total").inc();
+                    holix_telemetry::counter!("cracking_piece_splits_total").inc();
+                }
+                RefineOutcome::Refined { piece_len: touched }
+            }
         }
     }
 
@@ -810,6 +829,11 @@ impl<V: CrackValue> CrackerColumn<V> {
             }
             p.take_range_tracked(lo, hi)
         };
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_ripple_merges_total").inc();
+            holix_telemetry::counter!("cracking_ripple_merged_values_total")
+                .add((ins.len() + del.len()) as u64);
+        }
         let _exclusive = self.structure.write();
         {
             let mut idx = self.index.write();
@@ -1256,6 +1280,9 @@ impl<V: CrackValue> CrackerColumn<V> {
         };
         self.merge_pending_range(V::MIN_VALUE, V::MAX_VALUE);
         self.build_and_publish_filter();
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_filter_rebuilds_total").inc();
+        }
         true
     }
 
@@ -1264,6 +1291,9 @@ impl<V: CrackValue> CrackerColumn<V> {
     /// (replacing any previous filter through the epoch cell). Caller
     /// holds `filter_build`.
     fn build_and_publish_filter(&self) {
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_filter_builds_total").inc();
+        }
         // Deletes queued from here on count against the *new* filter.
         self.filter_deletes.store(0, Relaxed);
         self.ensure_snapshot();
@@ -1430,7 +1460,11 @@ impl<V: CrackValue> CrackerColumn<V> {
         // bracket the truth), so a refresh that did not actually split
         // anything reports `false` — callers looping "refresh until done"
         // terminate instead of re-copying the same piece forever.
-        self.snapshot_piece_count() > before
+        let refreshed = self.snapshot_piece_count() > before;
+        if refreshed && holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_snapshot_refreshes_total").inc();
+        }
+        refreshed
     }
 
     /// Plain snapshot pieces shorter than this are never re-encoded: the
@@ -1497,6 +1531,9 @@ impl<V: CrackValue> CrackerColumn<V> {
             // Republish stats so the planner's decode-cost term and the
             // staleness pick see the encoded piece immediately.
             self.publish_stats();
+            if holix_telemetry::metrics_enabled() {
+                holix_telemetry::counter!("cracking_segment_morphs_total").inc();
+            }
         }
         morphed
     }

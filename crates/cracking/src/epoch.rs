@@ -80,6 +80,9 @@ impl EpochDomain {
     /// unreachable, and spinning (rather than blocking reclamation
     /// forever) keeps the safety argument trivial.
     pub fn pin(&self) -> EpochGuard<'_> {
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_epoch_pins_total").inc();
+        }
         loop {
             let epoch = self.global.load(SeqCst);
             for (i, slot) in self.slots.iter().enumerate() {
@@ -123,7 +126,11 @@ impl EpochDomain {
         // Safe to free at stamp `s` only when every pinned reader pinned
         // *after* the retirement: min_pinned > s.
         garbage.retain(|&(stamp, _)| stamp >= min_pinned);
-        before - garbage.len()
+        let freed = before - garbage.len();
+        if freed > 0 && holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("cracking_epoch_gc_freed_total").add(freed as u64);
+        }
+        freed
     }
 
     /// Retired-but-not-yet-freed objects (tests / introspection).

@@ -82,6 +82,14 @@ pub trait QueryEngine: Send + Sync {
         q.attr as u64
     }
 
+    /// Version of the shard plan `q`'s attribute would execute against
+    /// (engines without versioned plans report 0). Telemetry attaches this
+    /// to per-query trace records so live replans show up in lifecycles.
+    fn plan_version(&self, q: &QuerySpec) -> u64 {
+        let _ = q;
+        0
+    }
+
     /// Executes the query and returns the qualifying *values* when the
     /// engine can produce them without a full rescan (`None` otherwise).
     /// The service layer uses this for containment coalescing: a batched

@@ -560,6 +560,10 @@ impl QueryEngine for HolisticEngine {
         }
     }
 
+    fn plan_version(&self, q: &QuerySpec) -> u64 {
+        HolisticEngine::plan_version(self, q.attr)
+    }
+
     fn execute(&self, q: &QuerySpec) -> u64 {
         if let Some(v) = Predicate::range(q.lo, q.hi).as_point() {
             if let Some(n) = self.screen_point(q.attr, v) {
@@ -950,6 +954,9 @@ fn maybe_replan_attr(
         })
         .collect();
     let action = propose_replan(&loads, policy)?;
+    if holix_telemetry::metrics_enabled() {
+        holix_telemetry::counter!("planner_replan_proposals_total").inc();
+    }
     apply_replan_action(shared, space, attr, &col, &ids, action).then_some(action)
 }
 
@@ -1035,6 +1042,9 @@ fn apply_replan_action(
     });
     drop(guard);
     shared.replans.fetch_add(1, Ordering::Relaxed);
+    if holix_telemetry::metrics_enabled() {
+        holix_telemetry::counter!("planner_replan_applies_total").inc();
+    }
     true
 }
 

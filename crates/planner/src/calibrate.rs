@@ -48,6 +48,32 @@ const TARGET_CHEAP_NS: f64 = 102_400.0;
 /// 25 ns/value this reproduces the seeded `downgrade_budget` of 32768.
 const TARGET_DOWNGRADE_NS: f64 = 819_200.0;
 
+/// Which channel a predicted-vs-actual residual is folded into: the
+/// executed route, with point-filter screens split out (their near-zero
+/// cost would mask a drifting locked channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualChannel {
+    /// Locked crack path (non-screened).
+    Locked,
+    /// Lock-free snapshot path.
+    Snapshot,
+    /// Answered by a point-filter screen.
+    Screened,
+}
+
+impl ResidualChannel {
+    fn of(cost: &PlanCost, route: Route) -> Self {
+        if cost.screened {
+            ResidualChannel::Screened
+        } else {
+            match route {
+                Route::Locked => ResidualChannel::Locked,
+                Route::Snapshot => ResidualChannel::Snapshot,
+            }
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct CalState {
     /// EWMA ns per touched value on the locked path (0 until seeded).
@@ -56,6 +82,13 @@ struct CalState {
     ns_per_merge: f64,
     /// EWMA ns per decoded edge-filter value (0 until seeded).
     ns_per_decoded: f64,
+    /// Per-channel EWMA of `|predicted − actual| / actual` (calibrator
+    /// health: → 0 as the rails adjust to the machine).
+    residuals: [f64; 3],
+    /// Whether each residual channel has folded a sample yet (a residual
+    /// of exactly 0 is a valid — perfect — sample, so "unseeded" cannot
+    /// be encoded as 0 the way the rate channels do).
+    residual_seeded: [bool; 3],
     observations: u64,
 }
 
@@ -121,12 +154,80 @@ impl Calibrator {
         self.state.lock().unwrap().observations
     }
 
+    /// EWMA of `|predicted − actual| / actual` for one residual channel
+    /// (0 until that channel has observed anything). Converges toward 0
+    /// as calibration pulls the published model onto the machine.
+    pub fn residual(&self, channel: ResidualChannel) -> f64 {
+        let st = self.state.lock().unwrap();
+        st.residuals[channel as usize]
+    }
+
+    /// Predicted service time (ns) for `cost` on `route` under the
+    /// current calibration state — the same prediction the residual
+    /// channels grade, exposed so per-query trace records can carry
+    /// predicted-vs-actual.
+    pub fn predicted_ns(&self, cost: &PlanCost, route: Route) -> u64 {
+        let st = self.state.lock().unwrap();
+        self.predict_ns(&st, cost, route) as u64
+    }
+
+    /// Predicted service time (ns) for `cost` on `route` under the
+    /// currently published model: cost units × the calibrated value rate
+    /// (or the seed-implied nominal rate until alpha is seeded).
+    fn predict_ns(&self, st: &CalState, cost: &PlanCost, route: Route) -> f64 {
+        let model = *self.model.read().unwrap();
+        let locked_units = cost.locked_cost(&model).saturating_add(cost.est_rows);
+        let units = match route {
+            Route::Locked => locked_units,
+            Route::Snapshot => cost.snapshot_cost(&model).unwrap_or(locked_units),
+        };
+        let rate = if st.ns_per_value > 0.0 {
+            st.ns_per_value
+        } else {
+            TARGET_CHEAP_NS / self.seed.cheap_budget.max(1) as f64
+        };
+        units.max(1) as f64 * rate
+    }
+
+    /// Folds one finished execution into the per-channel residual EWMAs
+    /// and mirrors the calibrator channels into the telemetry registry.
+    fn fold_residual(&self, st: &mut CalState, cost: &PlanCost, route: Route, actual_ns: f64) {
+        let channel = ResidualChannel::of(cost, route);
+        let rel = (self.predict_ns(st, cost, route) - actual_ns).abs() / actual_ns;
+        let slot = &mut st.residuals[channel as usize];
+        if st.residual_seeded[channel as usize] {
+            *slot = *slot * (1.0 - EWMA_ALPHA) + rel * EWMA_ALPHA;
+        } else {
+            *slot = rel;
+            st.residual_seeded[channel as usize] = true;
+        }
+        if holix_telemetry::metrics_enabled() {
+            holix_telemetry::counter!("planner_observations_total").inc();
+            holix_telemetry::float_gauge!("planner_ns_per_value").set(st.ns_per_value);
+            holix_telemetry::float_gauge!("planner_ns_per_merge").set(st.ns_per_merge);
+            holix_telemetry::float_gauge!("planner_ns_per_decoded").set(st.ns_per_decoded);
+            let g = match channel {
+                ResidualChannel::Locked => {
+                    holix_telemetry::float_gauge!("planner_calibration_residual{route=\"locked\"}")
+                }
+                ResidualChannel::Snapshot => holix_telemetry::float_gauge!(
+                    "planner_calibration_residual{route=\"snapshot\"}"
+                ),
+                ResidualChannel::Screened => holix_telemetry::float_gauge!(
+                    "planner_calibration_residual{route=\"screened\"}"
+                ),
+            };
+            g.set(*slot);
+        }
+    }
+
     /// Folds one finished execution into the regression. `cost` is the
     /// plan-time price the query was admitted under, `route` the path it
     /// actually took, `service_ns` its measured service time.
     pub fn observe(&self, cost: &PlanCost, route: Route, service_ns: u64) {
         let mut st = self.state.lock().unwrap();
         let ns = service_ns.max(1) as f64;
+        self.fold_residual(&mut st, cost, route, ns);
         if route == Route::Locked && !cost.screened {
             let values = cost.crack_values.saturating_add(cost.est_rows).max(1) as f64;
             if cost.merge_backlog == 0 {
@@ -157,6 +258,14 @@ impl Calibrator {
             let next = self.derive(&st);
             drop(st);
             *self.model.write().unwrap() = next;
+            if holix_telemetry::metrics_enabled() {
+                holix_telemetry::counter!("planner_republish_total").inc();
+                holix_telemetry::gauge!("planner_cheap_budget").set(next.cheap_budget as i64);
+                holix_telemetry::gauge!("planner_downgrade_budget")
+                    .set(next.downgrade_budget as i64);
+                holix_telemetry::gauge!("planner_merge_weight").set(next.merge_weight as i64);
+                holix_telemetry::gauge!("planner_decode_weight").set(next.decode_weight as i64);
+            }
         }
     }
 
@@ -313,6 +422,44 @@ mod tests {
         );
         // An encoded edge now prices barely above a plain one.
         assert_eq!(m.decode_weight, (seed.decode_weight / 4).max(1));
+    }
+
+    /// Calibrator-health acceptance: a deliberately mis-seeded model
+    /// starts with a large predicted-vs-actual residual, and the residual
+    /// converges toward zero as calibration pulls the published model
+    /// onto the machine.
+    #[test]
+    fn mis_seeded_model_residual_converges_toward_zero() {
+        // cheap_budget mis-seeded 16x low → the seed-implied nominal rate
+        // (TARGET_CHEAP_NS / cheap_budget) claims 400 ns per value; the
+        // machine below actually runs at 25 ns per value.
+        let seed = CostModel {
+            cheap_budget: 256,
+            ..CostModel::default()
+        };
+        let cal = Calibrator::new(seed);
+        let cost = locked_cost(10_000, 0);
+        cal.observe(&cost, Route::Locked, cost.crack_values * 25);
+        let initial = cal.residual(ResidualChannel::Locked);
+        assert!(
+            initial > 1.0,
+            "mis-seed must show as a large residual, got {initial}"
+        );
+        for _ in 0..8 * Calibrator::REPUBLISH_EVERY {
+            cal.observe(&cost, Route::Locked, cost.crack_values * 25);
+        }
+        let settled = cal.residual(ResidualChannel::Locked);
+        assert!(
+            settled < 0.05,
+            "residual must converge toward zero, got {settled}"
+        );
+        assert!(
+            settled < initial / 10.0,
+            "no convergence: {initial} → {settled}"
+        );
+        // Untouched channels stay at their unseeded zero.
+        assert_eq!(cal.residual(ResidualChannel::Snapshot), 0.0);
+        assert_eq!(cal.residual(ResidualChannel::Screened), 0.0);
     }
 
     #[test]

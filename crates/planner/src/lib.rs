@@ -44,7 +44,7 @@ pub mod cost;
 pub mod decompose;
 pub mod replan;
 
-pub use calibrate::Calibrator;
+pub use calibrate::{Calibrator, ResidualChannel};
 pub use cost::{estimate, CostModel, PlanCost, QueryPrice, Route};
 pub use decompose::decompose_spanning;
 pub use replan::{load_skew, propose_replan, ReplanPolicy, ShardLoad};

@@ -5,42 +5,67 @@
 //! executions; [`StatsSummary`] condenses them into the sustained-QPS and
 //! tail-latency numbers the service harnesses print.
 //!
+//! ## Registry-backed
+//!
+//! Every counter and the latency distribution live in the process-wide
+//! `holix-telemetry` registry (labelled `svc="<instance>"`), so one text
+//! exposition of a live service shows the same numbers the harness
+//! summaries print. The per-completion hot path is lock-free: striped
+//! counters plus a log-bucketed histogram replaced the old
+//! `Mutex<Reservoir>` latency store (a measurable contention win under
+//! concurrent completions); percentiles are now ≤ ~0.8% approximations
+//! while the window maximum stays exact.
+//!
 //! ## Per-window reporting
 //!
 //! Harnesses interleave measured repetitions across service beds, so a
 //! summary must cover *one rep window*, not the service's lifetime —
 //! cumulative containment/snapshot counters would make later reps look
 //! better than earlier ones. [`ServiceStats::reset_window`] snapshots every
-//! counter as the new baseline and clears the latency reservoir;
+//! counter as the new baseline and starts a fresh latency window;
 //! [`ServiceStats::summary`] reports counters relative to that baseline.
 //! Lifetime totals stay available through the individual accessors.
 
+use holix_telemetry::{Counter, Gauge, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Latency samples kept for percentile estimation. Beyond this, reservoir
-/// sampling (Vitter's algorithm R) keeps a uniform sample of the whole
-/// history so a long-lived service's memory stays bounded.
-const MAX_SAMPLES: usize = 1 << 16;
 
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
-        /// One full set of service counters (live values or a window
-        /// baseline).
-        #[derive(Debug, Default)]
+        /// One full set of live service counters, registered in the
+        /// process-wide telemetry registry under
+        /// `server_<name>_total{svc="<instance>"}`.
+        #[derive(Debug)]
         struct Counters {
-            $($(#[$doc])* $name: AtomicU64,)*
+            $($(#[$doc])* $name: Arc<Counter>,)*
+        }
+
+        /// Live values at the last window reset.
+        #[derive(Debug, Default)]
+        struct Baselines {
+            $($name: AtomicU64,)*
         }
 
         impl Counters {
+            fn register(svc: u64) -> Self {
+                let reg = holix_telemetry::registry();
+                Counters {
+                    $($name: reg.counter(&format!(
+                        concat!("server_", stringify!($name), "_total{{svc=\"{}\"}}"),
+                        svc
+                    )),)*
+                }
+            }
+
             /// Copies every live value into `base` (starts a new window).
             /// Release stores pair with the Acquire loads in
             /// [`ServiceStats::summary`]'s `windowed` closure: a summary
             /// that observes the new baseline also observes every live
-            /// increment the baseline covered.
-            fn store_into(&self, base: &Counters) {
-                $(base.$name.store(self.$name.load(Ordering::Acquire), Ordering::Release);)*
+            /// increment the baseline covered (each counter stripe is
+            /// monotone, so read-read coherence keeps `live >= base`).
+            fn store_into(&self, base: &Baselines) {
+                $(base.$name.store(self.$name.get(), Ordering::Release);)*
             }
         }
     };
@@ -89,46 +114,24 @@ counters! {
     /// admission keeps this at zero by construction; FIFO shedding does
     /// not.
     shed_cheap,
+    /// Worker time spent servicing drained batches, ns (busy-fraction
+    /// numerator; denominator is `workers × wall`).
+    busy_ns,
 }
 
-/// Shared counters + latency samples for one service instance.
-#[derive(Debug, Default)]
+/// Shared counters + latency distribution for one service instance.
+#[derive(Debug)]
 pub struct ServiceStats {
     live: Counters,
     /// Live values at the last [`ServiceStats::reset_window`].
-    window: Counters,
-    latencies: Mutex<Reservoir>,
-}
-
-/// Bounded uniform sample over an unbounded stream.
-#[derive(Debug, Default)]
-struct Reservoir {
-    samples: Vec<Duration>,
-    /// Stream length so far.
-    seen: u64,
-    /// xorshift64* state for replacement indices (seeded on first overflow;
-    /// statistical sampling only, determinism not required).
-    rng: u64,
-}
-
-impl Reservoir {
-    fn push(&mut self, d: Duration) {
-        self.seen += 1;
-        if self.samples.len() < MAX_SAMPLES {
-            self.samples.push(d);
-            return;
-        }
-        if self.rng == 0 {
-            self.rng = 0x9E37_79B9_7F4A_7C15 ^ self.seen;
-        }
-        self.rng ^= self.rng << 13;
-        self.rng ^= self.rng >> 7;
-        self.rng ^= self.rng << 17;
-        let r = self.rng % self.seen;
-        if (r as usize) < MAX_SAMPLES {
-            self.samples[r as usize] = d;
-        }
-    }
+    window: Baselines,
+    /// End-to-end (enqueue → completion) latency, ns. Lock-free
+    /// log-bucketed histogram in the registry (`server_latency{svc=..}`).
+    latency: Arc<Histogram>,
+    /// Live queue depth across the service's dispatch queues.
+    queue_depth: Arc<Gauge>,
+    /// Peak queue depth since the last window reset.
+    queue_depth_peak: Arc<Gauge>,
 }
 
 /// The outcome classes of one plan-priced admission or routing decision
@@ -153,58 +156,73 @@ pub enum PlanDecision {
     SnapshotCutover,
 }
 
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ServiceStats {
-    /// Fresh, all-zero statistics.
+    /// Fresh, all-zero statistics registered under a fresh `svc` label
+    /// (instances are numbered so concurrent service beds in one process
+    /// never share a registry series).
     pub fn new() -> Self {
-        Self::default()
+        static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let svc = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let reg = holix_telemetry::registry();
+        ServiceStats {
+            live: Counters::register(svc),
+            window: Baselines::default(),
+            latency: reg.histogram(&format!("server_latency{{svc=\"{svc}\"}}")),
+            queue_depth: reg.gauge(&format!("server_queue_depth{{svc=\"{svc}\"}}")),
+            queue_depth_peak: reg.gauge(&format!("server_queue_depth_peak{{svc=\"{svc}\"}}")),
+        }
     }
 
     /// Records a query accepted into the queue.
     pub fn record_submitted(&self) {
-        self.live.submitted.fetch_add(1, Ordering::Relaxed);
+        self.live.submitted.inc();
     }
 
     /// Records a query turned away by admission control.
     pub fn record_rejected(&self) {
-        self.live.rejected.fetch_add(1, Ordering::Relaxed);
+        self.live.rejected.inc();
     }
 
     /// Records one engine execution (which may answer several queries).
     pub fn record_executed(&self) {
-        self.live.executed.fetch_add(1, Ordering::Relaxed);
+        self.live.executed.inc();
     }
 
     /// Records a query answered by post-filtering a superset's result.
     pub fn record_containment(&self) {
-        self.live.containment.fetch_add(1, Ordering::Relaxed);
+        self.live.containment.inc();
     }
 
     /// Containment-coalesced queries over the service lifetime.
     pub fn containment(&self) -> u64 {
-        self.live.containment.load(Ordering::Relaxed)
+        self.live.containment.get()
     }
 
     /// Records a containment run answered from a snapshot (lock-free) read.
     pub fn record_snapshot_run(&self) {
-        self.live.snapshot_runs.fetch_add(1, Ordering::Relaxed);
+        self.live.snapshot_runs.inc();
     }
 
     /// Snapshot-served containment runs over the service lifetime.
     pub fn snapshot_runs(&self) -> u64 {
-        self.live.snapshot_runs.load(Ordering::Relaxed)
+        self.live.snapshot_runs.get()
     }
 
     /// Records a spanning query cut into `parts` per-shard sub-queries.
     pub fn record_decomposed(&self, parts: usize) {
-        self.live.decomposed.fetch_add(1, Ordering::Relaxed);
-        self.live
-            .decomposed_parts
-            .fetch_add(parts as u64, Ordering::Relaxed);
+        self.live.decomposed.inc();
+        self.live.decomposed_parts.add(parts as u64);
     }
 
     /// Records a decomposed part executed inline on the submitting client.
     pub fn record_decomp_inline(&self) {
-        self.live.decomp_inline.fetch_add(1, Ordering::Relaxed);
+        self.live.decomp_inline.inc();
     }
 
     /// Records one plan-priced decision outcome.
@@ -217,57 +235,74 @@ impl ServiceStats {
             PlanDecision::ShedCheap => &self.live.shed_cheap,
             PlanDecision::SnapshotCutover => &self.live.snapshot_cutover,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
+    }
+
+    /// Records worker time spent servicing a drained batch.
+    pub fn record_busy(&self, busy: Duration) {
+        self.live.busy_ns.add(busy.as_nanos() as u64);
+    }
+
+    /// Records `n` queries entering the dispatch queues (raises the live
+    /// queue-depth gauge and the window peak).
+    pub fn queue_enqueued(&self, n: usize) {
+        self.queue_depth.add(n as i64);
+        self.queue_depth_peak.max(self.queue_depth.get());
+    }
+
+    /// Records `n` queries leaving the dispatch queues.
+    pub fn queue_drained(&self, n: usize) {
+        self.queue_depth.add(-(n as i64));
+    }
+
+    /// Live queue depth (submissions minus drains).
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.get()
+    }
+
+    /// Peak queue depth since the last [`ServiceStats::reset_window`].
+    pub fn queue_depth_peak(&self) -> i64 {
+        self.queue_depth_peak.get()
     }
 
     /// Starts a fresh measurement window: every counter's current value
-    /// becomes the new baseline and the latency reservoir clears, so the
+    /// becomes the new baseline and the latency window restarts, so the
     /// next [`ServiceStats::summary`] covers only what happened after this
     /// call. Harnesses call it per interleaved rep (and after warmup) so
     /// per-bed comparisons are never cumulative.
     pub fn reset_window(&self) {
         self.live.store_into(&self.window);
-        let mut r = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
-        r.samples.clear();
-        r.seen = 0;
-        r.rng = 0;
+        self.latency.reset_window();
+        self.queue_depth_peak.set(self.queue_depth.get());
     }
 
     /// Records a completed query with its enqueue-to-completion latency.
+    /// Lock-free: one striped-counter add plus one histogram record.
     pub fn record_completed(&self, latency: Duration) {
-        self.live.completed.fetch_add(1, Ordering::Relaxed);
-        self.latencies
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(latency);
+        self.live.completed.inc();
+        self.latency.record(latency.as_nanos() as u64);
     }
 
     /// Queries accepted over the service lifetime.
     pub fn submitted(&self) -> u64 {
-        self.live.submitted.load(Ordering::Relaxed)
+        self.live.submitted.get()
     }
 
     /// Queries rejected over the service lifetime.
     pub fn rejected(&self) -> u64 {
-        self.live.rejected.load(Ordering::Relaxed)
+        self.live.rejected.get()
     }
 
     /// Queries completed over the service lifetime.
     pub fn completed(&self) -> u64 {
-        self.live.completed.load(Ordering::Relaxed)
+        self.live.completed.get()
     }
 
     /// Summarises the current window (since the last
     /// [`ServiceStats::reset_window`], or service start) over `wall`
     /// elapsed time.
     pub fn summary(&self, wall: Duration) -> StatsSummary {
-        let mut lat = self
-            .latencies
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .samples
-            .clone();
-        lat.sort_unstable();
+        let lat = self.latency.snapshot();
         // Baseline FIRST, live second: live counters only grow, and any
         // baseline is a past value of its live counter, so this order
         // guarantees `live >= base` even when a `reset_window` races the
@@ -276,9 +311,9 @@ impl ServiceStats {
         // today, wrapping originally) collapsed the window to zero or to
         // garbage. The `saturating_sub` stays as a belt for the one case
         // order cannot fix: two resets racing each other mid-summary.
-        let windowed = |live: &AtomicU64, base: &AtomicU64| {
+        let windowed = |live: &Counter, base: &AtomicU64| {
             let base = base.load(Ordering::Acquire);
-            live.load(Ordering::Acquire).saturating_sub(base)
+            live.get().saturating_sub(base)
         };
         let completed = windowed(&self.live.completed, &self.window.completed);
         StatsSummary {
@@ -300,16 +335,18 @@ impl ServiceStats {
             ),
             shed_expensive: windowed(&self.live.shed_expensive, &self.window.shed_expensive),
             shed_cheap: windowed(&self.live.shed_cheap, &self.window.shed_cheap),
+            busy_ns: windowed(&self.live.busy_ns, &self.window.busy_ns),
+            queue_depth_peak: self.queue_depth_peak.get(),
             wall,
             qps: if wall.is_zero() {
                 0.0
             } else {
                 completed as f64 / wall.as_secs_f64()
             },
-            p50: percentile(&lat, 0.50),
-            p95: percentile(&lat, 0.95),
-            p99: percentile(&lat, 0.99),
-            max: lat.last().copied().unwrap_or(Duration::ZERO),
+            p50: Duration::from_nanos(lat.percentile(0.50)),
+            p95: Duration::from_nanos(lat.percentile(0.95)),
+            p99: Duration::from_nanos(lat.percentile(0.99)),
+            max: Duration::from_nanos(lat.max),
         }
     }
 }
@@ -350,17 +387,21 @@ pub struct StatsSummary {
     /// Rejections priced Cheap at shed time (zero under cost-aware
     /// admission).
     pub shed_cheap: u64,
+    /// Worker time spent servicing drained batches in the window, ns.
+    pub busy_ns: u64,
+    /// Peak queue depth observed in the window.
+    pub queue_depth_peak: i64,
     /// Wall time the summary covers.
     pub wall: Duration,
     /// Sustained completions per second over `wall`.
     pub qps: f64,
-    /// Median end-to-end latency.
+    /// Median end-to-end latency (log-bucketed: ≤ ~0.8% relative error).
     pub p50: Duration,
-    /// 95th-percentile end-to-end latency.
+    /// 95th-percentile end-to-end latency (log-bucketed).
     pub p95: Duration,
-    /// 99th-percentile end-to-end latency.
+    /// 99th-percentile end-to-end latency (log-bucketed).
     pub p99: Duration,
-    /// Worst observed end-to-end latency.
+    /// Worst observed end-to-end latency (exact, not bucketed).
     pub max: Duration,
 }
 
@@ -380,6 +421,16 @@ mod tests {
 
     fn ms(n: u64) -> Duration {
         Duration::from_millis(n)
+    }
+
+    /// Log-bucketed percentiles are ≤ ~0.8% approximations; windowed
+    /// equality asserts use this bound (the spec allows 2%).
+    fn assert_close(got: Duration, want: Duration) {
+        let (g, w) = (got.as_nanos() as f64, want.as_nanos() as f64);
+        assert!(
+            (g - w).abs() <= w * 0.02,
+            "latency {got:?} outside 2% of {want:?}"
+        );
     }
 
     #[test]
@@ -411,8 +462,8 @@ mod tests {
         assert_eq!(s.executed, 10);
         assert_eq!(s.containment, 1);
         assert!((s.qps - 5.0).abs() < 1e-9);
-        assert_eq!(s.p50, ms(5));
-        assert_eq!(s.max, ms(10));
+        assert_close(s.p50, ms(5));
+        assert_eq!(s.max, ms(10), "window max is exact, not bucketed");
     }
 
     #[test]
@@ -433,6 +484,7 @@ mod tests {
         stats.record_snapshot_run();
         stats.record_decomposed(4);
         stats.record_decomp_inline();
+        stats.record_busy(ms(2));
         stats.record_decision(PlanDecision::CheapAdmitted);
         stats.record_decision(PlanDecision::DowngradedSnapshot);
         stats.record_decision(PlanDecision::ShedExpensive);
@@ -453,9 +505,11 @@ mod tests {
             (s.shed_expensive, s.shed_cheap, s.snapshot_cutover),
             (1, 1, 1)
         );
+        assert_eq!(s.busy_ns, ms(2).as_nanos() as u64);
 
         // Rep boundary: the next window starts at zero for EVERY counter
-        // (and the reservoir), while lifetime accessors keep the totals.
+        // (and the latency window), while lifetime accessors keep the
+        // totals.
         stats.reset_window();
         let s = stats.summary(Duration::from_secs(1));
         assert_eq!(s.completed, 0);
@@ -463,7 +517,9 @@ mod tests {
         assert_eq!(s.snapshot_runs, 0);
         assert_eq!(s.decomposed, 0);
         assert_eq!(s.admitted_cheap, 0);
+        assert_eq!(s.busy_ns, 0);
         assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
         assert_eq!(stats.completed(), 1, "lifetime totals survive the reset");
         assert_eq!(stats.containment(), 1);
 
@@ -472,7 +528,8 @@ mod tests {
         stats.record_containment();
         let s = stats.summary(Duration::from_secs(1));
         assert_eq!((s.completed, s.containment), (1, 1));
-        assert_eq!(s.p50, ms(7));
+        assert_close(s.p50, ms(7));
+        assert_eq!(s.max, ms(7));
     }
 
     #[test]
@@ -526,21 +583,54 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_bounds_memory_and_stays_representative() {
-        let mut r = Reservoir::default();
-        // 4x the capacity of identical samples: size stays capped and every
-        // retained sample is from the stream.
-        for _ in 0..(MAX_SAMPLES * 4) {
-            r.push(ms(5));
+    fn latency_store_is_bounded_and_windowed() {
+        // The histogram that replaced the reservoir is fixed-size however
+        // long the stream runs, keeps tails within the error bound, and a
+        // window reset isolates epochs completely.
+        let stats = ServiceStats::new();
+        for i in 0..100_000u64 {
+            stats.record_completed(Duration::from_micros(1 + i % 1000));
         }
-        assert_eq!(r.samples.len(), MAX_SAMPLES);
-        assert_eq!(r.seen, (MAX_SAMPLES * 4) as u64);
-        assert!(r.samples.iter().all(|&d| d == ms(5)));
-        // A second value fed after overflow must be able to displace old
-        // samples (replacement actually happens).
-        for _ in 0..(MAX_SAMPLES * 4) {
-            r.push(ms(9));
-        }
-        assert!(r.samples.iter().any(|&d| d == ms(9)));
+        let s = stats.summary(Duration::from_secs(1));
+        assert_eq!(s.completed, 100_000);
+        assert_close(s.p50, Duration::from_micros(500));
+        assert_eq!(s.max, Duration::from_micros(1000));
+        stats.reset_window();
+        stats.record_completed(ms(9));
+        let s = stats.summary(Duration::from_secs(1));
+        assert_close(s.p50, ms(9));
+        assert_eq!(s.max, ms(9), "pre-reset maximum must not leak");
+    }
+
+    #[test]
+    fn queue_depth_and_busy_tracking() {
+        let stats = ServiceStats::new();
+        stats.queue_enqueued(3);
+        stats.queue_enqueued(2);
+        assert_eq!(stats.queue_depth(), 5);
+        stats.queue_drained(4);
+        assert_eq!(stats.queue_depth(), 1);
+        assert_eq!(stats.queue_depth_peak(), 5, "peak survives the drain");
+        stats.reset_window();
+        assert_eq!(
+            stats.queue_depth_peak(),
+            1,
+            "peak rebases to the live depth at the window boundary"
+        );
+        stats.record_busy(Duration::from_nanos(1234));
+        assert_eq!(stats.summary(Duration::from_secs(1)).busy_ns, 1234);
+    }
+
+    #[test]
+    fn instances_use_distinct_registry_series() {
+        let a = ServiceStats::new();
+        let b = ServiceStats::new();
+        a.record_submitted();
+        a.record_submitted();
+        b.record_submitted();
+        // Instances never share counters — a second bed in the same
+        // process must not contaminate the first bed's series.
+        assert_eq!(a.submitted(), 2);
+        assert_eq!(b.submitted(), 1);
     }
 }

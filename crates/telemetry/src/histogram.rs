@@ -1,0 +1,384 @@
+//! Log-bucketed (HDR-style) latency histogram with windowed snapshots.
+//!
+//! Layout: values below 128 get one bucket each (exact); every higher
+//! power-of-two octave is split into 64 sub-buckets, so the bucket width
+//! is always ≤ 1/64 of the value and the midpoint representative is within
+//! ~0.8% of any sample in the bucket — comfortably inside the ≤2% relative
+//! error the telemetry spec allows, at ~30 KiB per histogram.
+//!
+//! Windowing mirrors the counter discipline in `holix-server::stats`: a
+//! `base` bucket array is (re)stamped from `live` at `reset_window`, and a
+//! snapshot reads `base` *first* (acquire) then `live`, so every windowed
+//! bucket count `live - base` is non-negative up to benign races, which a
+//! saturating subtraction absorbs. The window maximum is a raw `fetch_max`
+//! cell reset destructively at window start — maxima stay *exact*, not
+//! bucketized.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^6 = 64 buckets per octave.
+const SUB_BITS: u32 = 6;
+const SUB: usize = 1 << SUB_BITS;
+/// Values below 2 * SUB are recorded exactly.
+const EXACT: u64 = (2 * SUB) as u64;
+/// Octaves 7..=63 each contribute SUB buckets after the exact region.
+pub const BUCKETS: usize = EXACT as usize + (63 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        EXACT as usize + ((msb - SUB_BITS - 1) as usize) * SUB + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Midpoint representative of a bucket (exact in the exact region).
+#[inline]
+fn representative(index: usize) -> u64 {
+    if index < EXACT as usize {
+        index as u64
+    } else {
+        let rel = index - EXACT as usize;
+        let octave = (rel / SUB) as u32 + SUB_BITS + 1;
+        let sub = (rel % SUB) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        let lo = (SUB as u64 + sub) << (octave - SUB_BITS);
+        lo + width / 2
+    }
+}
+
+/// Lock-free log-bucketed histogram.
+pub struct Histogram {
+    live: Box<[AtomicU64]>,
+    base: Box<[AtomicU64]>,
+    sum_live: AtomicU64,
+    sum_base: AtomicU64,
+    max_window: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn zeroed(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            live: zeroed(BUCKETS),
+            base: zeroed(BUCKETS),
+            sum_live: AtomicU64::new(0),
+            sum_base: AtomicU64::new(0),
+            max_window: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: one `fetch_add` on the bucket, one on
+    /// the running sum, one `fetch_max` on the window maximum.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.live[bucket_of(v)].fetch_add(1, Ordering::Release);
+        self.sum_live.fetch_add(v, Ordering::Relaxed);
+        self.max_window.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a new observation window: the baseline is stamped from the
+    /// live array and the exact maximum resets. Concurrent `record`s during
+    /// the stamping land on one side or the other of the window boundary —
+    /// the same semantics the windowed counters already have.
+    pub fn reset_window(&self) {
+        for (b, l) in self.base.iter().zip(self.live.iter()) {
+            b.store(l.load(Ordering::Acquire), Ordering::Release);
+        }
+        self.sum_base
+            .store(self.sum_live.load(Ordering::Acquire), Ordering::Release);
+        self.max_window.store(0, Ordering::Relaxed);
+    }
+
+    /// Windowed snapshot (samples since the last [`Histogram::reset_window`]).
+    /// Baseline is loaded *first*: a racing reset can only make the window
+    /// look shorter, never negative (and saturation absorbs the remainder).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        let sum_base = self.sum_base.load(Ordering::Acquire);
+        for (out, (b, l)) in counts
+            .iter_mut()
+            .zip(self.base.iter().zip(self.live.iter()))
+        {
+            let base = b.load(Ordering::Acquire);
+            let live = l.load(Ordering::Acquire);
+            *out = live.saturating_sub(base);
+            total += *out;
+        }
+        let sum = self
+            .sum_live
+            .load(Ordering::Acquire)
+            .saturating_sub(sum_base);
+        HistogramSnapshot {
+            count: total,
+            sum,
+            max: self.max_window.load(Ordering::Relaxed),
+            counts,
+        }
+    }
+
+    /// Total samples ever recorded (ignores the window).
+    pub fn lifetime_count(&self) -> u64 {
+        self.live
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .fold(0, u64::wrapping_add)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+/// Materialised window: bucket counts plus exact count/sum/max.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Samples in the window.
+    pub count: u64,
+    /// Sum of sample values in the window.
+    pub sum: u64,
+    /// Exact (un-bucketed) maximum sample in the window.
+    pub max: u64,
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile (`q` in `[0, 1]`) over the windowed buckets;
+    /// returns the matched bucket's midpoint representative (exact for
+    /// values < 128). Returns 0 for an empty window — same convention as
+    /// the old reservoir summary.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return representative(i);
+            }
+        }
+        // Unreachable unless counts raced below `count`; fall back to max.
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Deterministic xorshift so tests need no external RNG crate.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn bucket_math_round_trips_within_bound() {
+        // Every representative must land back in its own bucket, and the
+        // relative error of the representative vs any value in the bucket
+        // must stay under 2%.
+        for i in 0..BUCKETS {
+            let rep = representative(i);
+            assert_eq!(bucket_of(rep), i, "rep {rep} escaped bucket {i}");
+        }
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for _ in 0..200_000 {
+            let v = rng.next() >> (rng.next() % 60);
+            let rep = representative(bucket_of(v));
+            let err = (rep as f64 - v as f64).abs() / (v.max(1) as f64);
+            assert!(err <= 0.02, "v={v} rep={rep} err={err}");
+        }
+        // Boundary values.
+        for v in [0u64, 1, 127, 128, 129, 255, 256, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b < BUCKETS, "v={v} bucket {b} out of range");
+        }
+    }
+
+    fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    fn assert_percentiles_close(samples: &mut [u64], name: &str) {
+        let h = Histogram::new();
+        for &s in samples.iter() {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, samples.len() as u64, "{name}: count");
+        assert_eq!(snap.max, *samples.last().unwrap(), "{name}: exact max");
+        for q in [0.10, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let exact = exact_percentile(samples, q);
+            let est = snap.percentile(q);
+            let err = (est as f64 - exact as f64).abs() / (exact.max(1) as f64);
+            assert!(
+                err <= 0.02,
+                "{name}: q={q} exact={exact} est={est} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_match_oracle_constant() {
+        let mut samples = vec![5_000_000u64; 10_000];
+        assert_percentiles_close(&mut samples, "constant");
+    }
+
+    #[test]
+    fn percentiles_match_oracle_bimodal() {
+        // Fast mode around 10µs, slow mode around 80ms — the classic
+        // cached-vs-cold split that defeats mean-based summaries.
+        let mut rng = Rng(42);
+        let mut samples: Vec<u64> = (0..40_000)
+            .map(|i| {
+                if i % 10 < 7 {
+                    10_000 + rng.next() % 2_000
+                } else {
+                    80_000_000 + rng.next() % 4_000_000
+                }
+            })
+            .collect();
+        assert_percentiles_close(&mut samples, "bimodal");
+    }
+
+    #[test]
+    fn percentiles_match_oracle_heavy_tail() {
+        // Pareto-ish: most samples tiny, rare samples enormous (shifted by
+        // a random bit width).
+        let mut rng = Rng(7);
+        let mut samples: Vec<u64> = (0..50_000)
+            .map(|_| 1 + (rng.next() >> (rng.next() % 50)))
+            .collect();
+        assert_percentiles_close(&mut samples, "heavy-tail");
+    }
+
+    #[test]
+    fn concurrent_recorders_equal_single_thread() {
+        // The same multiset recorded by 8 threads must produce the exact
+        // same snapshot as one thread recording it all.
+        let mut rng = Rng(123);
+        let samples: Vec<u64> = (0..80_000).map(|_| rng.next() % 10_000_000).collect();
+        let serial = Histogram::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        let parallel = Arc::new(Histogram::new());
+        let chunk = samples.len() / 8;
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&parallel);
+                let part = samples[t * chunk..(t + 1) * chunk].to_vec();
+                std::thread::spawn(move || {
+                    for s in part {
+                        h.record(s);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let a = serial.snapshot();
+        let b = parallel.snapshot();
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum, b.sum);
+        assert_eq!(a.max, b.max);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+    }
+
+    #[test]
+    fn windowed_reset_race_never_overshoots() {
+        // Recorders hammer while a resetter restamps the window: every
+        // snapshot's windowed count must stay ≤ the lifetime count at the
+        // time of the snapshot, and percentile() must never panic.
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let recorders: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rng = Rng(0xABCD + t as u64);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(rng.next() % 1_000_000);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < deadline {
+            h.reset_window();
+            let snap = h.snapshot();
+            let lifetime = h.lifetime_count();
+            assert!(
+                snap.count <= lifetime,
+                "window {} overshot lifetime {lifetime}",
+                snap.count
+            );
+            let _ = snap.percentile(0.99);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = recorders.into_iter().map(|t| t.join().unwrap()).sum();
+        // After quiescing, a fresh window from a fresh reset must be empty
+        // and the lifetime count exact.
+        assert_eq!(h.lifetime_count(), total);
+        h.reset_window();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn window_isolates_epochs() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        h.reset_window();
+        for _ in 0..50 {
+            h.record(9_000_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 50);
+        assert_eq!(snap.max, 9_000_000);
+        let p50 = snap.percentile(0.5);
+        let err = (p50 as f64 - 9_000_000.0).abs() / 9_000_000.0;
+        assert!(err <= 0.02, "p50 {p50} leaked the pre-reset epoch");
+    }
+}

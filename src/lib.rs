@@ -35,6 +35,7 @@
 //! | [`planner`] | crack-aware cost model: plan-time estimates, spanning decomposition, admission pricing |
 //! | [`engine`] | the five query engines + TPC-H plans |
 //! | [`server`] | the query service layer: sessions, admission control, crack-aware scheduling |
+//! | [`telemetry`] | lock-free metrics registry, per-query trace ring, text exposition |
 //! | [`workloads`] | data/query/traffic generators incl. synthetic SkyServer and TPC-H |
 
 pub use holix_core as core;
@@ -44,4 +45,5 @@ pub use holix_parallel as parallel;
 pub use holix_planner as planner;
 pub use holix_server as server;
 pub use holix_storage as storage;
+pub use holix_telemetry as telemetry;
 pub use holix_workloads as workloads;
